@@ -1,0 +1,75 @@
+// Ablation: hyper-parameter decay schedule (DESIGN.md "documented
+// deviations").
+//
+// The paper decays alpha and epsilon by 1/sqrt(d) across days. The library
+// additionally keeps small floors under both values and offers
+// decay-by-episode as an alternative. With the exploring-start replays in
+// place (the main stabilizer; see DESIGN.md), the literal day-based decay
+// and the floored variant perform alike on a stationary household — the
+// floors matter for *online re-adaptation* after a behaviour change, where
+// a fully decayed learner cannot move its weights any more (see the
+// behaviour_shift example). Decay-by-episode is measurably worse: the
+// replay bursts burn through the exploration budget within days.
+#include "common.h"
+#include "util/table.h"
+
+#include <iostream>
+
+namespace {
+
+using namespace rlblh;
+using namespace rlblh::bench;
+
+struct Variant {
+  const char* name;
+  bool decay;
+  bool by_episodes;
+  double alpha_floor;
+  double epsilon_floor;
+};
+
+double run(const Variant& v, unsigned seed, int train_days, int eval_days) {
+  RlBlhConfig config = paper_config(15, 5.0, seed);
+  config.decay_hyperparams = v.decay;
+  config.decay_by_episodes = v.by_episodes;
+  config.alpha_floor = v.alpha_floor;
+  config.epsilon_floor = v.epsilon_floor;
+  RlBlhPolicy policy(config);
+  Simulator sim = make_household_simulator(HouseholdConfig{},
+                                           TouSchedule::srp_plan(), 5.0,
+                                           700 + seed);
+  sim.run_days(policy, static_cast<std::size_t>(train_days));
+  return greedy_sr(sim, policy, eval_days);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlblh::bench;
+
+  print_header("Ablation: alpha/epsilon decay schedule (n_D = 15, b_M = 5)");
+
+  const Variant variants[] = {
+      {"paper-literal 1/sqrt(day), no floor", true, false, 0.0, 0.0},
+      {"1/sqrt(day) with floors (default)", true, false, 0.005, 0.05},
+      {"1/sqrt(episode) with floors", true, true, 0.005, 0.05},
+      {"no decay (constant 0.05 / 0.1)", false, false, 0.0, 0.0},
+  };
+
+  TablePrinter table({"schedule", "SR % @60d", "SR % @150d"});
+  for (const Variant& v : variants) {
+    double sr60 = 0.0, sr150 = 0.0;
+    for (const unsigned seed : {7u, 8u, 9u}) {
+      sr60 += run(v, seed, 60, 30) / 3.0;
+      sr150 += run(v, seed, 150, 30) / 3.0;
+    }
+    table.add_row({v.name, TablePrinter::num(100.0 * sr60, 1),
+                   TablePrinter::num(100.0 * sr150, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\nday-based decay (with or without floors) converges alike "
+              "on a stationary\nhousehold; episode-based decay starves "
+              "exploration during the replay bursts.\nFloors earn their keep "
+              "when the household's behaviour changes mid-run.\n");
+  return 0;
+}

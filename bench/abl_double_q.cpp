@@ -1,0 +1,70 @@
+// Extension bench: Double Q-learning (paper future work: "further reduce
+// the convergence time of reinforcement learning").
+//
+// The max operator in the Q-learning target overestimates noisy values;
+// Double Q-learning (van Hasselt) decorrelates action selection from
+// evaluation with two weight tables. This bench compares plain Q vs
+// double-Q on convergence speed and final savings under otherwise
+// identical settings.
+#include "common.h"
+#include "util/table.h"
+
+#include <iostream>
+
+namespace {
+
+using namespace rlblh;
+using namespace rlblh::bench;
+
+struct Outcome {
+  double sr20 = 0.0, sr60 = 0.0, err60 = 0.0;
+};
+
+Outcome run(bool double_q, unsigned seed) {
+  RlBlhConfig config = paper_config(15, 5.0, seed);
+  config.double_q = double_q;
+  RlBlhPolicy policy(config);
+  Simulator sim = make_household_simulator(HouseholdConfig{},
+                                           TouSchedule::srp_plan(), 5.0,
+                                           1400 + seed);
+  Outcome out;
+  sim.run_days(policy, 20);
+  out.sr20 = greedy_sr(sim, policy, 15);
+  sim.run_days(policy, 40);
+  out.sr60 = greedy_sr(sim, policy, 25);
+  out.err60 = policy.day_stats().back().mean_abs_td_error;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlblh::bench;
+
+  print_header("Extension: plain Q-learning vs Double Q-learning "
+               "(n_D = 15, b_M = 5)");
+
+  TablePrinter table({"learner", "SR % @20d", "SR % @60d",
+                      "TD error @60d"});
+  for (const bool double_q : {false, true}) {
+    Outcome mean;
+    for (const unsigned seed : {7u, 8u, 9u}) {
+      const Outcome o = run(double_q, seed);
+      mean.sr20 += o.sr20 / 3.0;
+      mean.sr60 += o.sr60 / 3.0;
+      mean.err60 += o.err60 / 3.0;
+    }
+    table.add_row({double_q ? "double Q (extension)" : "plain Q (paper)",
+                   TablePrinter::num(100.0 * mean.sr20, 1),
+                   TablePrinter::num(100.0 * mean.sr60, 1),
+                   TablePrinter::num(mean.err60, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nmeasured result: plain Q converges faster and higher here — "
+              "each double-Q table\nsees only half the updates, and the "
+              "day-reward noise this problem feeds the max\noperator is "
+              "apparently not the bottleneck. The extension is kept as a "
+              "config knob\n(still embedded-class state) but the paper's "
+              "plain Q-learning is the right default.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Ablation: feature parametrization of the Table-I function space
+// (DESIGN.md "documented deviations").
+//
+// The paper's Table I lists the raw monomials [1, K, B, KB, K^2, B^2]; the
+// library evaluates the same space in its shifted-Legendre parametrization.
+// Both span identical functions, but SGD behaves very differently on them:
+// the monomial Gram matrix over [0,1]^2 is Hilbert-like ill-conditioned, so
+// the semi-gradient iteration mixes slowly along stiff directions and the
+// learned policy oscillates. This bench trains the same Q-learning loop on
+// three parametrizations and reports the achieved saving ratio.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "core/qfunction.h"
+#include "meter/household.h"
+#include "meter/usage_stats.h"
+#include "privacy/metrics.h"
+#include "rl/egreedy.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rlblh;
+using namespace rlblh::bench;
+
+enum class Basis { kLegendre, kMonomial, kLinearOnly };
+
+std::array<double, 6> features(Basis basis, double kk, double bb) {
+  switch (basis) {
+    case Basis::kMonomial:
+      return {1.0, kk, bb, kk * bb, kk * kk, bb * bb};
+    case Basis::kLinearOnly:
+      return {1.0, kk, bb, 0.0, 0.0, 0.0};
+    case Basis::kLegendre:
+    default: {
+      const double p1k = 2.0 * kk - 1.0;
+      const double p1b = 2.0 * bb - 1.0;
+      return {1.0, p1k, p1b, p1k * p1b, 6.0 * kk * kk - 6.0 * kk + 1.0,
+              6.0 * bb * bb - 6.0 * bb + 1.0};
+    }
+  }
+}
+
+/// Self-contained Q-learning loop identical to RlBlhPolicy's inner loop but
+/// with a pluggable basis (the library type fixes the basis by design).
+struct Learner {
+  static constexpr double kCapacity = 5.0;
+  static constexpr double kUsageCap = 0.08;
+  static constexpr std::size_t kDecision = 15;
+  static constexpr std::size_t kDecisions = 96;
+  static constexpr std::size_t kActions = 8;
+
+  Basis basis;
+  PerActionLinearQ q{kActions, 6};
+  double alpha = 0.01;
+  double epsilon = 0.05;
+
+  std::vector<std::size_t> allowed(double level) const {
+    const double guard = kUsageCap * static_cast<double>(kDecision);
+    if (level > kCapacity - guard) return {0};
+    if (level < guard) return {kActions - 1};
+    std::vector<std::size_t> all(kActions);
+    for (std::size_t a = 0; a < kActions; ++a) all[a] = a;
+    return all;
+  }
+
+  static double magnitude(std::size_t a) {
+    return static_cast<double>(a) * kUsageCap /
+           static_cast<double>(kActions - 1);
+  }
+
+  std::array<double, 6> at(std::size_t k, double level) const {
+    return features(basis, static_cast<double>(k) / kDecisions,
+                    std::clamp(level / kCapacity, 0.0, 1.0));
+  }
+
+  /// One day; returns the end-of-day battery level.
+  double day(const std::vector<double>& usage, const TouSchedule& prices,
+             double level, bool learn, Rng& rng,
+             std::vector<double>* readings) {
+    for (std::size_t k = 0; k < kDecisions; ++k) {
+      const auto f = at(k, level);
+      const auto al = allowed(level);
+      std::size_t a = q.argmax(f, al);
+      if (learn) a = epsilon_greedy(al, a, epsilon, rng);
+      double savings = 0.0;
+      for (std::size_t i = 0; i < kDecision; ++i) {
+        const std::size_t n = k * kDecision + i;
+        savings += prices.rate(n) * (usage[n] - magnitude(a));
+        level += magnitude(a) - usage[n];
+        if (readings != nullptr) readings->push_back(magnitude(a));
+      }
+      level = std::clamp(level, 0.0, kCapacity);
+      double target = savings;
+      if (k + 1 < kDecisions) {
+        target += q.max_value(at(k + 1, level), allowed(level));
+      }
+      if (learn) q.sgd_update(a, f, target - q.value(f, a), alpha);
+    }
+    return level;
+  }
+};
+
+double run(Basis basis, unsigned seed) {
+  const TouSchedule prices = TouSchedule::srp_plan();
+  Learner learner;
+  learner.basis = basis;
+  HouseholdModel household(HouseholdConfig{}, 800 + seed);
+  UsageStatsTracker stats(kIntervalsPerDay, kDefaultUsageCap);
+  Rng rng(seed);
+  double level = 2.5;
+  for (int d = 1; d <= 60; ++d) {
+    const DayTrace day = household.generate_day();
+    stats.observe_day(day, rng);
+    level = learner.day(day.values(), prices, level, true, rng, nullptr);
+    if (d % 10 == 0 && d <= 50) {  // the paper's synthetic schedule
+      for (int v = 0; v < 500; ++v) {
+        const DayTrace synthetic = stats.sample_day(rng);
+        learner.day(synthetic.values(), prices,
+                    rng.uniform(0.0, Learner::kCapacity), true, rng, nullptr);
+      }
+    }
+  }
+  SavingRatioAccumulator sr;
+  for (int d = 0; d < 30; ++d) {
+    const DayTrace day = household.generate_day();
+    std::vector<double> readings;
+    level = learner.day(day.values(), prices, level, false, rng, &readings);
+    sr.observe_day(day, DayTrace(readings), prices);
+  }
+  return sr.saving_ratio();
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlblh::bench;
+
+  print_header("Ablation: feature parametrization of the Table-I space");
+
+  struct Row {
+    const char* name;
+    Basis basis;
+  };
+  const Row rows[] = {
+      {"shifted Legendre (library)", Basis::kLegendre},
+      {"raw Table-I monomials", Basis::kMonomial},
+      {"linear only [1, K, B]", Basis::kLinearOnly},
+  };
+
+  TablePrinter table({"basis", "SR seed7 %", "SR seed8 %", "SR seed9 %"});
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.name};
+    for (const unsigned seed : {7u, 8u, 9u}) {
+      cells.push_back(TablePrinter::num(100.0 * run(row.basis, seed), 1));
+    }
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+  std::printf("\nall three parametrizations can represent the same Q "
+              "functions (the first two\nexactly so); only the conditioning "
+              "differs — which decides whether the paper's\nEq. (18) "
+              "iteration actually converges.\n");
+  return 0;
+}

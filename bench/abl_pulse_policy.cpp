@@ -1,0 +1,68 @@
+// Ablation: what the pulse structure buys vs what the learning buys.
+//
+// RL-BLH's privacy argument rests on the pulse *shape* (magnitudes driven
+// by battery level and chance, held for n_D intervals); its cost argument
+// rests on the *learned choice* of magnitudes. Swapping the learned choice
+// for a uniformly random feasible one (RandomPulsePolicy) keeps the shape
+// and drops the learning; the stepping baseline keeps neither. Expect:
+// random pulses match RL-BLH's MI and CC but forfeit the savings; stepping
+// flattens well (low MI) but its battery-driven step changes track usage.
+#include "baselines/random_pulse.h"
+#include "baselines/stepping.h"
+#include "common.h"
+#include "util/table.h"
+
+#include <iostream>
+
+int main() {
+  using namespace rlblh;
+  using namespace rlblh::bench;
+
+  print_header("Ablation: learned vs random pulses vs stepping "
+               "(n_D = 15, b_M = 5)");
+
+  const TouSchedule prices = TouSchedule::srp_plan();
+  const int kTrainDays = 70;
+  const int kEvalDays = 120;
+
+  TablePrinter table({"policy", "SR %", "CC", "MI", "cents/day"});
+
+  {
+    RlBlhPolicy rl(paper_config(15, 5.0, /*seed=*/7));
+    Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
+                                             1300);
+    sim.run_days(rl, kTrainDays);
+    const Metrics m = measure(sim, rl, kEvalDays);
+    table.add_row({"rl-blh (learned pulses)", TablePrinter::num(100 * m.sr, 1),
+                   TablePrinter::num(m.cc, 4), TablePrinter::num(m.mi, 4),
+                   TablePrinter::num(m.daily_savings_cents, 1)});
+  }
+  {
+    RandomPulsePolicy random_pulse(paper_config(15, 5.0, /*seed=*/7));
+    Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
+                                             1300);
+    const Metrics m = measure(sim, random_pulse, kEvalDays);
+    table.add_row({"random feasible pulses", TablePrinter::num(100 * m.sr, 1),
+                   TablePrinter::num(m.cc, 4), TablePrinter::num(m.mi, 4),
+                   TablePrinter::num(m.daily_savings_cents, 1)});
+  }
+  {
+    SteppingConfig config;
+    config.battery_capacity = 5.0;
+    SteppingPolicy stepping(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
+                                             1300);
+    sim.run_days(stepping, 10);  // settle the demand estimate
+    const Metrics m = measure(sim, stepping, kEvalDays);
+    table.add_row({"stepping (Yang et al. style)",
+                   TablePrinter::num(100 * m.sr, 1),
+                   TablePrinter::num(m.cc, 4), TablePrinter::num(m.mi, 4),
+                   TablePrinter::num(m.daily_savings_cents, 1)});
+  }
+
+  table.print(std::cout);
+  std::printf("\nrandom pulses inherit RL-BLH's privacy but not its savings "
+              "— the learning is\npurely a cost feature; the paper's privacy "
+              "mechanism is the pulse structure itself.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Each bench binary reproduces one table or figure from the paper's
+// evaluation section: it trains the policies involved, measures the same
+// statistic the paper plots, and prints the series next to the paper's
+// reported values so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+
+#include "core/rlblh_policy.h"
+#include "privacy/correlation.h"
+#include "privacy/metrics.h"
+#include "privacy/mutual_information.h"
+#include "sim/experiment.h"
+
+namespace rlblh::bench {
+
+/// Metrics of one evaluation window.
+struct Metrics {
+  double sr = 0.0;
+  double cc = 0.0;
+  double mi = 0.0;
+  double daily_savings_cents = 0.0;
+};
+
+/// Evaluates a policy over `days` with learning and exploration untouched
+/// (matching the paper's measure-while-running protocol).
+inline Metrics measure(Simulator& sim, BlhPolicy& policy, int days,
+                       std::size_t mi_levels = 8) {
+  EvaluationConfig config;
+  config.train_days = 0;
+  config.eval_days = static_cast<std::size_t>(days);
+  config.mi_levels = mi_levels;
+  const EvaluationResult r = evaluate_policy(sim, policy, config);
+  return {r.saving_ratio, r.mean_cc, r.normalized_mi,
+          r.mean_daily_savings_cents};
+}
+
+/// Greedy (exploration- and learning-frozen) saving ratio; used where the
+/// paper reports the quality of the *learned* policy.
+inline double greedy_sr(Simulator& sim, RlBlhPolicy& policy, int days) {
+  policy.set_learning_enabled(false);
+  policy.set_exploration_enabled(false);
+  SavingRatioAccumulator sr;
+  for (int d = 0; d < days; ++d) {
+    const DayResult day = sim.run_day(policy);
+    sr.observe_day(day.usage, day.readings, sim.prices());
+  }
+  policy.set_learning_enabled(true);
+  policy.set_exploration_enabled(true);
+  return sr.saving_ratio();
+}
+
+/// The paper's experiment-wide defaults (Section VII-A).
+inline RlBlhConfig paper_config(std::size_t decision_interval,
+                                double battery_capacity, unsigned seed) {
+  RlBlhConfig config;
+  config.decision_interval = decision_interval;
+  config.battery_capacity = battery_capacity;
+  config.seed = seed;
+  return config;
+}
+
+inline void print_header(const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", what);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rlblh::bench

@@ -1,0 +1,80 @@
+// Figure 4 reproduction: one typical day of usage x_n, meter readings y_n
+// and battery level b_n for RL-BLH (4a) and the low-pass scheme (4b), with
+// n_D = 10 and b_M = 3 kWh under the SRP two-zone prices.
+//
+// The paper's visual claims to check in the printed series:
+//  * RL-BLH's y_n is a train of rectangular pulses whose magnitudes do not
+//    track the usage envelope; the battery charges while n <= 1020 (cheap)
+//    and drains afterwards (dear).
+//  * The low-pass y_n is nearly flat but its slow envelope follows the
+//    usage envelope (activity bumps leak through).
+#include "baselines/lowpass.h"
+#include "common.h"
+#include "util/table.h"
+
+#include <iostream>
+
+int main() {
+  using namespace rlblh;
+  using namespace rlblh::bench;
+
+  print_header("Figure 4: typical day traces, n_D = 10, b_M = 3 kWh");
+
+  const TouSchedule prices = TouSchedule::srp_plan();
+  const double capacity = 3.0;
+
+  // Train RL-BLH online first (paper: traces shown after learning).
+  RlBlhConfig rl_config = paper_config(10, capacity, /*seed=*/7);
+  RlBlhPolicy rl(rl_config);
+  Simulator rl_sim = make_household_simulator(HouseholdConfig{}, prices,
+                                              capacity, /*seed=*/101);
+  rl_sim.run_days(rl, 60);
+  rl.set_exploration_enabled(false);
+
+  LowPassConfig lp_config;
+  lp_config.battery_capacity = capacity;
+  LowPassPolicy lp(lp_config);
+  Simulator lp_sim = make_household_simulator(HouseholdConfig{}, prices,
+                                              capacity, /*seed=*/101);
+  lp_sim.run_days(lp, 10);  // settle the flattening target
+
+  const DayResult rl_day = rl_sim.run_day(rl);
+  const DayResult lp_day = lp_sim.run_day(lp);
+
+  TablePrinter table({"n", "rate", "x_n", "rl: y_n", "rl: b_n",
+                      "lp: y_n", "lp: b_n"});
+  for (std::size_t n = 0; n < kIntervalsPerDay; n += 30) {
+    table.add_row({std::to_string(n), TablePrinter::num(prices.rate(n), 2),
+                   TablePrinter::num(rl_day.usage.at(n), 4),
+                   TablePrinter::num(rl_day.readings.at(n), 4),
+                   TablePrinter::num(rl_day.battery_levels[n], 2),
+                   TablePrinter::num(lp_day.readings.at(n), 4),
+                   TablePrinter::num(lp_day.battery_levels[n], 2)});
+  }
+  table.print(std::cout);
+
+  // Quantified versions of the figure's visual claims.
+  const double rl_cc = pearson_correlation(rl_day.usage, rl_day.readings);
+  const double lp_cc = pearson_correlation(lp_day.usage, lp_day.readings);
+  std::printf("\nthis day's usage/reading correlation: rl-blh %.4f, "
+              "low-pass %.4f\n", rl_cc, lp_cc);
+
+  double charged_cheap = 0.0, drained_dear = 0.0;
+  for (std::size_t n = 0; n < kIntervalsPerDay; ++n) {
+    const double net = rl_day.readings.at(n) - rl_day.usage.at(n);
+    if (n < 1020) {
+      charged_cheap += net;
+    } else {
+      drained_dear -= net;
+    }
+  }
+  std::printf("rl-blh energy shifted: %.2f kWh charged in the cheap zone, "
+              "%.2f kWh drained in the dear zone\n", charged_cheap,
+              drained_dear);
+  std::printf("rl-blh savings this day: %.1f cents (low-pass: %.1f)\n",
+              rl_day.savings_cents, lp_day.savings_cents);
+  std::printf("\npaper: Fig. 4a shows aperiodic rectangular pulses with the "
+              "battery filled\nby the end of the cheap zone; Fig. 4b shows a "
+              "flat reading whose envelope\nstill leaks the activity bumps.\n");
+  return 0;
+}

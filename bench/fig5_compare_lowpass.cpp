@@ -1,0 +1,78 @@
+// Figure 5 reproduction: RL-BLH vs the low-pass scheme across battery
+// capacities b_M in {3, 4, 5} kWh at n_D = 10.
+//
+//  (5a) CC  — RL-BLH hides the low-frequency shape better (paper: by about
+//             an order of magnitude; here the margin is smaller, see
+//             EXPERIMENTS.md).
+//  (5b) MI  — both schemes leak little pairwise information; low-pass is
+//             slightly better at the high-frequency metric (paper agrees:
+//             "the MI of RL-BLH is slightly higher").
+//  (5c) SR  — RL-BLH's savings grow with b_M by design; the low-pass
+//             scheme's savings are incidental (whatever the usage/tariff
+//             covariance happens to give).
+#include "baselines/lowpass.h"
+#include "common.h"
+#include "util/table.h"
+
+#include <iostream>
+
+int main() {
+  using namespace rlblh;
+  using namespace rlblh::bench;
+
+  print_header("Figure 5: RL-BLH vs low-pass across b_M (n_D = 10)");
+
+  const TouSchedule prices = TouSchedule::srp_plan();
+  const int kTrainDays = 70;
+  const int kEvalDays = 120;
+
+  struct PaperRow {
+    double capacity, rl_cc, lp_cc, rl_mi, lp_mi, rl_sr, lp_sr;
+  };
+  // Values read off the paper's Figure 5 plots (approximate).
+  const PaperRow paper[] = {
+      {3.0, 0.02, 0.16, 0.03, 0.015, 0.02, -0.02},
+      {4.0, 0.02, 0.12, 0.02, 0.012, 0.09, 0.00},
+      {5.0, 0.02, 0.09, 0.015, 0.010, 0.15, 0.02},
+  };
+
+  TablePrinter table({"b_M", "scheme", "CC", "MI", "SR %", "cents/day",
+                      "paper CC", "paper SR %"});
+  for (const PaperRow& row : paper) {
+    const double capacity = row.capacity;
+    // RL-BLH, trained online with the paper's heuristics.
+    RlBlhPolicy rl(paper_config(10, capacity, /*seed=*/7));
+    Simulator rl_sim = make_household_simulator(HouseholdConfig{}, prices,
+                                                capacity, /*seed=*/200);
+    rl_sim.run_days(rl, kTrainDays);
+    const Metrics rl_metrics = measure(rl_sim, rl, kEvalDays);
+
+    LowPassConfig lp_config;
+    lp_config.battery_capacity = capacity;
+    LowPassPolicy lp(lp_config);
+    Simulator lp_sim = make_household_simulator(HouseholdConfig{}, prices,
+                                                capacity, /*seed=*/200);
+    lp_sim.run_days(lp, 10);
+    const Metrics lp_metrics = measure(lp_sim, lp, kEvalDays);
+
+    table.add_row({TablePrinter::num(capacity, 0), "rl-blh",
+                   TablePrinter::num(rl_metrics.cc, 4),
+                   TablePrinter::num(rl_metrics.mi, 4),
+                   TablePrinter::num(100.0 * rl_metrics.sr, 1),
+                   TablePrinter::num(rl_metrics.daily_savings_cents, 1),
+                   TablePrinter::num(row.rl_cc, 3),
+                   TablePrinter::num(100.0 * row.rl_sr, 1)});
+    table.add_row({TablePrinter::num(capacity, 0), "low-pass",
+                   TablePrinter::num(lp_metrics.cc, 4),
+                   TablePrinter::num(lp_metrics.mi, 4),
+                   TablePrinter::num(100.0 * lp_metrics.sr, 1),
+                   TablePrinter::num(lp_metrics.daily_savings_cents, 1),
+                   TablePrinter::num(row.lp_cc, 3),
+                   TablePrinter::num(100.0 * row.lp_sr, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\nshape checks: rl CC < lp CC at every capacity; rl SR grows "
+              "with b_M;\nlp MI < rl MI (low-pass is the better pure "
+              "high-frequency flattener).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 9 reproduction: privacy and cost savings as the battery capacity
+// b_M varies over {3..7} kWh, at n_D = 15.
+//
+// Paper values: SR {2.58, 11.31, 15.54, 18.02, 22.43}%,
+// CC {0.058, 0.046, 0.022, 0.014, -0.006}, MI ~flat {0.011..0.014}.
+// Shapes to reproduce: SR increases with b_M, CC decreases with b_M
+// (a bigger battery decouples the pulses from usage), MI roughly flat.
+#include "common.h"
+#include "util/table.h"
+
+#include <iostream>
+
+int main() {
+  using namespace rlblh;
+  using namespace rlblh::bench;
+
+  print_header("Figure 9: effect of the battery capacity b_M (n_D = 15)");
+
+  const TouSchedule prices = TouSchedule::srp_plan();
+  struct PaperRow {
+    double capacity, sr, cc;
+  };
+  const PaperRow paper[] = {{3.0, 2.58, 0.058},
+                            {4.0, 11.31, 0.046},
+                            {5.0, 15.54, 0.022},
+                            {6.0, 18.02, 0.014},
+                            {7.0, 22.43, -0.006}};
+
+  const int kTrainDays = 110;
+  const int kEvalDays = 120;
+
+  TablePrinter table({"b_M", "SR %", "MI", "CC", "cents/day", "paper SR %",
+                      "paper CC"});
+  for (const PaperRow& row : paper) {
+    Metrics mean;
+    const unsigned seeds[] = {7, 8, 9};
+    for (const unsigned seed : seeds) {
+      RlBlhPolicy policy(paper_config(15, row.capacity, seed));
+      Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
+                                               row.capacity, 600 + seed);
+      sim.run_days(policy, kTrainDays);
+      const Metrics m = measure(sim, policy, kEvalDays);
+      mean.sr += m.sr / 3.0;
+      mean.cc += m.cc / 3.0;
+      mean.mi += m.mi / 3.0;
+      mean.daily_savings_cents += m.daily_savings_cents / 3.0;
+    }
+    table.add_row({TablePrinter::num(row.capacity, 0),
+                   TablePrinter::num(100.0 * mean.sr, 1),
+                   TablePrinter::num(mean.mi, 4),
+                   TablePrinter::num(mean.cc, 4),
+                   TablePrinter::num(mean.daily_savings_cents, 1),
+                   TablePrinter::num(row.sr, 1),
+                   TablePrinter::num(row.cc, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nshape checks: SR grows with b_M; CC falls with b_M; MI is "
+              "roughly flat.\nA larger battery helps both goals; the paper's "
+              "sizing argument follows.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Micro-benchmarks of the evaluation machinery: privacy metrics, the NALM
+// attack, and the household trace generator. These bound how long the
+// figure benches spend measuring (as opposed to simulating).
+#include <benchmark/benchmark.h>
+
+#include "meter/household.h"
+#include "privacy/correlation.h"
+#include "privacy/mutual_information.h"
+#include "privacy/nalm.h"
+
+namespace {
+
+using namespace rlblh;
+
+DayTrace sample_day(unsigned seed) {
+  HouseholdModel household(HouseholdConfig{}, seed);
+  return household.generate_day();
+}
+
+void BM_HouseholdGenerateDay(benchmark::State& state) {
+  HouseholdModel household(HouseholdConfig{}, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(household.generate_day().total());
+  }
+}
+BENCHMARK(BM_HouseholdGenerateDay);
+
+void BM_PearsonDay(benchmark::State& state) {
+  const DayTrace x = sample_day(1);
+  const DayTrace y = sample_day(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pearson_correlation(x, y));
+  }
+}
+BENCHMARK(BM_PearsonDay);
+
+void BM_MiObserveDay(benchmark::State& state) {
+  PairwiseMiEstimator mi(kIntervalsPerDay, 8, kDefaultUsageCap,
+                         kDefaultUsageCap);
+  const DayTrace x = sample_day(3);
+  const DayTrace y = sample_day(4);
+  for (auto _ : state) {
+    mi.observe_day(x, y);
+  }
+  benchmark::DoNotOptimize(mi.days());
+}
+BENCHMARK(BM_MiObserveDay);
+
+void BM_MiQuery(benchmark::State& state) {
+  PairwiseMiEstimator mi(kIntervalsPerDay, 8, kDefaultUsageCap,
+                         kDefaultUsageCap);
+  HouseholdModel household(HouseholdConfig{}, 5);
+  for (int d = 0; d < 50; ++d) {
+    const DayTrace x = household.generate_day();
+    mi.observe_day(x, x);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mi.normalized_mi());
+  }
+}
+BENCHMARK(BM_MiQuery);
+
+void BM_NalmDetectDay(benchmark::State& state) {
+  const DayTrace day = sample_day(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nalm_detect(day).size());
+  }
+}
+BENCHMARK(BM_NalmDetectDay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Cost savings under different tariff structures.
+//
+// The paper argues (Sections I-II) that RL-BLH handles any per-interval
+// price signal, not just the two-zone plan of its evaluation: the Q-learning
+// target uses the actual r_n at every interval. This example trains the same
+// controller under three tariffs — the SRP two-zone plan, a three-zone
+// off/semi/peak plan, and hourly real-time pricing — and reports the saving
+// ratio achieved under each.
+#include <cstdio>
+#include <string>
+
+#include "core/rlblh_policy.h"
+#include "sim/experiment.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rlblh;
+
+void run_plan(const std::string& label, const TouSchedule& prices) {
+  RlBlhConfig config;
+  config.battery_capacity = 5.0;
+  config.decision_interval = 15;
+  config.seed = 17;
+  RlBlhPolicy policy(config);
+
+  Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
+                                           config.battery_capacity,
+                                           /*seed=*/23);
+  EvaluationConfig eval;
+  eval.train_days = 25;
+  eval.eval_days = 40;
+  const EvaluationResult r = evaluate_policy(sim, policy, eval);
+
+  std::printf("  %-12s rates %5.2f..%5.2f c/kWh | SR %5.1f %% | "
+              "%6.2f cents/day | CC %7.4f\n",
+              label.c_str(), prices.min_rate(), prices.max_rate(),
+              100.0 * r.saving_ratio, r.mean_daily_savings_cents, r.mean_cc);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlblh;
+
+  std::printf("RL-BLH cost savings across tariff structures "
+              "(5 kWh battery, n_D = 15):\n\n");
+
+  run_plan("two-zone", TouSchedule::srp_plan());
+  run_plan("three-zone",
+           TouSchedule::three_zone(kIntervalsPerDay, 420, 960, 6.0, 12.0, 24.0));
+
+  Rng rng(5);
+  run_plan("hourly-rtp",
+           TouSchedule::hourly_rtp(kIntervalsPerDay, 60, 5.0, 25.0, rng));
+
+  std::printf("\nThe same controller (no re-configuration) exploits "
+              "whatever price spread the tariff offers.\n");
+  return 0;
+}

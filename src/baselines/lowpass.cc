@@ -1,0 +1,53 @@
+#include "baselines/lowpass.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+LowPassPolicy::LowPassPolicy(LowPassConfig config)
+    : config_(config), target_(config.initial_target) {
+  RLBLH_REQUIRE(config.intervals_per_day >= 1,
+                "LowPassPolicy: need at least one interval");
+  RLBLH_REQUIRE(config.usage_cap > 0.0, "LowPassPolicy: usage cap must be > 0");
+  RLBLH_REQUIRE(config.battery_capacity > 0.0,
+                "LowPassPolicy: battery capacity must be > 0");
+  RLBLH_REQUIRE(config.target_smoothing > 0.0 && config.target_smoothing <= 1.0,
+                "LowPassPolicy: smoothing must be in (0, 1]");
+  RLBLH_REQUIRE(config.initial_target >= 0.0 &&
+                    config.initial_target <= config.usage_cap,
+                "LowPassPolicy: initial target must be in [0, x_M]");
+}
+
+void LowPassPolicy::begin_day(const TouSchedule& prices) {
+  RLBLH_REQUIRE(prices.intervals() == config_.intervals_per_day,
+                "LowPassPolicy: price schedule length mismatch");
+}
+
+double LowPassPolicy::reading(std::size_t n, double battery_level) {
+  RLBLH_REQUIRE(n < config_.intervals_per_day,
+                "LowPassPolicy: interval out of range");
+  // Hold the target, but never request more than the battery can absorb
+  // (usage could be zero) and never less than would risk running dry
+  // (usage could be x_M). When the two constraints conflict — battery
+  // nearly empty AND nearly full is impossible, so they cannot — the
+  // feasible window is [lo, hi].
+  const double hi =
+      std::max(0.0, config_.battery_capacity - battery_level);
+  const double lo =
+      std::clamp(config_.usage_cap - battery_level, 0.0, hi);
+  return std::clamp(target_, lo, std::min(hi, config_.usage_cap));
+}
+
+void LowPassPolicy::observe_usage(std::size_t n, double usage) {
+  RLBLH_REQUIRE(n < config_.intervals_per_day,
+                "LowPassPolicy: interval out of range");
+  RLBLH_REQUIRE(usage >= 0.0, "LowPassPolicy: usage must be >= 0");
+  // Slow EMA toward the observed mean draw keeps the long-run battery level
+  // balanced without reacting to individual appliance events.
+  target_ += config_.target_smoothing * (usage - target_);
+  target_ = std::clamp(target_, 0.0, config_.usage_cap);
+}
+
+}  // namespace rlblh

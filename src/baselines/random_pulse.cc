@@ -1,0 +1,50 @@
+#include "baselines/random_pulse.h"
+
+#include "util/error.h"
+
+namespace rlblh {
+
+namespace {
+RlBlhConfig validated(RlBlhConfig config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
+RandomPulsePolicy::RandomPulsePolicy(RlBlhConfig config)
+    : config_(validated(config)), rng_(config_.seed) {}
+
+void RandomPulsePolicy::begin_day(const TouSchedule& prices) {
+  RLBLH_REQUIRE(prices.intervals() == config_.intervals_per_day,
+                "RandomPulsePolicy: price schedule length mismatch");
+}
+
+std::vector<std::size_t> RandomPulsePolicy::allowed_actions(
+    double battery_level) const {
+  if (battery_level > config_.high_guard()) return {0};
+  if (battery_level < config_.low_guard()) {
+    return {config_.num_actions - 1};
+  }
+  std::vector<std::size_t> all(config_.num_actions);
+  for (std::size_t a = 0; a < all.size(); ++a) all[a] = a;
+  return all;
+}
+
+double RandomPulsePolicy::reading(std::size_t n, double battery_level) {
+  RLBLH_REQUIRE(n < config_.intervals_per_day,
+                "RandomPulsePolicy: interval out of range");
+  if (n % config_.decision_interval == 0) {
+    const auto allowed = allowed_actions(battery_level);
+    const auto i = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(allowed.size() - 1)));
+    current_action_ = allowed[i];
+  }
+  return config_.action_magnitude(current_action_);
+}
+
+void RandomPulsePolicy::observe_usage(std::size_t n, double usage) {
+  RLBLH_REQUIRE(n < config_.intervals_per_day && usage >= 0.0,
+                "RandomPulsePolicy: bad observation");
+}
+
+}  // namespace rlblh

@@ -1,0 +1,77 @@
+#include "baselines/stepping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+void SteppingConfig::validate() const {
+  RLBLH_REQUIRE(intervals_per_day >= 1,
+                "SteppingConfig: need at least one interval");
+  RLBLH_REQUIRE(usage_cap > 0.0, "SteppingConfig: usage cap must be > 0");
+  RLBLH_REQUIRE(battery_capacity > 0.0,
+                "SteppingConfig: battery capacity must be > 0");
+  RLBLH_REQUIRE(step > 0.0 && step <= usage_cap,
+                "SteppingConfig: step must be in (0, x_M]");
+  RLBLH_REQUIRE(margin_fraction > 0.0 && margin_fraction < 0.5,
+                "SteppingConfig: margin fraction must be in (0, 0.5)");
+}
+
+namespace {
+SteppingConfig validated(SteppingConfig config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
+SteppingPolicy::SteppingPolicy(SteppingConfig config)
+    : config_(validated(config)),
+      max_level_(static_cast<std::size_t>(
+          std::ceil(config_.usage_cap / config_.step))),
+      level_(max_level_ / 2),
+      recent_usage_(config_.usage_cap / 4.0) {}
+
+void SteppingPolicy::begin_day(const TouSchedule& prices) {
+  RLBLH_REQUIRE(prices.intervals() == config_.intervals_per_day,
+                "SteppingPolicy: price schedule length mismatch");
+}
+
+double SteppingPolicy::reading(std::size_t n, double battery_level) {
+  RLBLH_REQUIRE(n < config_.intervals_per_day,
+                "SteppingPolicy: interval out of range");
+  const double margin = config_.margin_fraction * config_.battery_capacity;
+  const double high = config_.battery_capacity - margin;
+  const double low = margin;
+  if (battery_level > high || battery_level < low) {
+    // The battery left its comfort band: re-seed the step at the quantized
+    // recent demand, biased one step down (full) or up (empty) so the band
+    // is re-entered. This is the event that leaks load information.
+    const auto base = static_cast<std::size_t>(
+        std::min(std::round(recent_usage_ / config_.step),
+                 static_cast<double>(max_level_)));
+    std::size_t next = base;
+    if (battery_level > high) {
+      next = base > 0 ? base - 1 : 0;
+    } else {
+      next = std::min(base + 1, max_level_);
+    }
+    if (next != level_) {
+      level_ = next;
+      ++changes_;
+    }
+  }
+  return std::min(static_cast<double>(level_) * config_.step,
+                  config_.usage_cap);
+}
+
+void SteppingPolicy::observe_usage(std::size_t n, double usage) {
+  RLBLH_REQUIRE(n < config_.intervals_per_day,
+                "SteppingPolicy: interval out of range");
+  RLBLH_REQUIRE(usage >= 0.0, "SteppingPolicy: usage must be >= 0");
+  recent_usage_ += 0.01 * (usage - recent_usage_);
+  recent_usage_ = std::clamp(recent_usage_, 0.0, config_.usage_cap);
+}
+
+}  // namespace rlblh

@@ -1,0 +1,59 @@
+#include "battery/battery.h"
+
+#include <algorithm>
+
+namespace rlblh {
+
+Battery::Battery(double capacity_kwh, double initial_level_kwh,
+                 double charge_efficiency, double discharge_efficiency)
+    : capacity_(capacity_kwh), level_(initial_level_kwh),
+      charge_eff_(charge_efficiency), discharge_eff_(discharge_efficiency) {
+  RLBLH_REQUIRE(capacity_kwh > 0.0, "Battery: capacity must be > 0");
+  RLBLH_REQUIRE(initial_level_kwh >= 0.0 && initial_level_kwh <= capacity_kwh,
+                "Battery: initial level must be in [0, capacity]");
+  RLBLH_REQUIRE(charge_efficiency > 0.0 && charge_efficiency <= 1.0,
+                "Battery: charge efficiency must be in (0, 1]");
+  RLBLH_REQUIRE(discharge_efficiency > 0.0 && discharge_efficiency <= 1.0,
+                "Battery: discharge efficiency must be in (0, 1]");
+}
+
+BatteryStep Battery::step(double reading, double usage) {
+  RLBLH_REQUIRE(reading >= 0.0, "Battery::step: reading must be >= 0");
+  RLBLH_REQUIRE(usage >= 0.0, "Battery::step: usage must be >= 0");
+
+  BatteryStep out;
+  // Net transfer for the interval; charging and discharging happen
+  // concurrently within a one-minute interval, so only the net flow matters.
+  const double delta = charge_eff_ * reading - usage / discharge_eff_;
+  double next = level_ + delta;
+  if (next > capacity_) {
+    out.wasted_charge = next - capacity_;
+    next = capacity_;
+    out.violated = true;
+  } else if (next < 0.0) {
+    // The battery cannot supply this much: the shortfall (in delivered
+    // energy) comes straight from the grid.
+    out.grid_extra = -next * discharge_eff_;
+    next = 0.0;
+    out.violated = true;
+  }
+  level_ = next;
+  out.level_after = level_;
+  if (out.violated) {
+    ++violations_;
+    wasted_ += out.wasted_charge;
+    grid_extra_ += out.grid_extra;
+  }
+  return out;
+}
+
+void Battery::reset(double level_kwh) {
+  RLBLH_REQUIRE(level_kwh >= 0.0 && level_kwh <= capacity_,
+                "Battery::reset: level must be in [0, capacity]");
+  level_ = level_kwh;
+  violations_ = 0;
+  wasted_ = 0.0;
+  grid_extra_ = 0.0;
+}
+
+}  // namespace rlblh

@@ -1,0 +1,58 @@
+#include "core/config.h"
+
+#include "util/error.h"
+
+namespace rlblh {
+
+double RlBlhConfig::action_magnitude(std::size_t a) const {
+  RLBLH_REQUIRE(a < num_actions, "RlBlhConfig: action index out of range");
+  return static_cast<double>(a) * usage_cap /
+         static_cast<double>(num_actions - 1);
+}
+
+double RlBlhConfig::high_guard() const {
+  return battery_capacity -
+         usage_cap * static_cast<double>(decision_interval);
+}
+
+double RlBlhConfig::low_guard() const {
+  return usage_cap * static_cast<double>(decision_interval);
+}
+
+void RlBlhConfig::validate() const {
+  RLBLH_REQUIRE(intervals_per_day >= 2,
+                "RlBlhConfig: need at least two intervals per day");
+  RLBLH_REQUIRE(decision_interval >= 1,
+                "RlBlhConfig: decision interval must be >= 1");
+  RLBLH_REQUIRE(intervals_per_day % decision_interval == 0,
+                "RlBlhConfig: n_M must be a multiple of n_D");
+  RLBLH_REQUIRE(usage_cap > 0.0, "RlBlhConfig: usage cap must be > 0");
+  RLBLH_REQUIRE(battery_capacity > 0.0,
+                "RlBlhConfig: battery capacity must be > 0");
+  RLBLH_REQUIRE(num_actions >= 2, "RlBlhConfig: need at least two actions");
+  RLBLH_REQUIRE(low_guard() <= high_guard(),
+                "RlBlhConfig: battery too small: b_M must be >= 2 * x_M * n_D");
+  RLBLH_REQUIRE(alpha > 0.0 && alpha <= 1.0,
+                "RlBlhConfig: alpha must be in (0, 1]");
+  RLBLH_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0,
+                "RlBlhConfig: epsilon must be in [0, 1]");
+  RLBLH_REQUIRE(alpha_floor >= 0.0 && alpha_floor <= alpha,
+                "RlBlhConfig: alpha_floor must be in [0, alpha]");
+  RLBLH_REQUIRE(epsilon_floor >= 0.0 && epsilon_floor <= epsilon,
+                "RlBlhConfig: epsilon_floor must be in [0, epsilon]");
+  if (enable_reuse) {
+    RLBLH_REQUIRE(reuse_repeats >= 1,
+                  "RlBlhConfig: reuse_repeats must be >= 1");
+  }
+  if (enable_synthetic) {
+    RLBLH_REQUIRE(synthetic_period >= 1,
+                  "RlBlhConfig: synthetic_period must be >= 1");
+    RLBLH_REQUIRE(synthetic_repeats >= 1,
+                  "RlBlhConfig: synthetic_repeats must be >= 1");
+    RLBLH_REQUIRE(stats_bins >= 2, "RlBlhConfig: stats_bins must be >= 2");
+    RLBLH_REQUIRE(stats_reservoir >= 1,
+                  "RlBlhConfig: stats_reservoir must be >= 1");
+  }
+}
+
+}  // namespace rlblh

@@ -1,0 +1,91 @@
+// RL-BLH hyper-parameters (paper Sections II-VII).
+//
+// Defaults are the paper's experiment settings (Section VII-A):
+// n_M = 1440 one-minute intervals, x_M = 0.08 kWh, a_M = 8 actions,
+// alpha = 0.05, epsilon = 0.1 (both decayed by 1/sqrt(d)),
+// d_G = 10, d_MG = 50, t_G = 500 (synthetic-data heuristic),
+// d_R = 20, t_R = 100 (reuse heuristic).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rlblh {
+
+/// Complete configuration of an RlBlhPolicy.
+struct RlBlhConfig {
+  // --- problem geometry -----------------------------------------------
+  std::size_t intervals_per_day = 1440;  ///< n_M
+  std::size_t decision_interval = 15;    ///< n_D (pulse width in intervals)
+  double usage_cap = 0.08;               ///< x_M, kWh per interval
+  double battery_capacity = 5.0;         ///< b_M, kWh
+  std::size_t num_actions = 8;           ///< a_M pulse-magnitude choices
+
+  // --- learning --------------------------------------------------------
+  double alpha = 0.05;           ///< base learning rate
+  double epsilon = 0.1;          ///< base exploration rate
+  bool decay_hyperparams = true; ///< decay alpha, epsilon by 1/sqrt(d)
+  /// What "d" counts in the 1/sqrt(d) decay: wall-clock days (the paper's
+  /// wording, default) or training episodes (each INNER-LOOP execution,
+  /// real or replayed). The decay ablation bench compares both.
+  bool decay_by_episodes = false;
+  /// Floors under the decayed values. Semi-gradient Q-learning with a
+  /// bootstrapped max target needs sustained (small) step size and
+  /// exploration to track the moving target; letting both decay to zero
+  /// freezes the weights wherever day ~50 left them, which is measurably
+  /// below the converged policy (see the decay ablation bench).
+  double alpha_floor = 0.005;
+  double epsilon_floor = 0.05;
+  /// Double Q-learning (van Hasselt): keep two weight tables, select the
+  /// bootstrap action with one and evaluate it with the other, updating a
+  /// random one of the two per decision. Removes the max-operator's
+  /// overestimation bias — an extension in the spirit of the paper's
+  /// future-work note on improving convergence. Off by default (the paper
+  /// uses plain Q-learning); measured in bench/abl_double_q.
+  bool double_q = false;
+  /// Start REUSE/SYN replay days from a uniformly random battery level
+  /// instead of the real day's start level ("exploring starts"). The DP
+  /// alternative sweeps every (k, B) state; trajectory replays only cover
+  /// the narrow battery tube the current policy visits, so randomizing the
+  /// start widens state coverage at zero extra cost.
+  bool replay_random_start = true;
+
+  // --- heuristic: reuse of data (Section V-B) ---------------------------
+  bool enable_reuse = true;
+  std::size_t reuse_days = 20;     ///< d_R: replay each of the first d_R days
+  std::size_t reuse_repeats = 100; ///< t_R: replays per day
+
+  // --- heuristic: synthetic data (Section V-A) --------------------------
+  bool enable_synthetic = true;
+  std::size_t synthetic_period = 10;    ///< d_G: generate every d_G days
+  std::size_t synthetic_last_day = 50;  ///< d_MG: stop generating after this
+  std::size_t synthetic_repeats = 500;  ///< t_G: synthetic days per burst
+  std::size_t stats_bins = 24;          ///< histogram bins per interval
+  std::size_t stats_reservoir = 48;     ///< exact samples kept per interval
+
+  std::uint64_t seed = 1;  ///< RNG seed for exploration and synthesis
+
+  /// k_M: decision intervals per day.
+  std::size_t decisions_per_day() const {
+    return intervals_per_day / decision_interval;
+  }
+
+  /// Pulse magnitude of action a in [0, a_M): a * x_M / (a_M - 1)
+  /// (paper Eq. 5 with a shifted to 0-based).
+  double action_magnitude(std::size_t a) const;
+
+  /// Battery level above which only action 0 is feasible (no overflow):
+  /// b_M - x_M * n_D.
+  double high_guard() const;
+
+  /// Battery level below which only the maximum action is feasible
+  /// (no shortage): x_M * n_D.
+  double low_guard() const;
+
+  /// Throws ConfigError when any parameter is out of range, when n_M is not
+  /// a multiple of n_D, or when the battery is too small for the guard bands
+  /// (b_M < 2 * x_M * n_D leaves no always-feasible region).
+  void validate() const;
+};
+
+}  // namespace rlblh

@@ -1,0 +1,19 @@
+#include "core/features.h"
+
+#include <algorithm>
+
+namespace rlblh {
+
+std::array<double, FeatureBasis::kDim> FeatureBasis::at(
+    std::size_t k, double battery_level) const {
+  RLBLH_REQUIRE(k <= k_max_, "FeatureBasis: decision index out of range");
+  const double kk = static_cast<double>(k) / static_cast<double>(k_max_);
+  const double bb = std::clamp(battery_level / capacity_, 0.0, 1.0);
+  const double p1k = 2.0 * kk - 1.0;
+  const double p1b = 2.0 * bb - 1.0;
+  const double p2k = 6.0 * kk * kk - 6.0 * kk + 1.0;
+  const double p2b = 6.0 * bb * bb - 6.0 * bb + 1.0;
+  return {1.0, p1k, p1b, p1k * p1b, p2k, p2b};
+}
+
+}  // namespace rlblh

@@ -1,0 +1,57 @@
+// The battery-control policy interface shared by RL-BLH and the baselines.
+//
+// A policy decides the grid draw y_n for every measurement interval. The key
+// contract, inherited from the paper's system model (Section II), is that
+// y_n is chosen *before* the interval's usage x_n is known — the battery is
+// the buffer that absorbs the difference. The simulator drives a policy as:
+//
+//     policy.begin_day(prices);
+//     for n in [0, n_M):
+//         y = policy.reading(n, battery.level());
+//         battery.step(y, x_n);
+//         policy.observe_usage(n, x_n);
+//     policy.end_day();
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "pricing/tou.h"
+
+namespace rlblh {
+
+/// Abstract battery-control policy (one instance controls one household).
+class BlhPolicy {
+ public:
+  virtual ~BlhPolicy() = default;
+
+  BlhPolicy(const BlhPolicy&) = delete;
+  BlhPolicy& operator=(const BlhPolicy&) = delete;
+
+  /// Starts a new day under the given price schedule. The schedule's length
+  /// defines n_M for the day.
+  virtual void begin_day(const TouSchedule& prices) = 0;
+
+  /// Returns the grid draw y_n (kWh) for interval n, given the battery level
+  /// at the start of the interval. Must be callable with n strictly
+  /// increasing from 0 to n_M - 1 within a day.
+  virtual double reading(std::size_t n, double battery_level) = 0;
+
+  /// Reports the realized usage x_n after interval n completed.
+  virtual void observe_usage(std::size_t n, double usage) = 0;
+
+  /// Ends the day (learning policies run their outer-loop work here).
+  virtual void end_day() {}
+
+  /// Short stable identifier, e.g. "rl-blh" or "low-pass".
+  virtual std::string_view name() const = 0;
+
+  /// True for the no-battery reference: the simulator then reports y_n = x_n
+  /// exactly (the meter measures usage directly) and skips the battery.
+  virtual bool passthrough() const { return false; }
+
+ protected:
+  BlhPolicy() = default;
+};
+
+}  // namespace rlblh

@@ -1,0 +1,281 @@
+#include "core/rlblh_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl/decay.h"
+#include "rl/egreedy.h"
+#include "util/error.h"
+
+namespace rlblh {
+
+namespace {
+RlBlhConfig validated(RlBlhConfig config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
+RlBlhPolicy::RlBlhPolicy(RlBlhConfig config)
+    : config_(validated(config)),
+      basis_(config_.decisions_per_day(), config_.battery_capacity),
+      q_(config_.num_actions, FeatureBasis::kDim),
+      q2_(config_.num_actions, FeatureBasis::kDim),
+      stats_(config_.intervals_per_day, config_.usage_cap, config_.stats_bins,
+             config_.stats_reservoir),
+      rng_(config_.seed) {}
+
+double RlBlhPolicy::current_alpha() const {
+  if (!config_.decay_hyperparams) return config_.alpha;
+  const std::size_t d = config_.decay_by_episodes ? episodes_ : day_;
+  return std::max(config_.alpha_floor,
+                  InverseSqrtDecay(config_.alpha).at(d + 1));
+}
+
+double RlBlhPolicy::current_epsilon() const {
+  if (!config_.decay_hyperparams) return config_.epsilon;
+  const std::size_t d = config_.decay_by_episodes ? episodes_ : day_;
+  return std::max(config_.epsilon_floor,
+                  InverseSqrtDecay(config_.epsilon).at(d + 1));
+}
+
+std::vector<std::size_t> RlBlhPolicy::allowed_actions(
+    double battery_level) const {
+  // Section III-B feasibility: above the high guard only a zero pulse is
+  // safe (the battery could otherwise overflow if usage stays at zero);
+  // below the low guard only the full pulse is safe (usage could stay at
+  // x_M and drain the battery).
+  if (battery_level > config_.high_guard()) {
+    return {0};
+  }
+  if (battery_level < config_.low_guard()) {
+    return {config_.num_actions - 1};
+  }
+  std::vector<std::size_t> all(config_.num_actions);
+  for (std::size_t a = 0; a < all.size(); ++a) all[a] = a;
+  return all;
+}
+
+std::size_t RlBlhPolicy::acting_argmax(
+    std::span<const double> features,
+    const std::vector<std::size_t>& allowed) const {
+  if (!config_.double_q) return q_.argmax(features, allowed);
+  // Act on the mean of the two tables (standard double-Q practice).
+  RLBLH_ASSERT(!allowed.empty());
+  std::size_t best = allowed.front();
+  double best_value = q_.value(features, best) + q2_.value(features, best);
+  for (std::size_t i = 1; i < allowed.size(); ++i) {
+    const double v = q_.value(features, allowed[i]) +
+                     q2_.value(features, allowed[i]);
+    if (v > best_value) {
+      best_value = v;
+      best = allowed[i];
+    }
+  }
+  return best;
+}
+
+double RlBlhPolicy::bootstrap_value(std::span<const double> features,
+                                    const std::vector<std::size_t>& allowed,
+                                    bool use_first) const {
+  if (!config_.double_q) return q_.max_value(features, allowed);
+  // Select the successor action with the table being updated, evaluate it
+  // with the other one: decorrelates selection and evaluation noise.
+  const PerActionLinearQ& selector = use_first ? q_ : q2_;
+  const PerActionLinearQ& evaluator = use_first ? q2_ : q_;
+  return evaluator.value(features, selector.argmax(features, allowed));
+}
+
+std::size_t RlBlhPolicy::choose_action(std::size_t k, double battery_level,
+                                       double epsilon_now) {
+  const auto allowed = allowed_actions(battery_level);
+  const auto features = basis_.at(k, battery_level);
+  const std::size_t greedy = acting_argmax(features, allowed);
+  const std::size_t chosen =
+      epsilon_greedy(allowed, greedy, epsilon_now, rng_);
+  pending_explored_ = chosen != greedy;
+  return chosen;
+}
+
+void RlBlhPolicy::finalize_pending(std::size_t next_k, double next_level,
+                                   bool terminal, double alpha_now) {
+  RLBLH_ASSERT(pending_active_);
+  const bool use_first = config_.double_q ? rng_.bernoulli(0.5) : true;
+  PerActionLinearQ& learner = use_first ? q_ : q2_;
+  double target = pending_savings_;
+  if (!terminal) {
+    const auto next_features = basis_.at(next_k, next_level);
+    target += bootstrap_value(next_features, allowed_actions(next_level),
+                              use_first);
+  }
+  const double delta_q =
+      target - learner.value(pending_features_, pending_action_);
+  if (learning_) {
+    learner.sgd_update(pending_action_, pending_features_, delta_q,
+                       alpha_now);
+  }
+  abs_error_sum_ += std::abs(delta_q);
+  signed_error_sum_ += delta_q;
+  savings_sum_ += pending_savings_;
+  ++decisions_done_;
+  if (pending_explored_) ++explored_count_;
+  pending_active_ = false;
+}
+
+void RlBlhPolicy::begin_day(const TouSchedule& prices) {
+  RLBLH_REQUIRE(prices.intervals() == config_.intervals_per_day,
+                "RlBlhPolicy: price schedule length must equal n_M");
+  RLBLH_REQUIRE(!day_open_, "RlBlhPolicy: previous day not ended");
+  prices_ = prices;
+  day_open_ = true;
+  next_reading_n_ = 0;
+  next_observe_n_ = 0;
+  today_usage_.clear();
+  today_usage_.reserve(config_.intervals_per_day);
+  pending_active_ = false;
+  abs_error_sum_ = 0.0;
+  signed_error_sum_ = 0.0;
+  savings_sum_ = 0.0;
+  decisions_done_ = 0;
+  explored_count_ = 0;
+}
+
+double RlBlhPolicy::reading(std::size_t n, double battery_level) {
+  RLBLH_REQUIRE(day_open_, "RlBlhPolicy: reading() before begin_day()");
+  RLBLH_REQUIRE(n == next_reading_n_,
+                "RlBlhPolicy: readings must be requested in interval order");
+  RLBLH_REQUIRE(n == next_observe_n_,
+                "RlBlhPolicy: interval n-1 usage not yet observed");
+  RLBLH_REQUIRE(n < config_.intervals_per_day,
+                "RlBlhPolicy: interval index out of range");
+
+  if (n % config_.decision_interval == 0) {
+    const std::size_t k = n / config_.decision_interval;
+    if (n == 0) initial_level_today_ = battery_level;
+    const double alpha_now = current_alpha();
+    if (pending_active_) {
+      finalize_pending(k, battery_level, /*terminal=*/false, alpha_now);
+    }
+    const double epsilon_now = exploration_ ? current_epsilon() : 0.0;
+    const std::size_t action = choose_action(k, battery_level, epsilon_now);
+    pending_active_ = true;
+    pending_k_ = k;
+    pending_action_ = action;
+    pending_savings_ = 0.0;
+    pending_features_ = basis_.at(k, battery_level);
+  }
+  next_reading_n_ = n + 1;
+  return config_.action_magnitude(pending_action_);
+}
+
+void RlBlhPolicy::observe_usage(std::size_t n, double usage) {
+  RLBLH_REQUIRE(day_open_, "RlBlhPolicy: observe_usage() before begin_day()");
+  RLBLH_REQUIRE(n == next_observe_n_ && n + 1 == next_reading_n_,
+                "RlBlhPolicy: usage must be observed right after reading()");
+  RLBLH_REQUIRE(usage >= 0.0, "RlBlhPolicy: usage must be >= 0");
+  today_usage_.push_back(usage);
+  // S_k(a) accumulation (paper Eq. 7).
+  pending_savings_ +=
+      prices_->rate(n) *
+      (usage - config_.action_magnitude(pending_action_));
+  next_observe_n_ = n + 1;
+}
+
+void RlBlhPolicy::end_day() {
+  RLBLH_REQUIRE(day_open_, "RlBlhPolicy: end_day() before begin_day()");
+  RLBLH_REQUIRE(next_observe_n_ == config_.intervals_per_day,
+                "RlBlhPolicy: day ended before all intervals were observed");
+  finalize_pending(0, 0.0, /*terminal=*/true, current_alpha());
+
+  RlBlhDayStats stats;
+  stats.mean_abs_td_error =
+      decisions_done_ == 0
+          ? 0.0
+          : abs_error_sum_ / static_cast<double>(decisions_done_);
+  stats.signed_td_error = signed_error_sum_;
+  stats.realized_savings = savings_sum_;
+  stats.exploring_decisions = explored_count_;
+  day_stats_.push_back(stats);
+
+  // Per-interval statistics feed the SYN heuristic.
+  stats_.observe_day(DayTrace(today_usage_), rng_);
+
+  ++day_;
+  if (learning_) ++episodes_;
+  day_open_ = false;
+
+  if (!learning_) return;
+  const std::size_t d = day_;  // 1-based day index, as in Algorithm 1
+  const auto replay_start = [this] {
+    return config_.replay_random_start
+               ? rng_.uniform(0.0, config_.battery_capacity)
+               : initial_level_today_;
+  };
+  if (config_.enable_reuse && d <= config_.reuse_days) {
+    for (std::size_t v = 0; v < config_.reuse_repeats; ++v) {
+      train_virtual_day(today_usage_, replay_start());
+    }
+  }
+  if (config_.enable_synthetic && d % config_.synthetic_period == 0 &&
+      d <= config_.synthetic_last_day) {
+    for (std::size_t v = 0; v < config_.synthetic_repeats; ++v) {
+      const DayTrace synthetic = stats_.sample_day(rng_);
+      train_virtual_day(synthetic.values(), replay_start());
+    }
+  }
+}
+
+double RlBlhPolicy::train_virtual_day(const std::vector<double>& usage,
+                                      double initial_level) {
+  RLBLH_REQUIRE(prices_.has_value(),
+                "RlBlhPolicy: no price schedule yet (run a real day first)");
+  RLBLH_REQUIRE(usage.size() == config_.intervals_per_day,
+                "RlBlhPolicy: virtual day must have n_M usage values");
+  const double alpha_now = current_alpha();
+  const double epsilon_now = exploration_ ? current_epsilon() : 0.0;
+  const std::size_t k_max = config_.decisions_per_day();
+  const std::size_t n_d = config_.decision_interval;
+
+  double level =
+      std::clamp(initial_level, 0.0, config_.battery_capacity);
+  double abs_error = 0.0;
+
+  for (std::size_t k = 0; k < k_max; ++k) {
+    const auto features = basis_.at(k, level);
+    const auto allowed = allowed_actions(level);
+    const std::size_t greedy = acting_argmax(features, allowed);
+    const std::size_t action =
+        epsilon_greedy(allowed, greedy, epsilon_now, rng_);
+    const double magnitude = config_.action_magnitude(action);
+
+    double savings = 0.0;
+    for (std::size_t i = 0; i < n_d; ++i) {
+      const std::size_t n = k * n_d + i;
+      const double x = std::clamp(usage[n], 0.0, config_.usage_cap);
+      savings += prices_->rate(n) * (x - magnitude);
+      level += magnitude - x;
+    }
+    // The feasibility rule keeps a lossless battery within bounds; clamp
+    // defensively so replayed data with out-of-band values cannot corrupt
+    // the state normalization.
+    level = std::clamp(level, 0.0, config_.battery_capacity);
+
+    const bool use_first = config_.double_q ? rng_.bernoulli(0.5) : true;
+    PerActionLinearQ& learner = use_first ? q_ : q2_;
+    double target = savings;
+    if (k + 1 < k_max) {
+      const auto next_features = basis_.at(k + 1, level);
+      target += bootstrap_value(next_features, allowed_actions(level),
+                                use_first);
+    }
+    const double delta_q = target - learner.value(features, action);
+    if (learning_) {
+      learner.sgd_update(action, features, delta_q, alpha_now);
+    }
+    abs_error += std::abs(delta_q);
+  }
+  if (learning_) ++episodes_;
+  return abs_error / static_cast<double>(k_max);
+}
+
+}  // namespace rlblh

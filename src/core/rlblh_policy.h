@@ -1,0 +1,173 @@
+// RL-BLH battery controller (paper Algorithm 1).
+//
+// The policy shapes meter readings into rectangular pulses of width n_D
+// intervals. At the start of each decision interval k it observes the
+// battery level B_k, restricts the feasible pulse magnitudes so the battery
+// can neither overflow nor run dry (Section III-B), picks a magnitude by
+// epsilon-greedy over the learned Q function, and after the interval
+// completes performs the Q-learning update of Eq. (17)-(18) on the linear
+// approximator of Eq. (13). At the end of each day the OUTER LOOP heuristics
+// run: replaying the day's own data (REUSE, Section V-B) and replaying
+// synthetic days sampled from the per-interval usage statistics (SYN,
+// Section V-A).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/config.h"
+#include "core/features.h"
+#include "core/policy.h"
+#include "core/qfunction.h"
+#include "meter/usage_stats.h"
+#include "util/rng.h"
+
+namespace rlblh {
+
+/// Per-day learning diagnostics.
+struct RlBlhDayStats {
+  double mean_abs_td_error = 0.0;  ///< mean |Delta Q| over the day's decisions
+  double signed_td_error = 0.0;    ///< sum of Delta Q (paper Eq. 23)
+  double realized_savings = 0.0;   ///< sum_k S_k(a) in cents
+  std::size_t exploring_decisions = 0;  ///< decisions taken by exploration
+};
+
+/// The RL-BLH controller.
+class RlBlhPolicy final : public BlhPolicy {
+ public:
+  /// Validates and adopts the configuration.
+  explicit RlBlhPolicy(RlBlhConfig config);
+
+  // --- BlhPolicy -------------------------------------------------------
+  void begin_day(const TouSchedule& prices) override;
+  double reading(std::size_t n, double battery_level) override;
+  void observe_usage(std::size_t n, double usage) override;
+  void end_day() override;
+  std::string_view name() const override { return "rl-blh"; }
+
+  // --- control ----------------------------------------------------------
+  /// Enables/disables weight updates (on by default). With learning off the
+  /// policy acts greedily on its current weights and skips the heuristics.
+  void set_learning_enabled(bool enabled) { learning_ = enabled; }
+
+  /// Enables/disables epsilon exploration (on by default). Disable for
+  /// deterministic evaluation of a learned policy.
+  void set_exploration_enabled(bool enabled) { exploration_ = enabled; }
+
+  // --- introspection ----------------------------------------------------
+  /// Configuration in effect.
+  const RlBlhConfig& config() const { return config_; }
+
+  /// Number of completed real days.
+  std::size_t days_completed() const { return day_; }
+
+  /// Number of completed training episodes (real days plus REUSE/SYN
+  /// replays); drives the hyper-parameter decay when
+  /// config().decay_by_episodes is set.
+  std::size_t episodes_completed() const { return episodes_; }
+
+  /// Learning rate that will apply to the current/next day.
+  double current_alpha() const;
+
+  /// Exploration rate that will apply to the current/next day.
+  double current_epsilon() const;
+
+  /// Per-real-day diagnostics, one entry per completed day.
+  const std::vector<RlBlhDayStats>& day_stats() const { return day_stats_; }
+
+  /// The learned action-value function (the first table under double-Q).
+  const PerActionLinearQ& q() const { return q_; }
+
+  /// Mutable access (for warm-starting or ablation solvers).
+  PerActionLinearQ& q() { return q_; }
+
+  /// The second table; only trained when config().double_q is set.
+  const PerActionLinearQ& q2() const { return q2_; }
+
+  /// Mutable access to the second table.
+  PerActionLinearQ& q2() { return q2_; }
+
+  /// Per-interval usage statistics gathered so far (drives SYN mode).
+  const UsageStatsTracker& usage_stats() const { return stats_; }
+
+  /// Feasible actions at the given battery level (Section III-B): only
+  /// action 0 above the high guard, only the maximum action below the low
+  /// guard, every action in between.
+  std::vector<std::size_t> allowed_actions(double battery_level) const;
+
+  /// Pulse magnitude (kWh per interval) of action a.
+  double action_magnitude(std::size_t a) const {
+    return config_.action_magnitude(a);
+  }
+
+  /// Runs one offline training day on the given usage series (length n_M)
+  /// against the current day's price schedule, starting from
+  /// `initial_level`. This is the INNER LOOP in REUSE/SYN mode; exposed for
+  /// tests and ablations. Returns the day's mean |Delta Q|.
+  double train_virtual_day(const std::vector<double>& usage,
+                           double initial_level);
+
+ private:
+  /// Feasibility + epsilon-greedy choice at decision index k.
+  std::size_t choose_action(std::size_t k, double battery_level,
+                            double epsilon_now);
+
+  /// Q-learning update for the pending decision, given the successor state
+  /// (ignored when terminal). Accumulates the day's error statistics.
+  void finalize_pending(std::size_t next_k, double next_level, bool terminal,
+                        double alpha_now);
+
+  /// Greedy action over the acting value function (the mean of the two
+  /// tables under double-Q, plain Q otherwise).
+  std::size_t acting_argmax(std::span<const double> features,
+                            const std::vector<std::size_t>& allowed) const;
+
+  /// Bootstrap target contribution max_a' Q(next) under the configured
+  /// learning rule; `use_first` selects the table updated this step.
+  double bootstrap_value(std::span<const double> features,
+                         const std::vector<std::size_t>& allowed,
+                         bool use_first) const;
+
+  RlBlhConfig config_;
+  FeatureBasis basis_;
+  PerActionLinearQ q_;
+  PerActionLinearQ q2_;
+  UsageStatsTracker stats_;
+  Rng rng_;
+
+  bool learning_ = true;
+  bool exploration_ = true;
+
+  // Day-scoped state.
+  std::optional<TouSchedule> prices_;
+  bool day_open_ = false;
+  std::size_t next_reading_n_ = 0;
+  std::size_t next_observe_n_ = 0;
+  std::vector<double> today_usage_;
+  double initial_level_today_ = 0.0;
+
+  // Pending decision (the pulse currently being emitted).
+  bool pending_active_ = false;
+  std::size_t pending_k_ = 0;
+  std::size_t pending_action_ = 0;
+  double pending_savings_ = 0.0;
+  std::array<double, FeatureBasis::kDim> pending_features_{};
+  bool pending_explored_ = false;
+
+  // Day error accumulation.
+  double abs_error_sum_ = 0.0;
+  double signed_error_sum_ = 0.0;
+  double savings_sum_ = 0.0;
+  std::size_t decisions_done_ = 0;
+  std::size_t explored_count_ = 0;
+
+  std::size_t day_ = 0;       ///< completed real days
+  std::size_t episodes_ = 0;  ///< completed inner-loop runs (real + virtual)
+  std::vector<RlBlhDayStats> day_stats_;
+};
+
+}  // namespace rlblh

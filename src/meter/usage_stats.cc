@@ -1,0 +1,48 @@
+#include "meter/usage_stats.h"
+
+#include "util/error.h"
+
+namespace rlblh {
+
+UsageStatsTracker::UsageStatsTracker(std::size_t intervals, double usage_cap,
+                                     std::size_t bins, std::size_t reservoir)
+    : cap_(usage_cap) {
+  RLBLH_REQUIRE(intervals >= 1, "UsageStatsTracker: need >= 1 interval");
+  RLBLH_REQUIRE(usage_cap > 0.0, "UsageStatsTracker: usage cap must be > 0");
+  dists_.reserve(intervals);
+  for (std::size_t n = 0; n < intervals; ++n) {
+    dists_.emplace_back(0.0, usage_cap, bins, reservoir);
+  }
+}
+
+void UsageStatsTracker::observe_day(const DayTrace& day, Rng& rng) {
+  RLBLH_REQUIRE(day.intervals() == dists_.size(),
+                "UsageStatsTracker: day length mismatch");
+  for (std::size_t n = 0; n < dists_.size(); ++n) {
+    dists_[n].add(day.at(n), rng);
+  }
+  ++days_;
+}
+
+DayTrace UsageStatsTracker::sample_day(Rng& rng) const {
+  RLBLH_REQUIRE(days_ >= 1,
+                "UsageStatsTracker: cannot sample before observing a day");
+  DayTrace day(dists_.size());
+  for (std::size_t n = 0; n < dists_.size(); ++n) {
+    day.set(n, dists_[n].sample(rng));
+  }
+  return day;
+}
+
+double UsageStatsTracker::mean_at(std::size_t n) const {
+  RLBLH_REQUIRE(n < dists_.size(), "UsageStatsTracker: interval out of range");
+  return dists_[n].mean();
+}
+
+const EmpiricalDistribution& UsageStatsTracker::distribution(
+    std::size_t n) const {
+  RLBLH_REQUIRE(n < dists_.size(), "UsageStatsTracker: interval out of range");
+  return dists_[n];
+}
+
+}  // namespace rlblh

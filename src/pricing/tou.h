@@ -1,0 +1,93 @@
+// Time-of-use (TOU) electricity pricing (paper Section II-A).
+//
+// A TouSchedule assigns a price rate r_n (cents per kWh) to every measurement
+// interval n = 0..n_M-1 of a day. Builders cover the pricing policies the
+// paper discusses:
+//   * the SRP residential two-zone plan used in the evaluation
+//     (7.04 c/kWh for n <= 1020, 21.09 c/kWh for n > 1020, 1-based),
+//   * general multi-zone plans (off-peak / semi-peak / peak),
+//   * hourly real-time pricing (RTP) with randomized rates, exercising the
+//     claim that RL-BLH handles a rate that changes at every interval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlblh {
+
+/// One contiguous pricing zone: intervals [begin, end) at a flat rate.
+struct PriceZone {
+  std::size_t begin = 0;   ///< first measurement interval (0-based, inclusive)
+  std::size_t end = 0;     ///< one past the last interval (exclusive)
+  double rate = 0.0;       ///< cents per kWh
+};
+
+/// Per-interval price schedule for one day.
+class TouSchedule {
+ public:
+  /// Builds a schedule from explicit per-interval rates (all >= 0, nonempty).
+  explicit TouSchedule(std::vector<double> rates);
+
+  /// Builds a schedule of `intervals` slots from contiguous zones. Zones must
+  /// tile [0, intervals) exactly, in order, with non-negative rates.
+  static TouSchedule from_zones(std::size_t intervals,
+                                const std::vector<PriceZone>& zones);
+
+  /// The paper's SRP residential plan over `intervals` one-minute slots:
+  /// 7.04 c/kWh for the first 1020 intervals, 21.09 c/kWh afterwards.
+  /// Requires intervals >= 1021 so that both zones are nonempty.
+  static TouSchedule srp_plan(std::size_t intervals = 1440);
+
+  /// A flat single-rate schedule (useful as a degenerate control).
+  static TouSchedule flat(std::size_t intervals, double rate);
+
+  /// Two-zone plan: `low_rate` for the first `low_until` intervals,
+  /// `high_rate` for the rest.
+  static TouSchedule two_zone(std::size_t intervals, std::size_t low_until,
+                              double low_rate, double high_rate);
+
+  /// Three-zone plan: off-peak [0, t1), semi-peak [t1, t2), peak [t2, end).
+  static TouSchedule three_zone(std::size_t intervals, std::size_t t1,
+                                std::size_t t2, double off_rate,
+                                double semi_rate, double peak_rate);
+
+  /// Hourly real-time pricing: each block of `block` intervals gets an
+  /// independent rate drawn uniformly from [min_rate, max_rate], modulated by
+  /// a diurnal factor that makes evening hours pricier (as RTP reflects
+  /// generation cost). Deterministic given the RNG state.
+  static TouSchedule hourly_rtp(std::size_t intervals, std::size_t block,
+                                double min_rate, double max_rate, Rng& rng);
+
+  /// Price rate for interval n (0-based). Requires n < intervals().
+  double rate(std::size_t n) const;
+
+  /// Number of measurement intervals in the day.
+  std::size_t intervals() const { return rates_.size(); }
+
+  /// Smallest rate of the day.
+  double min_rate() const;
+
+  /// Largest rate of the day.
+  double max_rate() const;
+
+  /// Mean rate of the day.
+  double mean_rate() const;
+
+  /// Cost in cents of a per-interval energy series (size must match).
+  double cost(const std::vector<double>& energy_kwh) const;
+
+  /// Read-only access to all rates.
+  const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  std::vector<double> rates_;
+};
+
+/// The paper's theoretical savings ceiling for a two-zone plan:
+/// (r_H - r_L) * b_M cents per day (Section II-A).
+double two_zone_max_daily_savings(double low_rate, double high_rate,
+                                  double battery_capacity_kwh);
+
+}  // namespace rlblh

@@ -1,0 +1,48 @@
+#include "privacy/metrics.h"
+
+#include "util/error.h"
+
+namespace rlblh {
+
+double daily_savings_cents(const DayTrace& usage, const DayTrace& readings,
+                           const TouSchedule& prices) {
+  RLBLH_REQUIRE(usage.intervals() == readings.intervals() &&
+                    usage.intervals() == prices.intervals(),
+                "daily_savings_cents: series lengths must match");
+  double s = 0.0;
+  for (std::size_t n = 0; n < usage.intervals(); ++n) {
+    s += prices.rate(n) * (usage.at(n) - readings.at(n));
+  }
+  return s;
+}
+
+double daily_bill_cents(const DayTrace& readings, const TouSchedule& prices) {
+  return prices.cost(readings.values());
+}
+
+double daily_usage_cost_cents(const DayTrace& usage,
+                              const TouSchedule& prices) {
+  return prices.cost(usage.values());
+}
+
+void SavingRatioAccumulator::observe_day(const DayTrace& usage,
+                                         const DayTrace& readings,
+                                         const TouSchedule& prices) {
+  const double cost = daily_usage_cost_cents(usage, prices);
+  if (cost <= 0.0) return;
+  const double savings = daily_savings_cents(usage, readings, prices);
+  ratio_stats_.add(savings / cost);
+  savings_stats_.add(savings);
+}
+
+double SavingRatioAccumulator::saving_ratio() const {
+  if (ratio_stats_.count() == 0) return 0.0;
+  return ratio_stats_.mean();
+}
+
+double SavingRatioAccumulator::mean_daily_savings_cents() const {
+  if (savings_stats_.count() == 0) return 0.0;
+  return savings_stats_.mean();
+}
+
+}  // namespace rlblh

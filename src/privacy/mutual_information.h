@@ -1,0 +1,75 @@
+// Normalized mutual information over length-two windows (paper Eq. 20).
+//
+// Load signatures are detected from high-frequency variation, "especially by
+// watching two successive values". The paper therefore measures how much
+// observing Y_n = (y_n, y_{n+1}) reveals about X_n = (x_n, x_{n+1}):
+//
+//     MI = (1/(n_M - 1)) * sum_n [ H(X_n) - H(X_n | Y_n) ] / H(X_n)
+//
+// Continuous values are quantized to a fixed number of levels for the
+// entropy estimates (prior BLH work does the same; the controller itself
+// never quantizes). Intervals where H(X_n) = 0 — the usage pair is
+// deterministic, so there is nothing to leak — contribute 0 and are
+// documented as such.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "meter/trace.h"
+#include "util/quantizer.h"
+
+namespace rlblh {
+
+/// Streaming estimator of the paper's normalized MI metric. Observes paired
+/// (usage, reading) days, accumulating per-interval joint histograms of the
+/// quantized pairs; normalized_mi() then evaluates Eq. 20.
+class PairwiseMiEstimator {
+ public:
+  /// `intervals` slots per day (>= 2); `levels` quantization levels (>= 2)
+  /// applied to both streams; values live in [0, x_cap] / [0, y_cap].
+  PairwiseMiEstimator(std::size_t intervals, std::size_t levels, double x_cap,
+                      double y_cap);
+
+  /// Folds in one evaluation day of usage x and meter readings y.
+  void observe_day(const DayTrace& usage, const DayTrace& readings);
+
+  /// Number of days observed.
+  std::size_t days() const { return days_; }
+
+  /// Normalized MI averaged over intervals (Eq. 20), in [0, 1].
+  double normalized_mi() const;
+
+  /// Normalized MI of one interval index n in [0, intervals-2]; 0 when
+  /// H(X_n) = 0.
+  double normalized_mi_at(std::size_t n) const;
+
+  /// Entropy H(X_n) in bits at interval n (diagnostic, plug-in estimate).
+  double usage_entropy_at(std::size_t n) const;
+
+  /// Enables/disables the Miller-Madow bias correction (on by default).
+  /// With finitely many evaluation days the plug-in conditional entropy is
+  /// biased low, which overstates leakage; the correction removes the
+  /// leading (K-1)/(2N ln 2) term of each entropy estimate.
+  void set_bias_correction(bool enabled) { bias_correction_ = enabled; }
+
+ private:
+  /// Flat index of a quantized pair (i, j), each in [0, levels).
+  std::size_t pair_index(std::size_t i, std::size_t j) const {
+    return i * levels_ + j;
+  }
+
+  std::size_t intervals_;
+  std::size_t levels_;
+  Quantizer qx_;
+  Quantizer qy_;
+  std::size_t days_ = 0;
+  bool bias_correction_ = true;
+  // Per interval n: counts over X-pair (levels^2 cells) and over the joint
+  // (X-pair, Y-pair) ((levels^2)^2 cells).
+  std::vector<std::vector<std::uint32_t>> x_counts_;
+  std::vector<std::vector<std::uint32_t>> joint_counts_;
+};
+
+}  // namespace rlblh

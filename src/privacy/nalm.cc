@@ -1,0 +1,85 @@
+#include "privacy/nalm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+namespace {
+
+struct Edge {
+  std::size_t at = 0;   ///< interval index of the step (between at-1 and at)
+  double height = 0.0;  ///< signed step size
+};
+
+bool powers_agree(double a, double b, double tolerance) {
+  const double larger = std::max(std::abs(a), std::abs(b));
+  if (larger <= 0.0) return true;
+  return std::abs(a - b) / larger <= tolerance;
+}
+
+}  // namespace
+
+std::vector<DetectedEvent> nalm_detect(const DayTrace& readings,
+                                       const NalmConfig& config) {
+  RLBLH_REQUIRE(config.edge_threshold > 0.0,
+                "nalm_detect: edge threshold must be > 0");
+  RLBLH_REQUIRE(config.power_tolerance >= 0.0,
+                "nalm_detect: power tolerance must be >= 0");
+  std::vector<Edge> edges;
+  for (std::size_t n = 1; n < readings.intervals(); ++n) {
+    const double step = readings.at(n) - readings.at(n - 1);
+    if (std::abs(step) >= config.edge_threshold) {
+      edges.push_back({n, step});
+    }
+  }
+  // Pair each rising edge with the nearest subsequent falling edge of
+  // similar magnitude; consumed falling edges cannot be reused.
+  std::vector<bool> used(edges.size(), false);
+  std::vector<DetectedEvent> events;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].height <= 0.0) continue;
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      if (used[j] || edges[j].height >= 0.0) continue;
+      const std::size_t gap = edges[j].at - edges[i].at;
+      if (gap > config.max_duration) break;
+      if (powers_agree(edges[i].height, -edges[j].height,
+                       config.power_tolerance)) {
+        events.push_back({edges[i].at, gap,
+                          0.5 * (edges[i].height - edges[j].height)});
+        used[j] = true;
+        break;
+      }
+    }
+  }
+  return events;
+}
+
+NalmScore nalm_score(const std::vector<DetectedEvent>& detected,
+                     const std::vector<ApplianceEvent>& truth,
+                     const NalmConfig& config) {
+  NalmScore score;
+  score.detected_events = detected.size();
+  std::vector<bool> used(detected.size(), false);
+  for (const auto& t : truth) {
+    if (t.power < config.edge_threshold) continue;  // invisible to any detector
+    ++score.true_events;
+    for (std::size_t i = 0; i < detected.size(); ++i) {
+      if (used[i]) continue;
+      const auto& d = detected[i];
+      const std::size_t t_end = t.start + t.duration;
+      const std::size_t d_end = d.start + d.duration;
+      const bool overlap = d.start < t_end && t.start < d_end;
+      if (overlap && powers_agree(d.power, t.power, config.power_tolerance)) {
+        used[i] = true;
+        ++score.matched;
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace rlblh

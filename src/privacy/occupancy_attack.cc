@@ -1,0 +1,93 @@
+#include "privacy/occupancy_attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+void OccupancyAttackConfig::validate() const {
+  RLBLH_REQUIRE(window >= 1, "OccupancyAttackConfig: window must be >= 1");
+  RLBLH_REQUIRE(quiet_quantile >= 0.0 && quiet_quantile < busy_quantile &&
+                    busy_quantile <= 1.0,
+                "OccupancyAttackConfig: need 0 <= quiet < busy <= 1");
+}
+
+std::vector<bool> infer_activity(const DayTrace& readings,
+                                 const OccupancyAttackConfig& config) {
+  config.validate();
+  const std::size_t n_m = readings.intervals();
+
+  // Centered rolling mean (the adversary's low-pass filter).
+  std::vector<double> smoothed(n_m, 0.0);
+  const std::size_t half = config.window / 2;
+  double acc = 0.0;
+  std::size_t left = 0, right = 0;  // window is [left, right)
+  for (std::size_t n = 0; n < n_m; ++n) {
+    const std::size_t want_left = n > half ? n - half : 0;
+    const std::size_t want_right = std::min(n + half + 1, n_m);
+    while (right < want_right) acc += readings.at(right++);
+    while (left < want_left) acc -= readings.at(left++);
+    smoothed[n] = acc / static_cast<double>(right - left);
+  }
+
+  // Threshold midway between the stream's own quiet and busy levels.
+  std::vector<double> sorted = smoothed;
+  std::sort(sorted.begin(), sorted.end());
+  const auto at_quantile = [&](double q) {
+    const auto i = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[i];
+  };
+  const double threshold =
+      0.5 * (at_quantile(config.quiet_quantile) +
+             at_quantile(config.busy_quantile));
+
+  std::vector<bool> active(n_m, false);
+  for (std::size_t n = 0; n < n_m; ++n) {
+    active[n] = smoothed[n] > threshold;
+  }
+  return active;
+}
+
+double OccupancyScore::balanced_accuracy() const {
+  double classes = 0.0;
+  double sum = 0.0;
+  if (active_intervals > 0) {
+    sum += static_cast<double>(active_hits) /
+           static_cast<double>(active_intervals);
+    classes += 1.0;
+  }
+  if (inactive_intervals > 0) {
+    sum += static_cast<double>(inactive_hits) /
+           static_cast<double>(inactive_intervals);
+    classes += 1.0;
+  }
+  return classes == 0.0 ? 0.0 : sum / classes;
+}
+
+void OccupancyScore::merge(const OccupancyScore& other) {
+  active_intervals += other.active_intervals;
+  inactive_intervals += other.inactive_intervals;
+  active_hits += other.active_hits;
+  inactive_hits += other.inactive_hits;
+}
+
+OccupancyScore score_activity(const std::vector<bool>& predicted,
+                              const Occupancy& truth) {
+  RLBLH_REQUIRE(!predicted.empty(), "score_activity: empty prediction");
+  OccupancyScore score;
+  for (std::size_t n = 0; n < predicted.size(); ++n) {
+    if (truth.active(n)) {
+      ++score.active_intervals;
+      if (predicted[n]) ++score.active_hits;
+    } else {
+      ++score.inactive_intervals;
+      if (!predicted[n]) ++score.inactive_hits;
+    }
+  }
+  return score;
+}
+
+}  // namespace rlblh

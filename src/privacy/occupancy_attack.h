@@ -1,0 +1,55 @@
+// Occupancy-inference attack on the low-frequency envelope.
+//
+// The paper's motivating adversary learns "when you wake up, and when you
+// go out and come back" from the meter readings (Section I); the
+// low-frequency components "provide a clue for user's sleep patterns or
+// times of vacancy" (Section III). This module implements that adversary:
+// it smooths the meter stream with a rolling mean, thresholds it between
+// the stream's own quiet and busy levels, and predicts "someone is home
+// and active" per interval. Scored against the household model's
+// ground-truth occupancy it quantifies low-frequency leakage directly —
+// the operational counterpart of the CC metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "meter/appliances.h"
+#include "meter/trace.h"
+
+namespace rlblh {
+
+/// Parameters of the rolling-mean occupancy detector.
+struct OccupancyAttackConfig {
+  std::size_t window = 45;       ///< rolling-mean width in intervals
+  double quiet_quantile = 0.2;   ///< quantile taken as the "empty" level
+  double busy_quantile = 0.8;    ///< quantile taken as the "active" level
+
+  /// Throws ConfigError when parameters are out of range.
+  void validate() const;
+};
+
+/// Per-interval activity prediction for one day (true = occupants active).
+std::vector<bool> infer_activity(const DayTrace& readings,
+                                 const OccupancyAttackConfig& config = {});
+
+/// Outcome of scoring predictions against ground truth.
+struct OccupancyScore {
+  std::size_t active_intervals = 0;    ///< ground-truth active
+  std::size_t inactive_intervals = 0;  ///< ground-truth inactive
+  std::size_t active_hits = 0;         ///< correctly predicted active
+  std::size_t inactive_hits = 0;       ///< correctly predicted inactive
+
+  /// Balanced accuracy in [0, 1]: mean of the per-class hit rates; 0.5 is
+  /// chance level, 1.0 is perfect occupancy recovery.
+  double balanced_accuracy() const;
+
+  /// Folds another day's score into this one.
+  void merge(const OccupancyScore& other);
+};
+
+/// Scores one day's predictions against the realized occupancy.
+OccupancyScore score_activity(const std::vector<bool>& predicted,
+                              const Occupancy& truth);
+
+}  // namespace rlblh

@@ -1,0 +1,50 @@
+// Hyper-parameter decay schedules.
+//
+// The paper decays both the learning rate alpha and the exploration rate
+// epsilon "by a factor of 1/sqrt(d) across days, where d means the number of
+// days" (Section VII-A).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+/// value(d) = base / sqrt(d) for day d >= 1 (day 1 returns the base value).
+class InverseSqrtDecay {
+ public:
+  /// Requires base >= 0.
+  explicit InverseSqrtDecay(double base) : base_(base) {
+    RLBLH_REQUIRE(base >= 0.0, "InverseSqrtDecay: base must be >= 0");
+  }
+
+  /// Decayed value on day d (1-based). Requires d >= 1.
+  double at(std::size_t day) const {
+    RLBLH_REQUIRE(day >= 1, "InverseSqrtDecay: day index is 1-based");
+    return base_ / std::sqrt(static_cast<double>(day));
+  }
+
+  /// Undecayed base value.
+  double base() const { return base_; }
+
+ private:
+  double base_;
+};
+
+/// Constant schedule (used by ablations that disable decay).
+class ConstantSchedule {
+ public:
+  explicit ConstantSchedule(double value) : value_(value) {
+    RLBLH_REQUIRE(value >= 0.0, "ConstantSchedule: value must be >= 0");
+  }
+
+  /// Returns the constant value for any day.
+  double at(std::size_t /*day*/) const { return value_; }
+
+ private:
+  double value_;
+};
+
+}  // namespace rlblh

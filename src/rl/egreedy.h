@@ -1,0 +1,43 @@
+// Epsilon-greedy selection over a constrained candidate set.
+//
+// RL-BLH restricts the feasible action set near the battery bounds, so the
+// explore/exploit choice must be made over an arbitrary subset of actions
+// (paper Algorithm 1, lines 5-10).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+
+/// Picks an element of `candidates`: with probability epsilon a uniformly
+/// random candidate, otherwise `greedy_choice` (which must be one of the
+/// candidates). Returns the chosen value.
+inline std::size_t epsilon_greedy(const std::vector<std::size_t>& candidates,
+                                  std::size_t greedy_choice, double epsilon,
+                                  Rng& rng) {
+  RLBLH_REQUIRE(!candidates.empty(), "epsilon_greedy: empty candidate set");
+  RLBLH_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0,
+                "epsilon_greedy: epsilon must be in [0,1]");
+  if (rng.uniform() < epsilon) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(candidates.size() - 1)));
+    return candidates[i];
+  }
+#ifndef NDEBUG
+  bool found = false;
+  for (const std::size_t c : candidates) {
+    if (c == greedy_choice) {
+      found = true;
+      break;
+    }
+  }
+  RLBLH_ASSERT(found && "greedy choice must be a candidate");
+#endif
+  return greedy_choice;
+}
+
+}  // namespace rlblh

@@ -1,0 +1,98 @@
+#include "rl/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+Matrix::Matrix(std::size_t n) : n_(n), data_(n * n, 0.0) {
+  RLBLH_REQUIRE(n >= 1, "Matrix: size must be >= 1");
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  RLBLH_REQUIRE(r < n_ && c < n_, "Matrix: index out of range");
+  return data_[r * n_ + c];
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  RLBLH_REQUIRE(r < n_ && c < n_, "Matrix: index out of range");
+  return data_[r * n_ + c];
+}
+
+void Matrix::add_outer(const std::vector<double>& a,
+                       const std::vector<double>& b, double scale) {
+  RLBLH_REQUIRE(a.size() == n_ && b.size() == n_,
+                "Matrix::add_outer: vector dimension mismatch");
+  for (std::size_t r = 0; r < n_; ++r) {
+    const double ar = scale * a[r];
+    if (ar == 0.0) continue;
+    for (std::size_t c = 0; c < n_; ++c) {
+      data_[r * n_ + c] += ar * b[c];
+    }
+  }
+}
+
+void Matrix::add_diagonal(double value) {
+  for (std::size_t i = 0; i < n_; ++i) data_[i * n_ + i] += value;
+}
+
+SolveResult solve_linear_system(Matrix a, std::vector<double> b,
+                                double pivot_threshold) {
+  const std::size_t n = a.size();
+  RLBLH_REQUIRE(b.size() == n, "solve_linear_system: dimension mismatch");
+
+  // Scale reference for the relative singularity test.
+  double max_entry = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      max_entry = std::max(max_entry, std::abs(a.at(r, c)));
+    }
+  }
+  if (max_entry == 0.0) return {std::nullopt, 0.0};
+
+  SolveResult result;
+  result.min_pivot = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining entry to the diagonal.
+    std::size_t best = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(perm[r], col)) > std::abs(a.at(perm[best], col))) {
+        best = r;
+      }
+    }
+    std::swap(perm[col], perm[best]);
+    const double pivot = a.at(perm[col], col);
+    result.min_pivot = std::min(result.min_pivot, std::abs(pivot));
+    if (std::abs(pivot) < pivot_threshold * max_entry) {
+      result.solution = std::nullopt;
+      return result;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(perm[r], col) / pivot;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(perm[r], c) -= factor * a.at(perm[col], c);
+      }
+      b[perm[r]] -= factor * b[perm[col]];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[perm[i]];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      sum -= a.at(perm[i], c) * x[c];
+    }
+    x[i] = sum / a.at(perm[i], i);
+  }
+  result.solution = std::move(x);
+  return result;
+}
+
+}  // namespace rlblh

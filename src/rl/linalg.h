@@ -1,0 +1,47 @@
+// Small dense linear algebra for the LSPI/LSTD solver.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace rlblh {
+
+/// Row-major square matrix of doubles.
+class Matrix {
+ public:
+  /// Zero matrix of size n x n (n >= 1).
+  explicit Matrix(std::size_t n);
+
+  /// Side length.
+  std::size_t size() const { return n_; }
+
+  /// Element access (bounds-checked).
+  double at(std::size_t r, std::size_t c) const;
+  double& at(std::size_t r, std::size_t c);
+
+  /// Adds outer * a b^T (rank-one update used by LSTD accumulation).
+  void add_outer(const std::vector<double>& a, const std::vector<double>& b,
+                 double scale = 1.0);
+
+  /// Adds `value` to every diagonal element (ridge regularization).
+  void add_diagonal(double value);
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Result of a linear solve attempt.
+struct SolveResult {
+  std::optional<std::vector<double>> solution;  ///< empty when near-singular
+  double min_pivot = 0.0;  ///< smallest absolute pivot encountered
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. Declares the
+/// system near-singular (no solution returned) when a pivot's magnitude falls
+/// below `pivot_threshold` relative to the largest row entry.
+SolveResult solve_linear_system(Matrix a, std::vector<double> b,
+                                double pivot_threshold = 1e-10);
+
+}  // namespace rlblh

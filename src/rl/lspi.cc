@@ -1,0 +1,43 @@
+#include "rl/lspi.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+LstdSolver::LstdSolver(std::size_t dimension, double gamma)
+    : dim_(dimension), gamma_(gamma), a_(dimension), b_(dimension, 0.0) {
+  RLBLH_REQUIRE(dimension >= 1, "LstdSolver: dimension must be >= 1");
+  RLBLH_REQUIRE(gamma >= 0.0 && gamma <= 1.0,
+                "LstdSolver: gamma must be in [0,1]");
+}
+
+void LstdSolver::add_sample(const std::vector<double>& phi,
+                            const std::vector<double>& phi_next,
+                            double reward) {
+  RLBLH_REQUIRE(phi.size() == dim_ && phi_next.size() == dim_,
+                "LstdSolver: feature dimension mismatch");
+  std::vector<double> diff(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    diff[i] = phi[i] - gamma_ * phi_next[i];
+  }
+  a_.add_outer(phi, diff);
+  for (std::size_t i = 0; i < dim_; ++i) b_[i] += phi[i] * reward;
+  ++samples_;
+}
+
+SolveResult LstdSolver::solve(double ridge) const {
+  RLBLH_REQUIRE(ridge >= 0.0, "LstdSolver: ridge must be >= 0");
+  Matrix a = a_;
+  if (ridge > 0.0) a.add_diagonal(ridge);
+  return solve_linear_system(std::move(a), b_);
+}
+
+void LstdSolver::reset() {
+  a_ = Matrix(dim_);
+  std::fill(b_.begin(), b_.end(), 0.0);
+  samples_ = 0;
+}
+
+}  // namespace rlblh

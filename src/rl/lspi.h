@@ -1,0 +1,55 @@
+// Least-squares temporal-difference solver (LSTD-Q, the core of LSPI).
+//
+// The paper considered least-squares policy iteration as a closed-form
+// alternative to the SGD update (Section V, footnote 4) and found that "it
+// produces a matrix, which can be singular with a high chance" because the
+// feature difference between consecutive states (k, B_k) and (k+1, B_{k+1})
+// is nearly constant across k, reducing the system to an under-determined
+// one. We implement LSTD-Q so that tests and an ablation benchmark can
+// reproduce exactly that failure mode, and so the near-singularity is a
+// measured fact rather than a citation.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "rl/linalg.h"
+
+namespace rlblh {
+
+/// Accumulates LSTD-Q normal equations  A w = b  with
+///   A = sum_t phi_t (phi_t - gamma * phi'_t)^T,   b = sum_t phi_t r_t
+/// and solves them on demand.
+class LstdSolver {
+ public:
+  /// Feature dimension (>= 1); gamma is the discount (1 for the paper's
+  /// finite-horizon day problem).
+  explicit LstdSolver(std::size_t dimension, double gamma = 1.0);
+
+  /// Adds one transition sample: features at the visited state-action,
+  /// features at the successor's greedy state-action (all zeros at terminal
+  /// states), and the observed reward.
+  void add_sample(const std::vector<double>& phi,
+                  const std::vector<double>& phi_next, double reward);
+
+  /// Number of samples accumulated.
+  std::size_t samples() const { return samples_; }
+
+  /// Attempts to solve for the weights. Returns the solution when the system
+  /// is well-conditioned; empty when near-singular (the paper's observed
+  /// case). `ridge` > 0 adds Tikhonov regularization before solving.
+  SolveResult solve(double ridge = 0.0) const;
+
+  /// Resets the accumulated system.
+  void reset();
+
+ private:
+  std::size_t dim_;
+  double gamma_;
+  std::size_t samples_ = 0;
+  Matrix a_;
+  std::vector<double> b_;
+};
+
+}  // namespace rlblh

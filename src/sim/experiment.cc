@@ -1,0 +1,55 @@
+#include "sim/experiment.h"
+
+#include <utility>
+
+#include "privacy/correlation.h"
+#include "privacy/metrics.h"
+#include "privacy/mutual_information.h"
+#include "util/error.h"
+
+namespace rlblh {
+
+EvaluationResult evaluate_policy(Simulator& simulator, BlhPolicy& policy,
+                                 const EvaluationConfig& config) {
+  RLBLH_REQUIRE(config.eval_days >= 1,
+                "evaluate_policy: need at least one evaluation day");
+  if (config.train_days > 0) {
+    simulator.run_days(policy, config.train_days);
+  }
+
+  const std::size_t n_m = simulator.source().intervals();
+  const double x_cap = simulator.source().usage_cap();
+  SavingRatioAccumulator sr;
+  CorrelationAccumulator cc;
+  PairwiseMiEstimator mi(n_m, config.mi_levels, x_cap, x_cap);
+
+  EvaluationResult result;
+  for (std::size_t d = 0; d < config.eval_days; ++d) {
+    const DayResult day = simulator.run_day(policy);
+    sr.observe_day(day.usage, day.readings, simulator.prices());
+    cc.observe_day(day.usage, day.readings);
+    mi.observe_day(day.usage, day.readings);
+    result.battery_violations += day.battery_violations;
+    result.mean_daily_bill_cents += day.bill_cents;
+    result.mean_daily_usage_cost_cents += day.usage_cost_cents;
+  }
+  const auto days = static_cast<double>(config.eval_days);
+  result.saving_ratio = sr.saving_ratio();
+  result.mean_cc = cc.mean_cc();
+  result.normalized_mi = mi.normalized_mi();
+  result.mean_daily_savings_cents = sr.mean_daily_savings_cents();
+  result.mean_daily_bill_cents /= days;
+  result.mean_daily_usage_cost_cents /= days;
+  return result;
+}
+
+Simulator make_household_simulator(const HouseholdConfig& household,
+                                   TouSchedule prices,
+                                   double battery_capacity_kwh,
+                                   std::uint64_t seed) {
+  auto source = std::make_unique<HouseholdTraceSource>(household, seed);
+  Battery battery(battery_capacity_kwh, battery_capacity_kwh / 2.0);
+  return Simulator(std::move(source), std::move(prices), battery);
+}
+
+}  // namespace rlblh

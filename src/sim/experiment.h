@@ -1,0 +1,50 @@
+// Train/evaluate experiment harness used by the figure benchmarks.
+//
+// Every evaluation in the paper follows the same shape: let the policy run
+// (and learn) for a training phase, then measure SR / CC / MI over an
+// evaluation window. ExperimentRunner packages that loop together with the
+// metric accumulators so each bench states only its parameters.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "meter/household.h"
+#include "sim/simulator.h"
+
+namespace rlblh {
+
+/// Phase lengths and metric settings for one evaluation.
+struct EvaluationConfig {
+  std::size_t train_days = 60;  ///< days run before measurement starts
+  std::size_t eval_days = 120;  ///< days over which metrics are averaged
+  std::size_t mi_levels = 8;    ///< quantization levels for the MI estimate
+};
+
+/// Aggregated metrics over the evaluation window.
+struct EvaluationResult {
+  double saving_ratio = 0.0;        ///< paper Eq. 22 (fraction, not %)
+  double mean_cc = 0.0;             ///< paper Eq. 21
+  double normalized_mi = 0.0;       ///< paper Eq. 20
+  double mean_daily_savings_cents = 0.0;
+  double mean_daily_bill_cents = 0.0;
+  double mean_daily_usage_cost_cents = 0.0;
+  std::size_t battery_violations = 0;  ///< clipping events during evaluation
+};
+
+/// Runs `config.train_days` days with the policy (learning as it goes), then
+/// `config.eval_days` days during which SR, CC and MI are accumulated.
+EvaluationResult evaluate_policy(Simulator& simulator, BlhPolicy& policy,
+                                 const EvaluationConfig& config);
+
+/// Convenience factory: a Simulator over a synthetic household with the
+/// given price schedule and battery capacity. The battery starts at half
+/// charge.
+Simulator make_household_simulator(const HouseholdConfig& household,
+                                   TouSchedule prices,
+                                   double battery_capacity_kwh,
+                                   std::uint64_t seed);
+
+}  // namespace rlblh

@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+Simulator::Simulator(std::unique_ptr<TraceSource> source, TouSchedule prices,
+                     Battery battery)
+    : source_(std::move(source)), prices_(std::move(prices)),
+      battery_(battery) {
+  RLBLH_REQUIRE(source_ != nullptr, "Simulator: trace source must not be null");
+  RLBLH_REQUIRE(prices_.intervals() == source_->intervals(),
+                "Simulator: price schedule length must match the day length");
+}
+
+DayResult Simulator::run_day(BlhPolicy& policy) {
+  const std::size_t n_m = source_->intervals();
+  DayResult result{DayTrace(n_m), DayTrace(n_m), {}, 0.0, 0.0, 0.0, 0};
+  result.battery_levels.reserve(n_m);
+
+  const DayTrace usage = source_->next_day();
+  const std::size_t violations_before = battery_.violation_count();
+
+  policy.begin_day(prices_);
+  for (std::size_t n = 0; n < n_m; ++n) {
+    result.battery_levels.push_back(battery_.level());
+    const double x = usage.at(n);
+    double effective_reading;
+    if (policy.passthrough()) {
+      // No-battery reference: the meter measures usage directly.
+      (void)policy.reading(n, battery_.level());
+      effective_reading = x;
+    } else {
+      const double y = policy.reading(n, battery_.level());
+      const BatteryStep step = battery_.step(y, x);
+      // Energy the battery could not supply is drawn from the grid on top
+      // of the scheduled reading, so the meter sees y + shortfall.
+      effective_reading = y + step.grid_extra;
+    }
+    result.readings.set(n, effective_reading);
+    policy.observe_usage(n, x);
+
+    const double rate = prices_.rate(n);
+    result.savings_cents += rate * (x - effective_reading);
+    result.bill_cents += rate * effective_reading;
+    result.usage_cost_cents += rate * x;
+  }
+  policy.end_day();
+
+  result.usage = usage;
+  result.battery_violations = battery_.violation_count() - violations_before;
+  return result;
+}
+
+DayResult Simulator::run_days(BlhPolicy& policy, std::size_t days) {
+  RLBLH_REQUIRE(days >= 1, "Simulator: days must be >= 1");
+  DayResult last{DayTrace(1), DayTrace(1), {}, 0.0, 0.0, 0.0, 0};
+  for (std::size_t d = 0; d < days; ++d) {
+    last = run_day(policy);
+  }
+  return last;
+}
+
+void Simulator::set_prices(TouSchedule prices) {
+  RLBLH_REQUIRE(prices.intervals() == source_->intervals(),
+                "Simulator: price schedule length must match the day length");
+  prices_ = std::move(prices);
+}
+
+}  // namespace rlblh

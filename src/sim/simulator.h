@@ -1,0 +1,71 @@
+// Day-loop simulation engine (paper Figure 1's closed loop).
+//
+// The simulator wires together a trace source (the household), a price
+// schedule, a battery and a BlhPolicy, and executes the measurement-interval
+// loop of the system model: the policy picks y_n before seeing x_n, the
+// battery buffers the difference, and the meter records what was actually
+// drawn from the grid (y_n plus any shortfall the battery could not cover).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "battery/battery.h"
+#include "core/policy.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+
+namespace rlblh {
+
+/// Everything observable about one simulated day.
+struct DayResult {
+  DayTrace usage;                      ///< x_n
+  DayTrace readings;                   ///< effective meter readings
+  std::vector<double> battery_levels;  ///< b_n at the *start* of interval n
+  double savings_cents = 0.0;          ///< sum r_n (x_n - y_n)
+  double bill_cents = 0.0;             ///< sum r_n y_n
+  double usage_cost_cents = 0.0;       ///< sum r_n x_n
+  std::size_t battery_violations = 0;  ///< clipped intervals this day
+};
+
+/// Owns the battery state across days and runs one policy against one
+/// household and price schedule.
+class Simulator {
+ public:
+  /// Takes ownership of the trace source. The battery's starting level
+  /// persists across days (as a physical battery would). The price schedule
+  /// length must match the source's day length.
+  Simulator(std::unique_ptr<TraceSource> source, TouSchedule prices,
+            Battery battery);
+
+  /// Runs one full day with the given policy and returns the day's record.
+  DayResult run_day(BlhPolicy& policy);
+
+  /// Runs `days` consecutive days, returning only the last result (the
+  /// cheap path for long training phases where per-day records are not
+  /// needed).
+  DayResult run_days(BlhPolicy& policy, std::size_t days);
+
+  /// Replaces the price schedule from the next day on (length must match).
+  void set_prices(TouSchedule prices);
+
+  /// Current price schedule.
+  const TouSchedule& prices() const { return prices_; }
+
+  /// Battery state (level persists between days).
+  const Battery& battery() const { return battery_; }
+
+  /// Resets the battery to the given level and clears its counters.
+  void reset_battery(double level_kwh) { battery_.reset(level_kwh); }
+
+  /// The driven household/trace source.
+  TraceSource& source() { return *source_; }
+
+ private:
+  std::unique_ptr<TraceSource> source_;
+  TouSchedule prices_;
+  Battery battery_;
+};
+
+}  // namespace rlblh

@@ -1,0 +1,146 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+double parse_number(const std::string& field, std::size_t line_no) {
+  const std::string t = trim(field);
+  if (t.empty()) {
+    throw DataError("csv: empty numeric field on line " +
+                    std::to_string(line_no));
+  }
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(t, &consumed);
+    if (consumed != t.size()) {
+      throw DataError("csv: trailing garbage in field '" + t + "' on line " +
+                      std::to_string(line_no));
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw DataError("csv: non-numeric field '" + t + "' on line " +
+                    std::to_string(line_no));
+  } catch (const std::out_of_range&) {
+    throw DataError("csv: out-of-range number '" + t + "' on line " +
+                    std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+std::size_t CsvTable::column_count() const {
+  if (!header.empty()) return header.size();
+  if (!rows.empty()) return rows.front().size();
+  return 0;
+}
+
+std::vector<double> CsvTable::column(std::size_t i) const {
+  if (i >= column_count()) {
+    throw DataError("csv: column index " + std::to_string(i) +
+                    " out of range");
+  }
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row[i]);
+  return out;
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const auto it = std::find(header.begin(), header.end(), name);
+  if (it == header.end()) {
+    throw DataError("csv: no column named '" + name + "'");
+  }
+  return column(static_cast<std::size_t>(it - header.begin()));
+}
+
+CsvTable read_csv(std::istream& in, bool has_header) {
+  CsvTable table;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_pending = has_header;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = split_fields(trimmed);
+    if (header_pending) {
+      for (const auto& f : fields) table.header.push_back(trim(f));
+      width = fields.size();
+      header_pending = false;
+      continue;
+    }
+    if (width == 0) width = fields.size();
+    if (fields.size() != width) {
+      throw DataError("csv: ragged row on line " + std::to_string(line_no) +
+                      " (expected " + std::to_string(width) + " fields, got " +
+                      std::to_string(fields.size()) + ")");
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) row.push_back(parse_number(f, line_no));
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw DataError("csv: cannot open file '" + path + "'");
+  return read_csv(in, has_header);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  if (!table.header.empty()) {
+    for (std::size_t i = 0; i < table.header.size(); ++i) {
+      if (i > 0) out << ',';
+      out << table.header[i];
+    }
+    out << '\n';
+  }
+  out.precision(10);
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw DataError("csv: cannot open file '" + path + "' for write");
+  write_csv(out, table);
+}
+
+}  // namespace rlblh

@@ -1,0 +1,49 @@
+// Minimal CSV reading/writing for traces and experiment outputs.
+//
+// The dialect is deliberately simple (no quoting, no embedded separators):
+// numeric columns separated by commas, '#'-prefixed comment lines, optional
+// single header line. That is sufficient for meter traces and result dumps
+// while keeping parsing strict enough to reject malformed input loudly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlblh {
+
+/// A parsed CSV: column names (empty when the file had no header) and rows of
+/// doubles, all rows the same width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  /// Number of data rows.
+  std::size_t row_count() const { return rows.size(); }
+
+  /// Number of columns (0 when empty).
+  std::size_t column_count() const;
+
+  /// Extracts one column by index. Throws DataError when out of range.
+  std::vector<double> column(std::size_t i) const;
+
+  /// Extracts one column by header name. Throws DataError when absent.
+  std::vector<double> column(const std::string& name) const;
+};
+
+/// Parses CSV text from a stream. When `has_header` is true the first
+/// non-comment line is taken as column names. Throws DataError on ragged
+/// rows or non-numeric fields.
+CsvTable read_csv(std::istream& in, bool has_header);
+
+/// Reads and parses a CSV file. Throws DataError when the file cannot be
+/// opened or parsed.
+CsvTable read_csv_file(const std::string& path, bool has_header);
+
+/// Writes a table (header optional: skipped when empty) to a stream.
+void write_csv(std::ostream& out, const CsvTable& table);
+
+/// Writes a table to a file. Throws DataError when the file cannot be opened.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace rlblh

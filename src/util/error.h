@@ -1,0 +1,53 @@
+// Error handling primitives shared by all rlblh subsystems.
+//
+// The library distinguishes two failure classes:
+//  * ConfigError   -- the caller supplied an invalid configuration or argument.
+//  * DataError     -- external input (trace files, CSV) is malformed.
+// Internal invariant violations use RLBLH_ASSERT, which throws LogicError so
+// tests can exercise failure paths without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rlblh {
+
+/// Thrown when a user-supplied configuration value is invalid
+/// (e.g. a battery too small for the chosen decision interval).
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when external data (trace CSV, price file) cannot be parsed or
+/// violates documented bounds.
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on violation of an internal invariant; indicates a library bug.
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw LogicError(std::string("invariant violated: ") + expr + " at " + file +
+                   ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace rlblh
+
+/// Checks an internal invariant; throws rlblh::LogicError when it fails.
+#define RLBLH_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) \
+          : ::rlblh::detail::assert_fail(#expr, __FILE__, __LINE__))
+
+/// Checks a caller-supplied precondition; throws rlblh::ConfigError with the
+/// given message when it fails.
+#define RLBLH_REQUIRE(expr, msg) \
+  ((expr) ? static_cast<void>(0) : throw ::rlblh::ConfigError(msg))

@@ -1,0 +1,53 @@
+// Uniform scalar quantizer used by the privacy metrics and the MDP baseline.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+/// Maps values in [lo, hi] to `levels` evenly spaced representative points
+/// lo, lo+step, ..., hi (step = (hi-lo)/(levels-1)), i.e. the same spacing
+/// rule the paper uses for pulse magnitudes in Eq. (5).
+class Quantizer {
+ public:
+  /// Requires levels >= 2 and lo < hi.
+  Quantizer(std::size_t levels, double lo, double hi)
+      : levels_(levels), lo_(lo), hi_(hi),
+        step_((hi - lo) / static_cast<double>(levels - 1)) {
+    RLBLH_REQUIRE(levels >= 2, "Quantizer: need at least two levels");
+    RLBLH_REQUIRE(lo < hi, "Quantizer: lo must be < hi");
+  }
+
+  /// Number of representative levels.
+  std::size_t levels() const { return levels_; }
+
+  /// Index of the nearest level for x (values outside [lo, hi] clamp).
+  std::size_t index(double x) const {
+    const double clamped = std::clamp(x, lo_, hi_);
+    const double i = (clamped - lo_) / step_ + 0.5;
+    return std::min(static_cast<std::size_t>(i), levels_ - 1);
+  }
+
+  /// Representative value of level i. Requires i < levels().
+  double value(std::size_t i) const {
+    RLBLH_REQUIRE(i < levels_, "Quantizer: level index out of range");
+    return lo_ + static_cast<double>(i) * step_;
+  }
+
+  /// Quantizes x to its nearest representative value.
+  double quantize(double x) const { return value(index(x)); }
+
+  /// Spacing between adjacent levels.
+  double step() const { return step_; }
+
+ private:
+  std::size_t levels_;
+  double lo_;
+  double hi_;
+  double step_;
+};
+
+}  // namespace rlblh

@@ -1,0 +1,53 @@
+// Streaming first/second-moment accumulation (Welford's algorithm).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace rlblh {
+
+/// Accumulates count, mean, variance, min and max of a stream of doubles in
+/// O(1) memory using Welford's numerically stable recurrence.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Folds one observation into the accumulator.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-combine rule).
+  void merge(const RunningStats& other);
+
+  /// Resets to the empty state.
+  void reset();
+
+  /// Number of observations folded in so far.
+  std::size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace rlblh

@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  RLBLH_REQUIRE(!columns_.empty(), "TablePrinter: need at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  RLBLH_REQUIRE(cells.size() == columns_.size(),
+                "TablePrinter: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << (i == 0 ? "| " : " | ")
+          << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    out << " |\n";
+  };
+  print_row(columns_);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out << (i == 0 ? "|" : "|") << std::string(widths[i] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace rlblh

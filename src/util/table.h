@@ -1,0 +1,33 @@
+// Fixed-width console table printer for benchmark/experiment output.
+//
+// The figure-reproduction binaries print the same rows/series the paper's
+// plots show; TablePrinter keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlblh {
+
+/// Collects string/number cells row by row and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Starts a table with the given column headings.
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Appends a row of pre-formatted cells; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string num(double v, int precision = 4);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rlblh

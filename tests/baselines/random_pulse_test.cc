@@ -1,0 +1,105 @@
+#include "baselines/random_pulse.h"
+
+#include <gtest/gtest.h>
+
+#include "battery/battery.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+RlBlhConfig small_config() {
+  RlBlhConfig config;
+  config.intervals_per_day = 48;
+  config.decision_interval = 4;
+  config.usage_cap = 0.08;
+  config.battery_capacity = 1.0;
+  config.num_actions = 4;
+  config.seed = 3;
+  return config;
+}
+
+TEST(RandomPulsePolicy, ValidatesConfig) {
+  RlBlhConfig bad = small_config();
+  bad.battery_capacity = 0.1;
+  EXPECT_THROW(RandomPulsePolicy{bad}, ConfigError);
+}
+
+TEST(RandomPulsePolicy, EmitsRectangularPulses) {
+  RandomPulsePolicy policy(small_config());
+  policy.begin_day(TouSchedule::flat(48, 1.0));
+  Battery battery(1.0, 0.5);
+  Rng rng(1);
+  std::vector<double> readings;
+  for (std::size_t n = 0; n < 48; ++n) {
+    const double y = policy.reading(n, battery.level());
+    readings.push_back(y);
+    const double x = rng.uniform(0.0, 0.08);
+    battery.step(y, x);
+    policy.observe_usage(n, x);
+  }
+  for (std::size_t n = 0; n < 48; ++n) {
+    EXPECT_DOUBLE_EQ(readings[n], readings[n - n % 4]);
+  }
+}
+
+TEST(RandomPulsePolicy, PulsesCoverAllMagnitudesOverTime) {
+  RandomPulsePolicy policy(small_config());
+  const TouSchedule prices = TouSchedule::flat(48, 1.0);
+  Battery battery(1.0, 0.5);
+  Rng rng(2);
+  bool seen[4] = {false, false, false, false};
+  for (int day = 0; day < 20; ++day) {
+    policy.begin_day(prices);
+    for (std::size_t n = 0; n < 48; ++n) {
+      const double y = policy.reading(n, battery.level());
+      for (std::size_t a = 0; a < 4; ++a) {
+        if (std::abs(y - small_config().action_magnitude(a)) < 1e-12) {
+          seen[a] = true;
+        }
+      }
+      const double x = rng.uniform(0.0, 0.08);
+      battery.step(y, x);
+      policy.observe_usage(n, x);
+    }
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(RandomPulsePolicy, RespectsGuardBandsAndBatteryBounds) {
+  RandomPulsePolicy policy(small_config());
+  // Guard checks mirror RL-BLH's.
+  EXPECT_EQ(policy.allowed_actions(0.9), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(policy.allowed_actions(0.1), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(policy.allowed_actions(0.5).size(), 4u);
+
+  const TouSchedule prices = TouSchedule::flat(48, 1.0);
+  Battery battery(1.0, 0.5);
+  Rng rng(3);
+  for (int day = 0; day < 50; ++day) {
+    policy.begin_day(prices);
+    for (std::size_t n = 0; n < 48; ++n) {
+      const double y = policy.reading(n, battery.level());
+      battery.step(y, rng.uniform(0.0, 0.08));
+      policy.observe_usage(n, 0.02);
+    }
+  }
+  EXPECT_EQ(battery.violation_count(), 0u);
+}
+
+TEST(RandomPulsePolicy, DeterministicGivenSeed) {
+  RandomPulsePolicy a(small_config());
+  RandomPulsePolicy b(small_config());
+  const TouSchedule prices = TouSchedule::flat(48, 1.0);
+  a.begin_day(prices);
+  b.begin_day(prices);
+  for (std::size_t n = 0; n < 48; ++n) {
+    ASSERT_DOUBLE_EQ(a.reading(n, 0.5), b.reading(n, 0.5));
+    a.observe_usage(n, 0.01);
+    b.observe_usage(n, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,123 @@
+#include "baselines/stepping.h"
+
+#include <gtest/gtest.h>
+
+#include "battery/battery.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+SteppingConfig small_config() {
+  SteppingConfig config;
+  config.intervals_per_day = 48;
+  config.usage_cap = 0.08;
+  config.battery_capacity = 3.0;
+  config.step = 0.01;
+  return config;
+}
+
+TEST(SteppingPolicy, RejectsBadConfig) {
+  SteppingConfig config = small_config();
+  config.step = 0.0;
+  EXPECT_THROW(SteppingPolicy{config}, ConfigError);
+  config = small_config();
+  config.step = 0.2;  // above x_M
+  EXPECT_THROW(SteppingPolicy{config}, ConfigError);
+  config = small_config();
+  config.margin_fraction = 0.6;
+  EXPECT_THROW(SteppingPolicy{config}, ConfigError);
+  config = small_config();
+  config.battery_capacity = 0.0;
+  EXPECT_THROW(SteppingPolicy{config}, ConfigError);
+}
+
+TEST(SteppingPolicy, ReadingsAreMultiplesOfStep) {
+  SteppingPolicy policy(small_config());
+  Battery battery(3.0, 1.5);
+  Rng rng(1);
+  policy.begin_day(TouSchedule::flat(48, 1.0));
+  for (std::size_t n = 0; n < 48; ++n) {
+    const double y = policy.reading(n, battery.level());
+    const double ratio = y / 0.01;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-9);
+    const double x = rng.uniform(0.0, 0.08);
+    battery.step(y, x);
+    policy.observe_usage(n, x);
+  }
+}
+
+TEST(SteppingPolicy, HoldsStepWhileBatteryComfortable) {
+  SteppingPolicy policy(small_config());
+  policy.begin_day(TouSchedule::flat(48, 1.0));
+  const double first = policy.reading(0, 1.5);
+  policy.observe_usage(0, 0.02);
+  // Battery stays mid-band: the step must not move.
+  for (std::size_t n = 1; n < 20; ++n) {
+    EXPECT_DOUBLE_EQ(policy.reading(n, 1.4 + 0.01 * static_cast<double>(n % 3)),
+                     first);
+    policy.observe_usage(n, 0.02);
+  }
+  EXPECT_EQ(policy.step_changes(), 0u);
+}
+
+TEST(SteppingPolicy, StepsDownWhenBatteryNearlyFull) {
+  SteppingPolicy policy(small_config());
+  policy.begin_day(TouSchedule::flat(48, 1.0));
+  // Teach it that demand is low, then present a nearly full battery.
+  for (std::size_t n = 0; n < 30; ++n) {
+    (void)policy.reading(n, 1.5);
+    policy.observe_usage(n, 0.01);
+  }
+  const std::size_t before = policy.step_index();
+  const double y = policy.reading(30, 2.9);  // above the 2.55 margin
+  EXPECT_LE(policy.step_index(), before);
+  EXPECT_LE(y, 0.02);  // near the learned low demand, biased down
+  EXPECT_GE(policy.step_changes(), 1u);
+}
+
+TEST(SteppingPolicy, StepsUpWhenBatteryNearlyEmpty) {
+  SteppingPolicy policy(small_config());
+  policy.begin_day(TouSchedule::flat(48, 1.0));
+  // Teach it a low demand so the re-seeded step differs from the initial
+  // mid-scale step.
+  for (std::size_t n = 0; n < 30; ++n) {
+    (void)policy.reading(n, 1.5);
+    policy.observe_usage(n, 0.0);
+  }
+  const double y = policy.reading(30, 0.2);  // below the 0.45 margin
+  // Step re-seeded at (quantized recent demand) + 1: strictly above the
+  // learned near-zero demand, so the battery refills.
+  EXPECT_GE(policy.step_index(), 2u);
+  EXPECT_GE(y, 0.02 - 1e-12);
+  EXPECT_GE(policy.step_changes(), 1u);
+}
+
+TEST(SteppingPolicy, BatteryStaysLegalOverLongRun) {
+  SteppingPolicy policy(small_config());
+  Battery battery(3.0, 1.5);
+  Rng rng(2);
+  const TouSchedule prices = TouSchedule::flat(48, 1.0);
+  for (int day = 0; day < 50; ++day) {
+    policy.begin_day(prices);
+    for (std::size_t n = 0; n < 48; ++n) {
+      const double y = policy.reading(n, battery.level());
+      battery.step(y, rng.uniform(0.0, 0.06));
+      policy.observe_usage(n, 0.03);
+      ASSERT_GE(battery.level(), 0.0);
+      ASSERT_LE(battery.level(), 3.0);
+    }
+  }
+}
+
+TEST(SteppingPolicy, ValidatesCallArguments) {
+  SteppingPolicy policy(small_config());
+  EXPECT_THROW(policy.begin_day(TouSchedule::flat(10, 1.0)), ConfigError);
+  policy.begin_day(TouSchedule::flat(48, 1.0));
+  EXPECT_THROW(policy.reading(48, 1.0), ConfigError);
+  EXPECT_THROW(policy.observe_usage(0, -0.1), ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,124 @@
+#include "battery/battery.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+TEST(Battery, RejectsBadConstruction) {
+  EXPECT_THROW(Battery(0.0), ConfigError);
+  EXPECT_THROW(Battery(-1.0), ConfigError);
+  EXPECT_THROW(Battery(1.0, 2.0), ConfigError);
+  EXPECT_THROW(Battery(1.0, -0.1), ConfigError);
+  EXPECT_THROW(Battery(1.0, 0.5, 0.0), ConfigError);
+  EXPECT_THROW(Battery(1.0, 0.5, 1.1), ConfigError);
+  EXPECT_THROW(Battery(1.0, 0.5, 1.0, 1.5), ConfigError);
+}
+
+TEST(Battery, LosslessDynamicsMatchPaperEquation1) {
+  // b_{n+1} = b_n + y_n - x_n in the lossless default.
+  Battery b(5.0, 2.0);
+  const BatteryStep s = b.step(0.08, 0.03);
+  EXPECT_DOUBLE_EQ(s.level_after, 2.05);
+  EXPECT_FALSE(s.violated);
+  EXPECT_DOUBLE_EQ(b.level(), 2.05);
+}
+
+TEST(Battery, RejectsNegativeFlows) {
+  Battery b(5.0, 2.0);
+  EXPECT_THROW(b.step(-0.1, 0.0), ConfigError);
+  EXPECT_THROW(b.step(0.0, -0.1), ConfigError);
+}
+
+TEST(Battery, OverflowClipsAndCounts) {
+  Battery b(1.0, 0.95);
+  const BatteryStep s = b.step(0.2, 0.0);
+  EXPECT_TRUE(s.violated);
+  EXPECT_NEAR(s.wasted_charge, 0.15, 1e-12);
+  EXPECT_DOUBLE_EQ(b.level(), 1.0);
+  EXPECT_EQ(b.violation_count(), 1u);
+  EXPECT_NEAR(b.total_wasted_charge(), 0.15, 1e-12);
+}
+
+TEST(Battery, ShortageDrawsFromGrid) {
+  Battery b(1.0, 0.05);
+  const BatteryStep s = b.step(0.0, 0.2);
+  EXPECT_TRUE(s.violated);
+  EXPECT_NEAR(s.grid_extra, 0.15, 1e-12);
+  EXPECT_DOUBLE_EQ(b.level(), 0.0);
+  EXPECT_NEAR(b.total_grid_extra(), 0.15, 1e-12);
+}
+
+TEST(Battery, ChargeEfficiencyLosesEnergyOnTheWayIn) {
+  Battery b(5.0, 1.0, /*charge_efficiency=*/0.9);
+  b.step(1.0, 0.0);
+  EXPECT_NEAR(b.level(), 1.9, 1e-12);
+}
+
+TEST(Battery, DischargeEfficiencyDrawsMoreThanDelivered) {
+  Battery b(5.0, 1.0, 1.0, /*discharge_efficiency=*/0.8);
+  b.step(0.0, 0.4);  // needs 0.5 from the battery to deliver 0.4
+  EXPECT_NEAR(b.level(), 0.5, 1e-12);
+}
+
+TEST(Battery, ShortageAccountsForDischargeEfficiency) {
+  Battery b(1.0, 0.1, 1.0, 0.5);
+  // Delivering 0.4 would need 0.8 stored; only 0.1 stored, so 0.2 kWh of
+  // usage is delivered from storage and 0.35 comes from the grid... check:
+  // next = 0.1 - 0.4/0.5 = -0.7 -> grid_extra = 0.7 * 0.5 = 0.35.
+  const BatteryStep s = b.step(0.0, 0.4);
+  EXPECT_NEAR(s.grid_extra, 0.35, 1e-12);
+  EXPECT_DOUBLE_EQ(b.level(), 0.0);
+}
+
+TEST(Battery, ResetClearsCountersAndSetsLevel) {
+  Battery b(1.0, 0.0);
+  b.step(0.0, 0.5);  // violation
+  b.reset(0.7);
+  EXPECT_DOUBLE_EQ(b.level(), 0.7);
+  EXPECT_EQ(b.violation_count(), 0u);
+  EXPECT_DOUBLE_EQ(b.total_grid_extra(), 0.0);
+  EXPECT_THROW(b.reset(2.0), ConfigError);
+}
+
+TEST(Battery, EnergyConservationOverRandomWalk) {
+  // Without clipping, level(T) - level(0) == sum(y) - sum(x).
+  Battery b(100.0, 50.0);  // huge battery: no clipping
+  Rng rng(3);
+  double in = 0.0, out = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double y = rng.uniform(0.0, 0.08);
+    const double x = rng.uniform(0.0, 0.08);
+    in += y;
+    out += x;
+    const BatteryStep s = b.step(y, x);
+    ASSERT_FALSE(s.violated);
+  }
+  EXPECT_NEAR(b.level() - 50.0, in - out, 1e-9);
+  EXPECT_EQ(b.violation_count(), 0u);
+}
+
+class BatteryBoundsParam
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BatteryBoundsParam, LevelAlwaysWithinBounds) {
+  const auto [capacity, initial_frac] = GetParam();
+  Battery b(capacity, capacity * initial_frac);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    b.step(rng.uniform(0.0, 0.2), rng.uniform(0.0, 0.2));
+    ASSERT_GE(b.level(), 0.0);
+    ASSERT_LE(b.level(), capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatteryBoundsParam,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 3.0, 7.0),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace rlblh

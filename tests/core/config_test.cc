@@ -1,0 +1,99 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(RlBlhConfig, PaperDefaultsValidate) {
+  RlBlhConfig config;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.intervals_per_day, 1440u);
+  EXPECT_EQ(config.num_actions, 8u);
+  EXPECT_DOUBLE_EQ(config.usage_cap, 0.08);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.05);
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.1);
+  EXPECT_EQ(config.synthetic_period, 10u);     // d_G
+  EXPECT_EQ(config.synthetic_last_day, 50u);   // d_MG
+  EXPECT_EQ(config.synthetic_repeats, 500u);   // t_G
+  EXPECT_EQ(config.reuse_days, 20u);           // d_R
+  EXPECT_EQ(config.reuse_repeats, 100u);       // t_R
+}
+
+TEST(RlBlhConfig, DecisionsPerDay) {
+  RlBlhConfig config;
+  config.decision_interval = 15;
+  EXPECT_EQ(config.decisions_per_day(), 96u);
+  config.decision_interval = 10;
+  EXPECT_EQ(config.decisions_per_day(), 144u);
+}
+
+TEST(RlBlhConfig, ActionMagnitudesMatchEquation5) {
+  RlBlhConfig config;  // a_M = 8, x_M = 0.08
+  EXPECT_DOUBLE_EQ(config.action_magnitude(0), 0.0);
+  EXPECT_DOUBLE_EQ(config.action_magnitude(7), 0.08);
+  EXPECT_NEAR(config.action_magnitude(3), 3.0 * 0.08 / 7.0, 1e-15);
+  EXPECT_THROW(config.action_magnitude(8), ConfigError);
+}
+
+TEST(RlBlhConfig, GuardLevels) {
+  RlBlhConfig config;
+  config.decision_interval = 15;
+  config.battery_capacity = 5.0;
+  EXPECT_DOUBLE_EQ(config.low_guard(), 0.08 * 15.0);   // 1.2
+  EXPECT_DOUBLE_EQ(config.high_guard(), 5.0 - 1.2);    // 3.8
+}
+
+TEST(RlBlhConfig, RejectsNonDivisibleDecisionInterval) {
+  RlBlhConfig config;
+  config.decision_interval = 17;  // 1440 % 17 != 0
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(RlBlhConfig, RejectsBatteryTooSmallForGuards) {
+  RlBlhConfig config;
+  config.decision_interval = 15;
+  config.battery_capacity = 2.0;  // < 2 * 0.08 * 15 = 2.4
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.battery_capacity = 2.4;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(RlBlhConfig, RejectsBadLearningParameters) {
+  RlBlhConfig config;
+  config.alpha = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = RlBlhConfig{};
+  config.epsilon = 1.5;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = RlBlhConfig{};
+  config.alpha_floor = 0.2;  // above alpha
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = RlBlhConfig{};
+  config.epsilon_floor = 0.5;  // above epsilon
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = RlBlhConfig{};
+  config.num_actions = 1;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(RlBlhConfig, HeuristicValidationOnlyWhenEnabled) {
+  RlBlhConfig config;
+  config.enable_synthetic = false;
+  config.synthetic_repeats = 0;  // invalid, but the heuristic is off
+  EXPECT_NO_THROW(config.validate());
+  config.enable_synthetic = true;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = RlBlhConfig{};
+  config.enable_reuse = false;
+  config.reuse_repeats = 0;
+  EXPECT_NO_THROW(config.validate());
+  config.enable_reuse = true;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,120 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include "rl/linalg.h"
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(FeatureBasis, RejectsBadConstruction) {
+  EXPECT_THROW(FeatureBasis(0, 5.0), ConfigError);
+  EXPECT_THROW(FeatureBasis(96, 0.0), ConfigError);
+}
+
+TEST(FeatureBasis, ConstantFeatureIsAlwaysOne) {
+  const FeatureBasis basis(96, 5.0);
+  for (std::size_t k = 0; k <= 96; k += 8) {
+    EXPECT_DOUBLE_EQ(basis.at(k, 2.5)[0], 1.0);
+  }
+}
+
+TEST(FeatureBasis, LegendreValuesAtKnownPoints) {
+  const FeatureBasis basis(10, 10.0);
+  // K = 0, B = 0: P1 = -1, P2 = +1.
+  const auto f0 = basis.at(0, 0.0);
+  EXPECT_DOUBLE_EQ(f0[1], -1.0);
+  EXPECT_DOUBLE_EQ(f0[2], -1.0);
+  EXPECT_DOUBLE_EQ(f0[3], 1.0);
+  EXPECT_DOUBLE_EQ(f0[4], 1.0);
+  EXPECT_DOUBLE_EQ(f0[5], 1.0);
+  // K = 1 (k = k_M), B = capacity: P1 = +1, P2 = +1.
+  const auto f1 = basis.at(10, 10.0);
+  EXPECT_DOUBLE_EQ(f1[1], 1.0);
+  EXPECT_DOUBLE_EQ(f1[2], 1.0);
+  // Midpoints: P1(0.5) = 0, P2(0.5) = -0.5.
+  const auto fm = basis.at(5, 5.0);
+  EXPECT_DOUBLE_EQ(fm[1], 0.0);
+  EXPECT_DOUBLE_EQ(fm[2], 0.0);
+  EXPECT_DOUBLE_EQ(fm[3], 0.0);
+  EXPECT_DOUBLE_EQ(fm[4], -0.5);
+  EXPECT_DOUBLE_EQ(fm[5], -0.5);
+}
+
+TEST(FeatureBasis, BatteryLevelClampsToCapacity) {
+  const FeatureBasis basis(96, 5.0);
+  const auto over = basis.at(0, 7.0);
+  const auto full = basis.at(0, 5.0);
+  const auto under = basis.at(0, -1.0);
+  const auto empty = basis.at(0, 0.0);
+  for (std::size_t i = 0; i < FeatureBasis::kDim; ++i) {
+    EXPECT_DOUBLE_EQ(over[i], full[i]);
+    EXPECT_DOUBLE_EQ(under[i], empty[i]);
+  }
+}
+
+TEST(FeatureBasis, RejectsOutOfRangeDecisionIndex) {
+  const FeatureBasis basis(96, 5.0);
+  EXPECT_NO_THROW(basis.at(96, 2.5));  // terminal state is featurizable
+  EXPECT_THROW(basis.at(97, 2.5), ConfigError);
+}
+
+TEST(FeatureBasis, SpansTableOneMonomialSpace) {
+  // The paper's Table I basis is [1, K, B, KB, K^2, B^2]. Verify each
+  // monomial is an exact linear combination of our Legendre features by
+  // solving for the coefficients on 6 generic sample points and checking
+  // the fit on a dense grid.
+  const FeatureBasis basis(100, 1.0);
+  const double sample_k[6] = {0.0, 0.17, 0.43, 0.61, 0.89, 1.0};
+  const double sample_b[6] = {0.05, 0.93, 0.31, 0.71, 0.13, 0.57};
+  // Monomial evaluators indexed like Table I.
+  const auto monomial = [](int m, double kk, double bb) {
+    switch (m) {
+      case 0: return 1.0;
+      case 1: return kk;
+      case 2: return bb;
+      case 3: return kk * bb;
+      case 4: return kk * kk;
+      default: return bb * bb;
+    }
+  };
+  for (int m = 0; m < 6; ++m) {
+    Matrix a(6);
+    std::vector<double> b(6);
+    for (std::size_t row = 0; row < 6; ++row) {
+      const auto f = basis.at(
+          static_cast<std::size_t>(sample_k[row] * 100.0), sample_b[row]);
+      for (std::size_t col = 0; col < 6; ++col) a.at(row, col) = f[col];
+      b[row] = monomial(m, sample_k[row], sample_b[row]);
+    }
+    const SolveResult r = solve_linear_system(a, b);
+    ASSERT_TRUE(r.solution.has_value()) << "monomial " << m;
+    // Check the recovered combination reproduces the monomial on a grid.
+    for (std::size_t gk = 0; gk <= 100; gk += 10) {
+      for (double gb = 0.0; gb <= 1.0; gb += 0.1) {
+        const auto f = basis.at(gk, gb);
+        double fit = 0.0;
+        for (std::size_t i = 0; i < 6; ++i) fit += (*r.solution)[i] * f[i];
+        const double want =
+            monomial(m, static_cast<double>(gk) / 100.0, gb);
+        ASSERT_NEAR(fit, want, 1e-9)
+            << "monomial " << m << " at K=" << gk << " B=" << gb;
+      }
+    }
+  }
+}
+
+TEST(FeatureBasis, FeaturesAreBoundedByOne) {
+  const FeatureBasis basis(96, 5.0);
+  for (std::size_t k = 0; k <= 96; ++k) {
+    for (double b = 0.0; b <= 5.0; b += 0.25) {
+      for (const double f : basis.at(k, b)) {
+        ASSERT_LE(std::abs(f), 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlblh

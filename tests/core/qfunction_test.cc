@@ -1,0 +1,66 @@
+#include "core/qfunction.h"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(PerActionLinearQ, RejectsBadConstruction) {
+  EXPECT_THROW(PerActionLinearQ(0, 6), ConfigError);
+  EXPECT_THROW(PerActionLinearQ(4, 0), ConfigError);
+}
+
+TEST(PerActionLinearQ, ParameterCountMatchesPaperClaim) {
+  // Section VIII: "RL-BLH has to deal with only 40 unknowns" — the paper
+  // counts w_i for i = 0..5 per action but quotes 40; with a_M = 8 actions
+  // and 6 features the table is 48 weights. Either way it is O(10), not
+  // O(10^7) like the MDP table.
+  const PerActionLinearQ q(8, 6);
+  EXPECT_EQ(q.parameter_count(), 48u);
+  EXPECT_EQ(q.num_actions(), 8u);
+  EXPECT_EQ(q.dimension(), 6u);
+}
+
+TEST(PerActionLinearQ, ActionsAreIndependent) {
+  PerActionLinearQ q(3, 2);
+  const std::array<double, 2> f{1.0, 2.0};
+  q.sgd_update(1, f, 1.0, 0.5);  // w1 += 0.5 * 1.0 * f
+  EXPECT_DOUBLE_EQ(q.value(f, 0), 0.0);
+  EXPECT_DOUBLE_EQ(q.value(f, 1), 0.5 * (1.0 + 4.0));
+  EXPECT_DOUBLE_EQ(q.value(f, 2), 0.0);
+}
+
+TEST(PerActionLinearQ, ArgmaxOverAllowedSubset) {
+  PerActionLinearQ q(3, 1);
+  const std::array<double, 1> f{1.0};
+  q.function(0).set_weights({1.0});
+  q.function(1).set_weights({3.0});
+  q.function(2).set_weights({2.0});
+  EXPECT_EQ(q.argmax(f, {0, 1, 2}), 1u);
+  EXPECT_EQ(q.argmax(f, {0, 2}), 2u);   // best overall not allowed
+  EXPECT_EQ(q.argmax(f, {0}), 0u);
+  EXPECT_DOUBLE_EQ(q.max_value(f, {0, 2}), 2.0);
+  EXPECT_THROW(q.argmax(f, {}), ConfigError);
+}
+
+TEST(PerActionLinearQ, ArgmaxTieBreaksTowardEarlierCandidate) {
+  PerActionLinearQ q(2, 1);
+  const std::array<double, 1> f{1.0};
+  EXPECT_EQ(q.argmax(f, {0, 1}), 0u);  // both zero
+  EXPECT_EQ(q.argmax(f, {1, 0}), 1u);
+}
+
+TEST(PerActionLinearQ, OutOfRangeActionThrows) {
+  PerActionLinearQ q(2, 1);
+  const std::array<double, 1> f{1.0};
+  EXPECT_THROW(q.value(f, 2), ConfigError);
+  EXPECT_THROW(q.sgd_update(2, f, 1.0, 0.1), ConfigError);
+  EXPECT_THROW(q.function(2), ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh

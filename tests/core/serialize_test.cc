@@ -1,0 +1,90 @@
+#include "core/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+PerActionLinearQ sample_q() {
+  PerActionLinearQ q(3, 4);
+  Rng rng(5);
+  for (std::size_t a = 0; a < q.num_actions(); ++a) {
+    std::vector<double> weights(q.dimension());
+    for (auto& w : weights) w = rng.uniform(-10.0, 10.0);
+    q.function(a).set_weights(std::move(weights));
+  }
+  return q;
+}
+
+TEST(Serialize, RoundTripsExactly) {
+  const PerActionLinearQ original = sample_q();
+  std::ostringstream out;
+  save_weights(out, original);
+  std::istringstream in(out.str());
+  const PerActionLinearQ loaded = load_weights(in);
+  ASSERT_EQ(loaded.num_actions(), original.num_actions());
+  ASSERT_EQ(loaded.dimension(), original.dimension());
+  for (std::size_t a = 0; a < original.num_actions(); ++a) {
+    EXPECT_EQ(loaded.function(a).weights(), original.function(a).weights());
+  }
+}
+
+TEST(Serialize, RejectsWrongHeader) {
+  std::istringstream in("not-a-weights-file\n");
+  EXPECT_THROW(load_weights(in), DataError);
+}
+
+TEST(Serialize, RejectsMalformedDimensions) {
+  std::istringstream in("rlblh-weights v1\nactions x features 6\n");
+  EXPECT_THROW(load_weights(in), DataError);
+  std::istringstream zero("rlblh-weights v1\nactions 0 features 6\n");
+  EXPECT_THROW(load_weights(zero), DataError);
+}
+
+TEST(Serialize, RejectsTruncatedRows) {
+  std::istringstream in("rlblh-weights v1\nactions 2 features 3\n1 2 3\n");
+  EXPECT_THROW(load_weights(in), DataError);
+}
+
+TEST(Serialize, RejectsShortRow) {
+  std::istringstream in(
+      "rlblh-weights v1\nactions 1 features 3\n1 2\n");
+  EXPECT_THROW(load_weights(in), DataError);
+}
+
+TEST(Serialize, RejectsOverlongRow) {
+  std::istringstream in(
+      "rlblh-weights v1\nactions 1 features 2\n1 2 3\n");
+  EXPECT_THROW(load_weights(in), DataError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/weights_test.txt";
+  const PerActionLinearQ original = sample_q();
+  save_weights_file(path, original);
+  const PerActionLinearQ loaded = load_weights_file(path);
+  EXPECT_EQ(loaded.function(2).weights(), original.function(2).weights());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_weights_file(path), DataError);
+  EXPECT_THROW(save_weights_file("/no/such/dir/w.txt", original), DataError);
+}
+
+TEST(Serialize, PreservesFullDoublePrecision) {
+  PerActionLinearQ q(1, 2);
+  q.function(0).set_weights({1.0 / 3.0, -2.0e-15});
+  std::ostringstream out;
+  save_weights(out, q);
+  std::istringstream in(out.str());
+  const PerActionLinearQ loaded = load_weights(in);
+  EXPECT_DOUBLE_EQ(loaded.function(0).weights()[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(loaded.function(0).weights()[1], -2.0e-15);
+}
+
+}  // namespace
+}  // namespace rlblh

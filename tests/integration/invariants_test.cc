@@ -1,0 +1,157 @@
+// System-level invariants checked over long randomized runs (property-style
+// tests over the full policy/battery/simulator stack).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lowpass.h"
+#include "core/rlblh_policy.h"
+#include "meter/household.h"
+#include "sim/experiment.h"
+
+namespace rlblh {
+namespace {
+
+class DecisionIntervalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DecisionIntervalSweep, PulsesHaveExactWidthAndBatteryStaysLegal) {
+  const std::size_t n_d = GetParam();
+  RlBlhConfig config;
+  config.decision_interval = n_d;
+  config.battery_capacity = 5.0;
+  config.seed = 3;
+  config.enable_reuse = false;
+  config.enable_synthetic = false;
+  RlBlhPolicy policy(config);
+  Simulator sim = make_household_simulator(HouseholdConfig{},
+                                           TouSchedule::srp_plan(), 5.0, 71);
+  for (int d = 0; d < 10; ++d) {
+    const DayResult day = sim.run_day(policy);
+    // Rectangular pulses: constant within every decision interval.
+    for (std::size_t n = 0; n < day.readings.intervals(); ++n) {
+      ASSERT_DOUBLE_EQ(day.readings.at(n), day.readings.at(n - n % n_d));
+    }
+    // Readings never exceed x_M (Section II: y_n in [0, x_M]).
+    for (std::size_t n = 0; n < day.readings.intervals(); ++n) {
+      ASSERT_GE(day.readings.at(n), 0.0);
+      ASSERT_LE(day.readings.at(n), config.usage_cap + 1e-12);
+    }
+    // Battery levels recorded by the simulator stay within [0, b_M].
+    for (const double b : day.battery_levels) {
+      ASSERT_GE(b, -1e-12);
+      ASSERT_LE(b, 5.0 + 1e-12);
+    }
+    ASSERT_EQ(day.battery_violations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DecisionIntervalSweep,
+                         ::testing::Values(5, 10, 15, 20, 30));
+
+TEST(Invariants, EnergyConservationAcrossDay) {
+  // With zero violations: sum(y) - sum(x) == level(end) - level(start).
+  RlBlhConfig config;
+  config.battery_capacity = 5.0;
+  config.decision_interval = 15;
+  config.enable_reuse = false;
+  config.enable_synthetic = false;
+  RlBlhPolicy policy(config);
+  Simulator sim = make_household_simulator(HouseholdConfig{},
+                                           TouSchedule::srp_plan(), 5.0, 72);
+  for (int d = 0; d < 10; ++d) {
+    const DayResult day = sim.run_day(policy);
+    ASSERT_EQ(day.battery_violations, 0u);
+    const double start = day.battery_levels.front();
+    const double end = sim.battery().level();
+    ASSERT_NEAR(day.readings.total() - day.usage.total(), end - start, 1e-9);
+  }
+}
+
+TEST(Invariants, SavingsIdentityUnderEveryPolicy) {
+  const TouSchedule prices = TouSchedule::srp_plan();
+  Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0, 73);
+  LowPassConfig lp_config;
+  lp_config.battery_capacity = 5.0;
+  LowPassPolicy lp(lp_config);
+  for (int d = 0; d < 10; ++d) {
+    const DayResult day = sim.run_day(lp);
+    ASSERT_NEAR(day.savings_cents + day.bill_cents, day.usage_cost_cents,
+                1e-9);
+  }
+}
+
+TEST(Invariants, LossyBatteryStillLegalUnderRlBlh) {
+  // Footnote 2: with charge/discharge losses the feasibility rule is no
+  // longer airtight, but the physical battery must still clip into
+  // [0, b_M] and the simulator must report what the grid actually served.
+  RlBlhConfig config;
+  config.battery_capacity = 5.0;
+  config.decision_interval = 15;
+  config.enable_reuse = false;
+  config.enable_synthetic = false;
+  RlBlhPolicy policy(config);
+  auto source = std::make_unique<HouseholdTraceSource>(HouseholdConfig{}, 74);
+  Battery lossy(5.0, 2.5, /*charge_efficiency=*/0.92,
+                /*discharge_efficiency=*/0.92);
+  Simulator sim(std::move(source), TouSchedule::srp_plan(), lossy);
+  for (int d = 0; d < 20; ++d) {
+    const DayResult day = sim.run_day(policy);
+    for (const double b : day.battery_levels) {
+      ASSERT_GE(b, -1e-12);
+      ASSERT_LE(b, 5.0 + 1e-12);
+    }
+    // Readings may exceed the scheduled pulse only by the served shortfall,
+    // never below zero.
+    for (std::size_t n = 0; n < day.readings.intervals(); ++n) {
+      ASSERT_GE(day.readings.at(n), 0.0);
+    }
+  }
+}
+
+TEST(Invariants, LowPassBatteryStaysLegal) {
+  LowPassConfig config;
+  config.battery_capacity = 3.0;
+  LowPassPolicy policy(config);
+  Simulator sim = make_household_simulator(HouseholdConfig{},
+                                           TouSchedule::srp_plan(), 3.0, 75);
+  for (int d = 0; d < 20; ++d) {
+    const DayResult day = sim.run_day(policy);
+    for (const double b : day.battery_levels) {
+      ASSERT_GE(b, -1e-12);
+      ASSERT_LE(b, 3.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Invariants, LongRunStabilityWithFullHeuristics) {
+  // 60 days with the paper's full heuristic schedule: no violations, no
+  // NaNs in the weights, day stats recorded for every day.
+  RlBlhConfig config;
+  config.battery_capacity = 5.0;
+  config.decision_interval = 15;
+  config.seed = 9;
+  config.reuse_repeats = 30;      // lighter than the paper, same schedule
+  config.synthetic_repeats = 100;
+  RlBlhPolicy policy(config);
+  Simulator sim = make_household_simulator(HouseholdConfig{},
+                                           TouSchedule::srp_plan(), 5.0, 76);
+  for (int d = 0; d < 60; ++d) {
+    const DayResult day = sim.run_day(policy);
+    ASSERT_EQ(day.battery_violations, 0u);
+  }
+  ASSERT_EQ(policy.day_stats().size(), 60u);
+  for (std::size_t a = 0; a < config.num_actions; ++a) {
+    for (const double w : policy.q().function(a).weights()) {
+      ASSERT_TRUE(std::isfinite(w));
+    }
+  }
+  // TD error must have come down from its early level (convergence).
+  const auto& stats = policy.day_stats();
+  double early = 0.0, late = 0.0;
+  for (int d = 0; d < 5; ++d) early += stats[static_cast<std::size_t>(d)].mean_abs_td_error;
+  for (int d = 55; d < 60; ++d) late += stats[static_cast<std::size_t>(d)].mean_abs_td_error;
+  EXPECT_LT(late, early);
+}
+
+}  // namespace
+}  // namespace rlblh

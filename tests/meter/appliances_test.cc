@@ -1,0 +1,249 @@
+#include "meter/appliances.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+Occupancy typical_day() {
+  Occupancy occ;
+  occ.away_all_day = false;
+  occ.wake = 390;
+  occ.leave = 480;
+  occ.back = 1050;
+  occ.sleep = 1380;
+  occ.works_away = true;
+  return occ;
+}
+
+TEST(Occupancy, HomeAndActivePredicates) {
+  const Occupancy occ = typical_day();
+  EXPECT_TRUE(occ.home(100));      // asleep but home
+  EXPECT_FALSE(occ.active(100));   // asleep
+  EXPECT_TRUE(occ.active(400));    // awake, pre-work
+  EXPECT_FALSE(occ.home(600));     // at work
+  EXPECT_TRUE(occ.active(1100));   // evening
+  EXPECT_FALSE(occ.active(1400));  // asleep again
+}
+
+TEST(Occupancy, VacancyDayIsNeverHome) {
+  Occupancy occ = typical_day();
+  occ.away_all_day = true;
+  for (std::size_t n = 0; n < 1440; n += 60) {
+    EXPECT_FALSE(occ.home(n));
+    EXPECT_FALSE(occ.active(n));
+  }
+}
+
+TEST(Occupancy, StayHomeDayIsAlwaysHome) {
+  Occupancy occ = typical_day();
+  occ.works_away = false;
+  EXPECT_TRUE(occ.home(600));
+  EXPECT_TRUE(occ.active(600));
+}
+
+TEST(Refrigerator, ProducesPeriodicCycles) {
+  Refrigerator fridge;
+  Rng rng(1);
+  DayTrace trace(1440);
+  std::vector<ApplianceEvent> events;
+  fridge.generate(typical_day(), rng, trace, 0.08, &events);
+  // A ~56-minute nominal cycle gives on the order of 20-35 runs per day.
+  EXPECT_GE(events.size(), 15u);
+  EXPECT_LE(events.size(), 45u);
+  for (const auto& e : events) EXPECT_EQ(e.appliance, "refrigerator");
+  EXPECT_GT(trace.total(), 0.5);  // roughly 1.5 kWh/day
+  EXPECT_LT(trace.total(), 3.0);
+}
+
+TEST(Refrigerator, RunsEvenWhenNobodyHome) {
+  Refrigerator fridge;
+  Rng rng(2);
+  DayTrace trace(1440);
+  Occupancy occ = typical_day();
+  occ.away_all_day = true;
+  fridge.generate(occ, rng, trace, 0.08, nullptr);
+  EXPECT_GT(trace.total(), 0.5);
+}
+
+TEST(Refrigerator, RejectsBadParameters) {
+  EXPECT_THROW(Refrigerator(0.0), ConfigError);
+  EXPECT_THROW(Refrigerator(0.01, 0, 10), ConfigError);
+}
+
+TEST(Hvac, SetbackReducesConsumptionWhenAway) {
+  Rng rng1(3), rng2(3);
+  Hvac hvac;
+  DayTrace home_trace(1440), away_trace(1440);
+  Occupancy home = typical_day();
+  home.works_away = false;
+  Occupancy away = typical_day();
+  away.away_all_day = true;
+  hvac.generate(home, rng1, home_trace, 0.08, nullptr);
+  hvac.generate(away, rng2, away_trace, 0.08, nullptr);
+  EXPECT_GT(home_trace.total(), away_trace.total());
+}
+
+TEST(Hvac, RejectsBadDutyCycle) {
+  EXPECT_THROW(Hvac(0.03, 0.5, 0.4), ConfigError);   // peak < base
+  EXPECT_THROW(Hvac(0.03, -0.1, 0.4), ConfigError);
+  EXPECT_THROW(Hvac(0.03, 0.1, 0.4, 1.5), ConfigError);
+}
+
+TEST(WaterHeater, MorningRecoveryFollowsWake) {
+  WaterHeater wh;
+  Rng rng(4);
+  DayTrace trace(1440);
+  std::vector<ApplianceEvent> events;
+  wh.generate(typical_day(), rng, trace, 0.08, &events);
+  // At least the morning and evening draws plus standby reheats.
+  EXPECT_GE(events.size(), 4u);
+  bool morning_run = false;
+  for (const auto& e : events) {
+    if (e.start >= 395 && e.start <= 470 && e.duration >= 10) {
+      morning_run = true;
+    }
+  }
+  EXPECT_TRUE(morning_run);
+}
+
+TEST(WaterHeater, OnlyStandbyOnVacancyDays) {
+  WaterHeater wh;
+  Rng rng(5);
+  DayTrace trace(1440);
+  std::vector<ApplianceEvent> events;
+  Occupancy occ = typical_day();
+  occ.away_all_day = true;
+  wh.generate(occ, rng, trace, 0.08, &events);
+  for (const auto& e : events) EXPECT_LE(e.duration, 8u);
+}
+
+TEST(Lighting, OnlyDuringDarkActiveHours) {
+  Lighting lights;
+  Rng rng(6);
+  DayTrace trace(1440);
+  lights.generate(typical_day(), rng, trace, 0.08, nullptr);
+  // Mid-day (bright) and deep night (asleep) must be dark.
+  EXPECT_DOUBLE_EQ(trace.at(720), 0.0);
+  EXPECT_DOUBLE_EQ(trace.at(60), 0.0);
+  // Some evening interval is lit.
+  double evening = 0.0;
+  for (std::size_t n = 1100; n < 1380; ++n) evening += trace.at(n);
+  EXPECT_GT(evening, 0.0);
+}
+
+TEST(Cooking, SkipsVacancyDays) {
+  Cooking cooking;
+  Rng rng(7);
+  DayTrace trace(1440);
+  Occupancy occ = typical_day();
+  occ.away_all_day = true;
+  cooking.generate(occ, rng, trace, 0.08, nullptr);
+  EXPECT_DOUBLE_EQ(trace.total(), 0.0);
+}
+
+TEST(Dishwasher, ProbabilityZeroNeverRuns) {
+  Dishwasher dw(0.018, 0.0);
+  Rng rng(8);
+  for (int day = 0; day < 20; ++day) {
+    DayTrace trace(1440);
+    dw.generate(typical_day(), rng, trace, 0.08, nullptr);
+    EXPECT_DOUBLE_EQ(trace.total(), 0.0);
+  }
+}
+
+TEST(Dishwasher, ProbabilityOneAlwaysRuns) {
+  Dishwasher dw(0.018, 1.0);
+  Rng rng(9);
+  for (int day = 0; day < 20; ++day) {
+    DayTrace trace(1440);
+    dw.generate(typical_day(), rng, trace, 0.08, nullptr);
+    EXPECT_GT(trace.total(), 0.0);
+  }
+}
+
+TEST(Laundry, DryerFollowsWasher) {
+  Laundry laundry(0.008, 0.05, 1.0);
+  Rng rng(10);
+  DayTrace trace(1440);
+  std::vector<ApplianceEvent> events;
+  laundry.generate(typical_day(), rng, trace, 0.08, &events);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GE(events[1].start, events[0].start + events[0].duration);
+  EXPECT_GT(events[1].power, events[0].power);  // dryer draws more
+}
+
+TEST(Electronics, StandbyFloorIsAlwaysPresent) {
+  Electronics electronics(0.001, 0.003);
+  Rng rng(11);
+  DayTrace trace(1440);
+  Occupancy occ = typical_day();
+  occ.away_all_day = true;
+  electronics.generate(occ, rng, trace, 0.08, nullptr);
+  for (std::size_t n = 0; n < 1440; n += 97) {
+    EXPECT_GE(trace.at(n), 0.001 - 1e-12);
+  }
+  EXPECT_THROW(Electronics(0.01, 0.005), ConfigError);  // active < standby
+}
+
+TEST(Appliance, AllGeneratedValuesRespectCap) {
+  // Stack every appliance on one trace with a tight cap; nothing may exceed it.
+  const double cap = 0.05;
+  DayTrace trace(1440);
+  Rng rng(12);
+  const Occupancy occ = typical_day();
+  Refrigerator().generate(occ, rng, trace, cap, nullptr);
+  Hvac().generate(occ, rng, trace, cap, nullptr);
+  WaterHeater().generate(occ, rng, trace, cap, nullptr);
+  Lighting().generate(occ, rng, trace, cap, nullptr);
+  Cooking().generate(occ, rng, trace, cap, nullptr);
+  Dishwasher(0.018, 1.0).generate(occ, rng, trace, cap, nullptr);
+  Laundry(0.008, 0.05, 1.0).generate(occ, rng, trace, cap, nullptr);
+  Electronics().generate(occ, rng, trace, cap, nullptr);
+  EXPECT_LE(trace.peak(), cap + 1e-12);
+}
+
+
+TEST(EvCharger, ChargesOvernightInTheCheapZone) {
+  EvCharger ev(0.03, 1.0);
+  Rng rng(13);
+  DayTrace trace(1440);
+  std::vector<ApplianceEvent> events;
+  ev.generate(typical_day(), rng, trace, 0.08, &events);
+  ASSERT_EQ(events.size(), 1u);
+  // Timer-driven: the session starts shortly after midnight.
+  EXPECT_LT(events[0].start, 180u);
+  EXPECT_GE(events[0].duration, 40u);
+  // All energy lands before the SRP zone boundary (n = 1020).
+  double early = 0.0;
+  for (std::size_t n = 0; n < 300; ++n) early += trace.at(n);
+  EXPECT_NEAR(early, trace.total(), 1e-9);
+}
+
+TEST(EvCharger, SkipsVacancyDays) {
+  EvCharger ev(0.03, 1.0);
+  Rng rng(14);
+  DayTrace trace(1440);
+  Occupancy occ = typical_day();
+  occ.away_all_day = true;
+  ev.generate(occ, rng, trace, 0.08, nullptr);
+  EXPECT_DOUBLE_EQ(trace.total(), 0.0);
+}
+
+TEST(EvCharger, ProbabilityZeroNeverCharges) {
+  EvCharger ev(0.03, 0.0);
+  Rng rng(15);
+  for (int day = 0; day < 10; ++day) {
+    DayTrace trace(1440);
+    ev.generate(typical_day(), rng, trace, 0.08, nullptr);
+    EXPECT_DOUBLE_EQ(trace.total(), 0.0);
+  }
+  EXPECT_THROW(EvCharger(0.0, 0.5), ConfigError);
+  EXPECT_THROW(EvCharger(0.03, 1.5), ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh

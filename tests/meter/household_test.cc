@@ -1,0 +1,189 @@
+#include "meter/household.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/running_stats.h"
+
+namespace rlblh {
+namespace {
+
+TEST(HouseholdConfig, DefaultValidates) {
+  HouseholdConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(HouseholdConfig, RejectsInconsistentSchedules) {
+  HouseholdConfig config;
+  config.leave_mean = config.wake_mean - 10.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = HouseholdConfig{};
+  config.sleep_mean = config.back_mean - 1.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = HouseholdConfig{};
+  config.vacancy_probability = 1.5;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = HouseholdConfig{};
+  config.usage_cap = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = HouseholdConfig{};
+  config.appliance_scale = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(HouseholdModel, DeterministicGivenSeed) {
+  HouseholdModel a(HouseholdConfig{}, 5);
+  HouseholdModel b(HouseholdConfig{}, 5);
+  const DayTrace da = a.generate_day();
+  const DayTrace db = b.generate_day();
+  for (std::size_t n = 0; n < da.intervals(); ++n) {
+    ASSERT_DOUBLE_EQ(da.at(n), db.at(n));
+  }
+}
+
+TEST(HouseholdModel, DifferentSeedsProduceDifferentDays) {
+  HouseholdModel a(HouseholdConfig{}, 5);
+  HouseholdModel b(HouseholdConfig{}, 6);
+  EXPECT_NE(a.generate_day().total(), b.generate_day().total());
+}
+
+TEST(HouseholdModel, UsageRespectsCap) {
+  HouseholdModel model(HouseholdConfig{}, 7);
+  for (int day = 0; day < 20; ++day) {
+    const DayTrace trace = model.generate_day();
+    ASSERT_LE(trace.peak(), model.config().usage_cap + 1e-12);
+  }
+}
+
+TEST(HouseholdModel, DailyEnergyInRealisticBand) {
+  // The paper's trace yields a ~1.65 dollars/day bill; our substitute
+  // household should land in the same order of magnitude: 8-25 kWh/day.
+  HouseholdModel model(HouseholdConfig{}, 8);
+  RunningStats total;
+  for (int day = 0; day < 50; ++day) total.add(model.generate_day().total());
+  EXPECT_GT(total.mean(), 8.0);
+  EXPECT_LT(total.mean(), 25.0);
+}
+
+TEST(HouseholdModel, DayToDayVariability) {
+  HouseholdModel model(HouseholdConfig{}, 9);
+  RunningStats total;
+  for (int day = 0; day < 50; ++day) total.add(model.generate_day().total());
+  EXPECT_GT(total.stddev(), 0.3);  // days must differ meaningfully
+}
+
+TEST(HouseholdModel, DiurnalShapeEveningHeavierThanNight) {
+  HouseholdModel model(HouseholdConfig{}, 10);
+  double night = 0.0, evening = 0.0;
+  for (int day = 0; day < 30; ++day) {
+    const DayTrace t = model.generate_day();
+    for (std::size_t n = 60; n < 300; ++n) night += t.at(n);      // 1:00-5:00
+    for (std::size_t n = 1080; n < 1320; ++n) evening += t.at(n);  // 18-22:00
+  }
+  EXPECT_GT(evening, 1.5 * night);
+}
+
+TEST(HouseholdModel, EventsAreWithinDayAndNamed) {
+  HouseholdModel model(HouseholdConfig{}, 11);
+  std::vector<ApplianceEvent> events;
+  model.generate_day(&events);
+  EXPECT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_FALSE(e.appliance.empty());
+    EXPECT_LT(e.start, kIntervalsPerDay);
+    EXPECT_LE(e.start + e.duration, kIntervalsPerDay);
+    EXPECT_GT(e.power, 0.0);
+  }
+}
+
+TEST(HouseholdModel, OccupancyOrderingAlwaysHolds) {
+  HouseholdModel model(HouseholdConfig{}, 12);
+  for (int i = 0; i < 200; ++i) {
+    const Occupancy occ = model.sample_occupancy();
+    EXPECT_LT(occ.wake, occ.leave);
+    EXPECT_LT(occ.leave, occ.back);
+    EXPECT_LT(occ.back, occ.sleep);
+    EXPECT_LT(occ.sleep, kIntervalsPerDay);
+  }
+}
+
+TEST(HouseholdModel, ApplianceScaleScalesEnergy) {
+  HouseholdConfig small;
+  small.appliance_scale = 0.5;
+  HouseholdModel big(HouseholdConfig{}, 13);
+  HouseholdModel half(small, 13);
+  RunningStats big_total, half_total;
+  for (int day = 0; day < 20; ++day) {
+    big_total.add(big.generate_day().total());
+    half_total.add(half.generate_day().total());
+  }
+  EXPECT_LT(half_total.mean(), 0.7 * big_total.mean());
+}
+
+TEST(HouseholdModel, SetConfigTakesEffect) {
+  HouseholdModel model(HouseholdConfig{}, 14);
+  HouseholdConfig vacant;
+  vacant.vacancy_probability = 1.0;  // always away
+  model.set_config(vacant);
+  RunningStats total;
+  for (int day = 0; day < 10; ++day) total.add(model.generate_day().total());
+  // Vacant days: only fridge + HVAC setback + standby remain.
+  EXPECT_LT(total.mean(), 12.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(model.sample_occupancy().away_all_day);
+  }
+}
+
+TEST(HouseholdModel, SetConfigCannotChangeIntervalCount) {
+  HouseholdModel model(HouseholdConfig{}, 15);
+  HouseholdConfig other;
+  other.intervals = 720;
+  other.wake_mean = 200; other.leave_mean = 250;
+  other.back_mean = 500; other.sleep_mean = 700;
+  EXPECT_THROW(model.set_config(other), ConfigError);
+}
+
+TEST(HouseholdTraceSource, ImplementsTraceSourceContract) {
+  HouseholdTraceSource source(HouseholdConfig{}, 16);
+  EXPECT_EQ(source.intervals(), kIntervalsPerDay);
+  EXPECT_DOUBLE_EQ(source.usage_cap(), kDefaultUsageCap);
+  const DayTrace day = source.next_day();
+  EXPECT_EQ(day.intervals(), kIntervalsPerDay);
+}
+
+
+TEST(HouseholdModel, EvKnobAddsOvernightLoad) {
+  HouseholdConfig with_ev;
+  with_ev.ev_probability = 1.0;
+  HouseholdModel plain(HouseholdConfig{}, 30);
+  HouseholdModel ev(with_ev, 30);
+  double plain_night = 0.0, ev_night = 0.0;
+  for (int day = 0; day < 20; ++day) {
+    const DayTrace p = plain.generate_day();
+    const DayTrace e = ev.generate_day();
+    for (std::size_t n = 0; n < 240; ++n) {
+      plain_night += p.at(n);
+      ev_night += e.at(n);
+    }
+  }
+  EXPECT_GT(ev_night, plain_night + 10.0);  // ~1.5-2 kWh per night extra
+}
+
+TEST(HouseholdModel, KnobValidation) {
+  HouseholdConfig config;
+  config.hvac_setback = 1.5;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = HouseholdConfig{};
+  config.ev_probability = -0.1;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = HouseholdConfig{};
+  config.ev_power = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh

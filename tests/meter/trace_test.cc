@@ -1,0 +1,118 @@
+#include "meter/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = ::testing::TempDir() + "/trace_test_" +
+            std::to_string(counter_++) + ".csv";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+
+int TempFile::counter_ = 0;
+
+TEST(DayTrace, DefaultIsFullDayOfZeros) {
+  DayTrace t;
+  EXPECT_EQ(t.intervals(), kIntervalsPerDay);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 0.0);
+}
+
+TEST(DayTrace, RejectsBadValues) {
+  EXPECT_THROW(DayTrace(std::vector<double>{}), ConfigError);
+  EXPECT_THROW(DayTrace(std::vector<double>{1.0, -0.1}), ConfigError);
+  DayTrace t(4);
+  EXPECT_THROW(t.set(0, -1.0), ConfigError);
+  EXPECT_THROW(t.set(4, 0.0), ConfigError);
+  EXPECT_THROW(t.at(4), ConfigError);
+}
+
+TEST(DayTrace, Aggregates) {
+  DayTrace t(std::vector<double>{1.0, 2.0, 3.0, 6.0});
+  EXPECT_DOUBLE_EQ(t.total(), 12.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 6.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 3.0);
+}
+
+TEST(DayTrace, AddClampedRespectsCap) {
+  DayTrace t(2);
+  t.add_clamped(0, 0.05, 0.08);
+  t.add_clamped(0, 0.05, 0.08);
+  EXPECT_DOUBLE_EQ(t.at(0), 0.08);
+  t.add_clamped(1, 0.05, 0.0);  // cap <= 0 means uncapped
+  t.add_clamped(1, 0.05, 0.0);
+  EXPECT_DOUBLE_EQ(t.at(1), 0.10);
+  EXPECT_THROW(t.add_clamped(0, -0.1, 0.08), ConfigError);
+}
+
+TEST(CsvTraceSource, LoadsAndWrapsAround) {
+  TempFile file("usage_kwh\n0.01\n0.02\n0.03\n0.04\n0.05\n0.06\n");
+  CsvTraceSource source(file.path(), /*intervals_per_day=*/3,
+                        /*usage_cap=*/0.08, /*has_header=*/true);
+  EXPECT_EQ(source.day_count(), 2u);
+  EXPECT_EQ(source.intervals(), 3u);
+  const DayTrace d1 = source.next_day();
+  EXPECT_DOUBLE_EQ(d1.at(0), 0.01);
+  const DayTrace d2 = source.next_day();
+  EXPECT_DOUBLE_EQ(d2.at(2), 0.06);
+  const DayTrace d3 = source.next_day();  // wraps to day 1
+  EXPECT_DOUBLE_EQ(d3.at(0), 0.01);
+}
+
+TEST(CsvTraceSource, RejectsPartialDays) {
+  TempFile file("0.01\n0.02\n0.03\n0.04\n");
+  EXPECT_THROW(CsvTraceSource(file.path(), 3, 0.08, false), DataError);
+}
+
+TEST(CsvTraceSource, RejectsValuesAboveCap) {
+  TempFile file("0.01\n0.50\n0.03\n");
+  EXPECT_THROW(CsvTraceSource(file.path(), 3, 0.08, false), DataError);
+}
+
+TEST(CsvTraceSource, RejectsNegativeValues) {
+  TempFile file("0.01\n-0.02\n0.03\n");
+  EXPECT_THROW(CsvTraceSource(file.path(), 3, 0.08, false), DataError);
+}
+
+TEST(CsvTraceSource, RejectsEmptyFile) {
+  TempFile file("# nothing but comments\n");
+  EXPECT_THROW(CsvTraceSource(file.path(), 3, 0.08, false), DataError);
+}
+
+TEST(CsvTraceSource, RejectsMissingFile) {
+  EXPECT_THROW(CsvTraceSource("/no/such/file.csv", 3, 0.08, false), DataError);
+}
+
+TEST(WriteTracesCsv, RoundTripsThroughSource) {
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.csv";
+  std::vector<DayTrace> days;
+  days.emplace_back(std::vector<double>{0.01, 0.02});
+  days.emplace_back(std::vector<double>{0.03, 0.04});
+  write_traces_csv(path, days);
+  CsvTraceSource source(path, 2, 0.08, /*has_header=*/true);
+  EXPECT_EQ(source.day_count(), 2u);
+  EXPECT_DOUBLE_EQ(source.next_day().at(1), 0.02);
+  EXPECT_DOUBLE_EQ(source.next_day().at(0), 0.03);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rlblh

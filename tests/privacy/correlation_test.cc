@@ -1,0 +1,96 @@
+#include "privacy/correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+TEST(PearsonCorrelation, PerfectPositive) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, InvariantToAffineTransform) {
+  Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  const double base = pearson_correlation(x, y);
+  std::vector<double> y2;
+  for (const double v : y) y2.push_back(3.0 * v + 7.0);
+  EXPECT_NEAR(pearson_correlation(x, y2), base, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSeriesYieldsZero) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, flat), 0.0);
+  EXPECT_DOUBLE_EQ(pearson_correlation(flat, x), 0.0);
+}
+
+TEST(PearsonCorrelation, IndependentSeriesNearZero) {
+  Rng rng(2);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), 0.0, 0.03);
+}
+
+TEST(PearsonCorrelation, AlwaysInUnitInterval) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 30; ++i) {
+      x.push_back(rng.normal(0.0, 1.0));
+      y.push_back(0.5 * x.back() + rng.normal(0.0, 0.5));
+    }
+    const double cc = pearson_correlation(x, y);
+    EXPECT_GE(cc, -1.0 - 1e-12);
+    EXPECT_LE(cc, 1.0 + 1e-12);
+  }
+}
+
+TEST(PearsonCorrelation, RejectsBadInput) {
+  const std::vector<double> empty;
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW(pearson_correlation(empty, empty), ConfigError);
+  EXPECT_THROW(pearson_correlation(one, two), ConfigError);
+}
+
+TEST(PearsonCorrelation, DayTraceOverload) {
+  DayTrace x(std::vector<double>{0.0, 0.1, 0.2});
+  DayTrace y(std::vector<double>{0.0, 0.2, 0.4});
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationAccumulator, AveragesAcrossDays) {
+  CorrelationAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.mean_cc(), 0.0);
+  acc.observe_day(DayTrace(std::vector<double>{1.0, 2.0, 3.0}),
+                  DayTrace(std::vector<double>{1.0, 2.0, 3.0}));
+  acc.observe_day(DayTrace(std::vector<double>{1.0, 2.0, 3.0}),
+                  DayTrace(std::vector<double>{3.0, 2.0, 1.0}));
+  EXPECT_EQ(acc.days(), 2u);
+  EXPECT_NEAR(acc.mean_cc(), 0.0, 1e-12);  // +1 and -1 average to 0
+  EXPECT_NEAR(acc.stddev_cc(), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,76 @@
+#include "privacy/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TouSchedule simple_prices() {
+  return TouSchedule::two_zone(4, 2, 1.0, 3.0);
+}
+
+TEST(DailySavings, MatchesEquation3) {
+  // S = sum r_n (x_n - y_n).
+  const DayTrace x(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  const DayTrace y(std::vector<double>{2.0, 2.0, 0.0, 0.0});
+  // S = 1*(1-2) + 1*(1-2) + 3*(1-0) + 3*(1-0) = -2 + 6 = 4.
+  EXPECT_DOUBLE_EQ(daily_savings_cents(x, y, simple_prices()), 4.0);
+}
+
+TEST(DailySavings, ZeroWhenReadingsEqualUsage) {
+  const DayTrace x(std::vector<double>{0.5, 0.25, 0.75, 1.0});
+  EXPECT_DOUBLE_EQ(daily_savings_cents(x, x, simple_prices()), 0.0);
+}
+
+TEST(DailySavings, RejectsLengthMismatch) {
+  const DayTrace x(std::vector<double>{1.0, 1.0});
+  const DayTrace y(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  EXPECT_THROW(daily_savings_cents(x, y, simple_prices()), ConfigError);
+}
+
+TEST(DailyBillAndCost, PriceWeightedSums) {
+  const DayTrace x(std::vector<double>{1.0, 0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(daily_usage_cost_cents(x, simple_prices()), 4.0);
+  EXPECT_DOUBLE_EQ(daily_bill_cents(x, simple_prices()), 4.0);
+}
+
+TEST(SavingRatioAccumulator, MatchesEquation22) {
+  SavingRatioAccumulator acc;
+  const DayTrace x(std::vector<double>{1.0, 1.0, 1.0, 1.0});  // cost = 8
+  const DayTrace y(std::vector<double>{2.0, 2.0, 0.0, 0.0});  // S = 4
+  acc.observe_day(x, y, simple_prices());
+  EXPECT_DOUBLE_EQ(acc.saving_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.mean_daily_savings_cents(), 4.0);
+  EXPECT_EQ(acc.days(), 1u);
+}
+
+TEST(SavingRatioAccumulator, AveragesPerDayRatios) {
+  SavingRatioAccumulator acc;
+  const DayTrace x(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  const DayTrace y_half(std::vector<double>{2.0, 2.0, 0.0, 0.0});  // SR 0.5
+  acc.observe_day(x, y_half, simple_prices());
+  acc.observe_day(x, x, simple_prices());  // SR 0
+  EXPECT_DOUBLE_EQ(acc.saving_ratio(), 0.25);
+}
+
+TEST(SavingRatioAccumulator, NegativeSavingsAreCounted) {
+  SavingRatioAccumulator acc;
+  const DayTrace x(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  const DayTrace y(std::vector<double>{0.0, 0.0, 2.0, 2.0});  // S = -4
+  acc.observe_day(x, y, simple_prices());
+  EXPECT_DOUBLE_EQ(acc.saving_ratio(), -0.5);
+}
+
+TEST(SavingRatioAccumulator, SkipsZeroUsageDays) {
+  SavingRatioAccumulator acc;
+  const DayTrace zero(std::vector<double>{0.0, 0.0, 0.0, 0.0});
+  const DayTrace y(std::vector<double>{1.0, 0.0, 0.0, 0.0});
+  acc.observe_day(zero, y, simple_prices());
+  EXPECT_EQ(acc.days(), 0u);
+  EXPECT_DOUBLE_EQ(acc.saving_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace rlblh

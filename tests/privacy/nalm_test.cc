@@ -1,0 +1,128 @@
+#include "privacy/nalm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+/// A flat baseline with one rectangular appliance activation on top.
+DayTrace pulse_day(std::size_t start, std::size_t duration, double power,
+                   double base = 0.001, std::size_t day_len = 200) {
+  DayTrace t(std::vector<double>(day_len, base));
+  for (std::size_t n = start; n < start + duration; ++n) {
+    t.set(n, base + power);
+  }
+  return t;
+}
+
+TEST(NalmDetect, FindsSingleCleanActivation) {
+  const DayTrace day = pulse_day(50, 20, 0.03);
+  const auto events = nalm_detect(day);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start, 50u);
+  EXPECT_EQ(events[0].duration, 20u);
+  EXPECT_NEAR(events[0].power, 0.03, 1e-9);
+}
+
+TEST(NalmDetect, IgnoresSubThresholdLoads) {
+  const DayTrace day = pulse_day(50, 20, 0.002);  // below 0.004 threshold
+  EXPECT_TRUE(nalm_detect(day).empty());
+}
+
+TEST(NalmDetect, FlatStreamYieldsNothing) {
+  const DayTrace day(std::vector<double>(200, 0.01));
+  EXPECT_TRUE(nalm_detect(day).empty());
+}
+
+TEST(NalmDetect, SeparatesTwoDistinctAppliances) {
+  DayTrace day(std::vector<double>(300, 0.001));
+  for (std::size_t n = 40; n < 60; ++n) day.set(n, 0.001 + 0.03);
+  for (std::size_t n = 150; n < 200; ++n) day.set(n, 0.001 + 0.01);
+  const auto events = nalm_detect(day);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start, 40u);
+  EXPECT_EQ(events[1].start, 150u);
+}
+
+TEST(NalmDetect, PairsOverlappingAppliancesByPower) {
+  // Appliance A (0.03) turns on, then B (0.01) on, A off, B off. The falling
+  // edge of A must pair with A's rising edge despite B's edges between.
+  DayTrace day(std::vector<double>(300, 0.001));
+  for (std::size_t n = 40; n < 100; ++n) day.add_clamped(n, 0.03, 0.0);
+  for (std::size_t n = 60; n < 140; ++n) day.add_clamped(n, 0.01, 0.0);
+  const auto events = nalm_detect(day);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start, 40u);
+  EXPECT_EQ(events[0].duration, 60u);
+  EXPECT_NEAR(events[0].power, 0.03, 1e-9);
+  EXPECT_EQ(events[1].start, 60u);
+  EXPECT_EQ(events[1].duration, 80u);
+}
+
+TEST(NalmDetect, RespectsMaxDuration) {
+  NalmConfig config;
+  config.max_duration = 10;
+  const DayTrace day = pulse_day(50, 50, 0.03);
+  EXPECT_TRUE(nalm_detect(day, config).empty());
+}
+
+TEST(NalmDetect, RejectsBadConfig) {
+  NalmConfig config;
+  config.edge_threshold = 0.0;
+  EXPECT_THROW(nalm_detect(DayTrace(10), config), ConfigError);
+  config = NalmConfig{};
+  config.power_tolerance = -0.1;
+  EXPECT_THROW(nalm_detect(DayTrace(10), config), ConfigError);
+}
+
+TEST(NalmScore, PerfectDetectionScoresOne) {
+  const std::vector<ApplianceEvent> truth{{"dryer", 50, 20, 0.03}};
+  const DayTrace day = pulse_day(50, 20, 0.03);
+  const NalmScore score = nalm_score(nalm_detect(day), truth);
+  EXPECT_EQ(score.true_events, 1u);
+  EXPECT_EQ(score.matched, 1u);
+  EXPECT_DOUBLE_EQ(score.detection_rate(), 1.0);
+}
+
+TEST(NalmScore, FlatStreamScoresZero) {
+  const std::vector<ApplianceEvent> truth{{"dryer", 50, 20, 0.03}};
+  const DayTrace flat(std::vector<double>(200, 0.01));
+  const NalmScore score = nalm_score(nalm_detect(flat), truth);
+  EXPECT_EQ(score.true_events, 1u);
+  EXPECT_EQ(score.matched, 0u);
+  EXPECT_DOUBLE_EQ(score.detection_rate(), 0.0);
+}
+
+TEST(NalmScore, SubThresholdTruthIsExcluded) {
+  const std::vector<ApplianceEvent> truth{{"led", 50, 20, 0.0005}};
+  const NalmScore score = nalm_score({}, truth);
+  EXPECT_EQ(score.true_events, 0u);
+  EXPECT_DOUBLE_EQ(score.detection_rate(), 0.0);
+}
+
+TEST(NalmScore, PowerMismatchDoesNotMatch) {
+  const std::vector<ApplianceEvent> truth{{"dryer", 50, 20, 0.03}};
+  const std::vector<DetectedEvent> detected{{50, 20, 0.005}};
+  const NalmScore score = nalm_score(detected, truth);
+  EXPECT_EQ(score.matched, 0u);
+}
+
+TEST(NalmScore, OneDetectionCannotMatchTwoTruths) {
+  const std::vector<ApplianceEvent> truth{{"a", 50, 20, 0.03},
+                                          {"b", 55, 20, 0.03}};
+  const std::vector<DetectedEvent> detected{{50, 25, 0.03}};
+  const NalmScore score = nalm_score(detected, truth);
+  EXPECT_EQ(score.true_events, 2u);
+  EXPECT_EQ(score.matched, 1u);
+}
+
+TEST(NalmScore, NonOverlappingDetectionDoesNotMatch) {
+  const std::vector<ApplianceEvent> truth{{"a", 50, 10, 0.03}};
+  const std::vector<DetectedEvent> detected{{100, 10, 0.03}};
+  EXPECT_EQ(nalm_score(detected, truth).matched, 0u);
+}
+
+}  // namespace
+}  // namespace rlblh

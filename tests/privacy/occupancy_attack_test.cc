@@ -1,0 +1,106 @@
+#include "privacy/occupancy_attack.h"
+
+#include <gtest/gtest.h>
+
+#include "meter/household.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+Occupancy typical_day() {
+  Occupancy occ;
+  occ.wake = 390;
+  occ.leave = 480;
+  occ.back = 1050;
+  occ.sleep = 1380;
+  occ.works_away = true;
+  return occ;
+}
+
+TEST(OccupancyAttack, RejectsBadConfig) {
+  OccupancyAttackConfig config;
+  config.window = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = OccupancyAttackConfig{};
+  config.quiet_quantile = 0.9;  // above busy
+  EXPECT_THROW(infer_activity(DayTrace(100), config), ConfigError);
+}
+
+TEST(OccupancyAttack, RecoversCleanActivityBlock) {
+  // High draw while active, near-zero otherwise: trivially recoverable.
+  DayTrace readings(1440);
+  const Occupancy occ = typical_day();
+  for (std::size_t n = 0; n < 1440; ++n) {
+    readings.set(n, occ.active(n) ? 0.03 : 0.001);
+  }
+  const auto predicted = infer_activity(readings);
+  const OccupancyScore score = score_activity(predicted, occ);
+  EXPECT_GT(score.balanced_accuracy(), 0.95);
+}
+
+TEST(OccupancyAttack, ChanceLevelOnConstantReadings) {
+  // A flat stream carries no occupancy signal: the detector predicts one
+  // class everywhere, so balanced accuracy is ~0.5.
+  const DayTrace flat(std::vector<double>(1440, 0.02));
+  const auto predicted = infer_activity(flat);
+  const OccupancyScore score = score_activity(predicted, typical_day());
+  EXPECT_NEAR(score.balanced_accuracy(), 0.5, 0.05);
+}
+
+TEST(OccupancyAttack, RawHouseholdLeaksMoreThanNoise) {
+  // On raw meter readings of the synthetic household the attack must beat
+  // chance clearly; on shuffled (time-scrambled) readings it must not.
+  HouseholdModel household(HouseholdConfig{}, 77);
+  Rng rng(1);
+  OccupancyScore raw_score;
+  OccupancyScore scrambled_score;
+  for (int d = 0; d < 15; ++d) {
+    Occupancy occ;
+    const DayTrace day = household.generate_day(nullptr, &occ);
+    raw_score.merge(score_activity(infer_activity(day), occ));
+    // Scramble: destroys the envelope but keeps the value distribution.
+    std::vector<double> values = day.values();
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(i - 1)));
+      std::swap(values[i - 1], values[j]);
+    }
+    scrambled_score.merge(
+        score_activity(infer_activity(DayTrace(values)), occ));
+  }
+  EXPECT_GT(raw_score.balanced_accuracy(), 0.7);
+  EXPECT_LT(scrambled_score.balanced_accuracy(),
+            raw_score.balanced_accuracy() - 0.1);
+}
+
+TEST(OccupancyAttack, ScoreMergeAccumulates) {
+  OccupancyScore a{10, 20, 8, 15};
+  const OccupancyScore b{5, 5, 5, 0};
+  a.merge(b);
+  EXPECT_EQ(a.active_intervals, 15u);
+  EXPECT_EQ(a.inactive_intervals, 25u);
+  EXPECT_EQ(a.active_hits, 13u);
+  EXPECT_EQ(a.inactive_hits, 15u);
+}
+
+TEST(OccupancyAttack, BalancedAccuracyEdgeCases) {
+  const OccupancyScore empty;
+  EXPECT_DOUBLE_EQ(empty.balanced_accuracy(), 0.0);
+  const OccupancyScore one_class{10, 0, 10, 0};
+  EXPECT_DOUBLE_EQ(one_class.balanced_accuracy(), 1.0);
+  EXPECT_THROW(score_activity({}, typical_day()), ConfigError);
+}
+
+TEST(OccupancyAttack, HouseholdGroundTruthIsExposed) {
+  HouseholdModel household(HouseholdConfig{}, 78);
+  Occupancy occ;
+  occ.wake = 9999;  // sentinel: must be overwritten
+  (void)household.generate_day(nullptr, &occ);
+  EXPECT_LT(occ.wake, kIntervalsPerDay);
+  EXPECT_LT(occ.sleep, kIntervalsPerDay);
+}
+
+}  // namespace
+}  // namespace rlblh

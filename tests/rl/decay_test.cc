@@ -1,0 +1,42 @@
+#include "rl/decay.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(InverseSqrtDecay, MatchesFormula) {
+  const InverseSqrtDecay decay(0.05);
+  EXPECT_DOUBLE_EQ(decay.at(1), 0.05);
+  EXPECT_DOUBLE_EQ(decay.at(4), 0.025);
+  EXPECT_DOUBLE_EQ(decay.at(100), 0.005);
+  EXPECT_DOUBLE_EQ(decay.base(), 0.05);
+}
+
+TEST(InverseSqrtDecay, IsMonotoneDecreasing) {
+  const InverseSqrtDecay decay(1.0);
+  double prev = decay.at(1);
+  for (std::size_t d = 2; d <= 50; ++d) {
+    const double v = decay.at(d);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(InverseSqrtDecay, RejectsBadInput) {
+  EXPECT_THROW(InverseSqrtDecay(-0.1), ConfigError);
+  const InverseSqrtDecay decay(1.0);
+  EXPECT_THROW(decay.at(0), ConfigError);
+}
+
+TEST(ConstantSchedule, IsConstant) {
+  const ConstantSchedule s(0.1);
+  EXPECT_DOUBLE_EQ(s.at(1), 0.1);
+  EXPECT_DOUBLE_EQ(s.at(1000), 0.1);
+  EXPECT_THROW(ConstantSchedule(-1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,68 @@
+#include "rl/egreedy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(EpsilonGreedy, ZeroEpsilonAlwaysGreedy) {
+  Rng rng(1);
+  const std::vector<std::size_t> candidates{0, 1, 2, 3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(epsilon_greedy(candidates, 2, 0.0, rng), 2u);
+  }
+}
+
+TEST(EpsilonGreedy, FullEpsilonIsUniform) {
+  Rng rng(2);
+  const std::vector<std::size_t> candidates{0, 1, 2, 3};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[epsilon_greedy(candidates, 0, 1.0, rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 8000.0, 0.25, 0.04);
+  }
+}
+
+TEST(EpsilonGreedy, ExplorationFrequencyMatchesEpsilon) {
+  Rng rng(3);
+  const std::vector<std::size_t> candidates{0, 1};
+  int non_greedy = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (epsilon_greedy(candidates, 0, 0.2, rng) != 0) ++non_greedy;
+  }
+  // Exploring picks uniformly (including the greedy arm), so the observed
+  // non-greedy rate is epsilon * (1 - 1/|A|) = 0.1.
+  EXPECT_NEAR(static_cast<double>(non_greedy) / trials, 0.1, 0.02);
+}
+
+TEST(EpsilonGreedy, SingletonSetAlwaysReturnsIt) {
+  Rng rng(4);
+  const std::vector<std::size_t> candidates{7};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(epsilon_greedy(candidates, 7, 0.5, rng), 7u);
+  }
+}
+
+TEST(EpsilonGreedy, RejectsBadInput) {
+  Rng rng(5);
+  EXPECT_THROW(epsilon_greedy({}, 0, 0.1, rng), ConfigError);
+  EXPECT_THROW(epsilon_greedy({0, 1}, 0, 1.5, rng), ConfigError);
+  EXPECT_THROW(epsilon_greedy({0, 1}, 0, -0.1, rng), ConfigError);
+}
+
+TEST(EpsilonGreedy, ExploredChoiceIsAlwaysACandidate) {
+  Rng rng(6);
+  const std::vector<std::size_t> candidates{3, 5, 9};
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t c = epsilon_greedy(candidates, 5, 0.9, rng);
+    EXPECT_TRUE(c == 3 || c == 5 || c == 9);
+  }
+}
+
+}  // namespace
+}  // namespace rlblh

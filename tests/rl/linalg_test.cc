@@ -1,0 +1,123 @@
+#include "rl/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_THROW(m.at(3, 0), ConfigError);
+  EXPECT_THROW(Matrix(0), ConfigError);
+}
+
+TEST(Matrix, AddOuter) {
+  Matrix m(2);
+  m.add_outer({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 8.0);
+  m.add_outer({1.0, 0.0}, {1.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+  EXPECT_THROW(m.add_outer({1.0}, {1.0, 2.0}), ConfigError);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix m(2);
+  m.add_diagonal(0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(SolveLinearSystem, SolvesIdentity) {
+  Matrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  const SolveResult r = solve_linear_system(a, {3.0, 4.0});
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_DOUBLE_EQ((*r.solution)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*r.solution)[1], 4.0);
+}
+
+TEST(SolveLinearSystem, SolvesGeneralSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+  Matrix a(2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const SolveResult r = solve_linear_system(a, {5.0, 10.0});
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_NEAR((*r.solution)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*r.solution)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivotingToSolve) {
+  // Zero on the initial diagonal; succeeds only with row exchanges.
+  Matrix a(2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const SolveResult r = solve_linear_system(a, {2.0, 7.0});
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_DOUBLE_EQ((*r.solution)[0], 7.0);
+  EXPECT_DOUBLE_EQ((*r.solution)[1], 2.0);
+}
+
+TEST(SolveLinearSystem, DetectsSingularMatrix) {
+  Matrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;  // rank 1
+  const SolveResult r = solve_linear_system(a, {1.0, 2.0});
+  EXPECT_FALSE(r.solution.has_value());
+}
+
+TEST(SolveLinearSystem, DetectsZeroMatrix) {
+  const SolveResult r = solve_linear_system(Matrix(3), {1.0, 2.0, 3.0});
+  EXPECT_FALSE(r.solution.has_value());
+  EXPECT_DOUBLE_EQ(r.min_pivot, 0.0);
+}
+
+TEST(SolveLinearSystem, RejectsDimensionMismatch) {
+  EXPECT_THROW(solve_linear_system(Matrix(2), {1.0}), ConfigError);
+}
+
+TEST(SolveLinearSystem, RandomSystemsRoundTrip) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 6;
+    Matrix a(n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.uniform(-2.0, 2.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(i, j) = rng.uniform(-1.0, 1.0);
+      }
+      a.at(i, i) += 3.0;  // diagonal dominance: well-conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    }
+    const SolveResult r = solve_linear_system(a, b);
+    ASSERT_TRUE(r.solution.has_value());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR((*r.solution)[i], x_true[i], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlblh

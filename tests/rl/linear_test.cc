@@ -1,0 +1,70 @@
+#include "rl/linear.h"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+TEST(LinearFunction, ZeroInitialized) {
+  const LinearFunction f(3);
+  const std::array<double, 3> x{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(f.value(x), 0.0);
+  EXPECT_EQ(f.dimension(), 3u);
+}
+
+TEST(LinearFunction, RejectsBadConstruction) {
+  EXPECT_THROW(LinearFunction(0), ConfigError);
+  EXPECT_THROW(LinearFunction(std::vector<double>{}), ConfigError);
+}
+
+TEST(LinearFunction, ValueIsDotProduct) {
+  const LinearFunction f(std::vector<double>{1.0, -2.0, 0.5});
+  const std::array<double, 3> x{2.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(f.value(x), 2.0 - 2.0 + 2.0);
+}
+
+TEST(LinearFunction, DimensionMismatchThrows) {
+  const LinearFunction f(3);
+  const std::array<double, 2> x{1.0, 2.0};
+  EXPECT_THROW(f.value(x), ConfigError);
+}
+
+TEST(LinearFunction, SgdUpdateMatchesEquation18) {
+  // w_i <- w_i + alpha * delta * f_i.
+  LinearFunction f(std::vector<double>{1.0, 1.0});
+  const std::array<double, 2> x{2.0, -1.0};
+  f.sgd_update(x, /*error=*/0.5, /*step_size=*/0.1);
+  EXPECT_DOUBLE_EQ(f.weights()[0], 1.0 + 0.1 * 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(f.weights()[1], 1.0 + 0.1 * 0.5 * -1.0);
+}
+
+TEST(LinearFunction, SgdConvergesToLeastSquaresTarget) {
+  // Supervised regression sanity check: y = 3 x0 - 2 x1 + 1.
+  LinearFunction f(3);
+  Rng rng(1);
+  for (int step = 0; step < 20000; ++step) {
+    const std::array<double, 3> x{1.0, rng.uniform(-1.0, 1.0),
+                                  rng.uniform(-1.0, 1.0)};
+    const double target = 1.0 + 3.0 * x[1] - 2.0 * x[2];
+    f.sgd_update(x, target - f.value(x), 0.05);
+  }
+  EXPECT_NEAR(f.weights()[0], 1.0, 0.05);
+  EXPECT_NEAR(f.weights()[1], 3.0, 0.05);
+  EXPECT_NEAR(f.weights()[2], -2.0, 0.05);
+}
+
+TEST(LinearFunction, SetWeights) {
+  LinearFunction f(2);
+  f.set_weights({4.0, 5.0});
+  const std::array<double, 2> x{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(f.value(x), 9.0);
+  EXPECT_THROW(f.set_weights({1.0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,101 @@
+#include "rl/lspi.h"
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+TEST(LstdSolver, RejectsBadConstruction) {
+  EXPECT_THROW(LstdSolver(0), ConfigError);
+  EXPECT_THROW(LstdSolver(3, 1.5), ConfigError);
+}
+
+TEST(LstdSolver, RejectsDimensionMismatch) {
+  LstdSolver solver(2);
+  EXPECT_THROW(solver.add_sample({1.0}, {1.0, 0.0}, 1.0), ConfigError);
+}
+
+TEST(LstdSolver, SolvesSupervisedCaseWithTerminalNextState) {
+  // With phi_next = 0 the fixed point is plain least squares: find w with
+  // w . phi = reward.
+  LstdSolver solver(2);
+  Rng rng(1);
+  const std::vector<double> zero{0.0, 0.0};
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> phi{1.0, rng.uniform(-1.0, 1.0)};
+    solver.add_sample(phi, zero, 2.0 + 3.0 * phi[1]);
+  }
+  const SolveResult r = solver.solve();
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_NEAR((*r.solution)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*r.solution)[1], 3.0, 1e-9);
+  EXPECT_EQ(solver.samples(), 500u);
+}
+
+TEST(LstdSolver, SolvesTwoStateChain) {
+  // Chain: s0 -> s1 -> terminal, rewards 1 then 2, gamma = 1.
+  // Tabular features: V(s0) = 3, V(s1) = 2.
+  LstdSolver solver(2);
+  for (int i = 0; i < 10; ++i) {
+    solver.add_sample({1.0, 0.0}, {0.0, 1.0}, 1.0);
+    solver.add_sample({0.0, 1.0}, {0.0, 0.0}, 2.0);
+  }
+  const SolveResult r = solver.solve();
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_NEAR((*r.solution)[0], 3.0, 1e-9);
+  EXPECT_NEAR((*r.solution)[1], 2.0, 1e-9);
+}
+
+TEST(LstdSolver, ReproducesPaperFootnote4NearSingularity) {
+  // Paper Section V footnote 4: consecutive states (k, B_k), (k+1, B_{k+1})
+  // have nearly identical features, so the LSTD matrix is near-singular.
+  // Feed transitions where the battery level barely moves and k advances by
+  // 1/k_M: the feature difference is almost constant -> rank-deficient A.
+  const FeatureBasis basis(96, 5.0);
+  LstdSolver solver(FeatureBasis::kDim);
+  Rng rng(2);
+  const double level = 2.5;  // battery pinned by a balanced policy
+  for (int pass = 0; pass < 20; ++pass) {
+    for (std::size_t k = 0; k + 1 < 96; ++k) {
+      const auto phi = basis.at(k, level);
+      const auto phi_next = basis.at(k + 1, level);
+      solver.add_sample({phi.begin(), phi.end()},
+                        {phi_next.begin(), phi_next.end()},
+                        rng.uniform(-1.0, 1.0));
+    }
+  }
+  const SolveResult r = solver.solve();
+  // The B-direction features never vary, so the system must be declared
+  // near-singular rather than silently returning garbage.
+  EXPECT_FALSE(r.solution.has_value());
+}
+
+TEST(LstdSolver, RidgeRegularizationRestoresSolvability) {
+  const FeatureBasis basis(96, 5.0);
+  LstdSolver solver(FeatureBasis::kDim);
+  Rng rng(3);
+  for (std::size_t k = 0; k + 1 < 96; ++k) {
+    const auto phi = basis.at(k, 2.5);
+    const auto phi_next = basis.at(k + 1, 2.5);
+    solver.add_sample({phi.begin(), phi.end()},
+                      {phi_next.begin(), phi_next.end()}, 1.0);
+  }
+  EXPECT_FALSE(solver.solve().solution.has_value());
+  EXPECT_TRUE(solver.solve(/*ridge=*/1.0).solution.has_value());
+  EXPECT_THROW(solver.solve(-1.0), ConfigError);
+}
+
+TEST(LstdSolver, ResetClears) {
+  LstdSolver solver(2);
+  solver.add_sample({1.0, 0.0}, {0.0, 0.0}, 1.0);
+  solver.reset();
+  EXPECT_EQ(solver.samples(), 0u);
+  EXPECT_FALSE(solver.solve().solution.has_value());  // zero matrix again
+}
+
+}  // namespace
+}  // namespace rlblh

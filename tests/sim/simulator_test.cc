@@ -1,0 +1,147 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/lowpass.h"
+#include "core/rlblh_policy.h"
+#include "meter/household.h"
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+/// A deterministic trace source for controlled tests.
+class FixedTraceSource final : public TraceSource {
+ public:
+  FixedTraceSource(std::size_t intervals, double value)
+      : intervals_(intervals), value_(value) {}
+  DayTrace next_day() override {
+    return DayTrace(std::vector<double>(intervals_, value_));
+  }
+  std::size_t intervals() const override { return intervals_; }
+  double usage_cap() const override { return 0.08; }
+
+ private:
+  std::size_t intervals_;
+  double value_;
+};
+
+RlBlhConfig small_rl_config() {
+  RlBlhConfig config;
+  config.intervals_per_day = 48;
+  config.decision_interval = 4;
+  config.battery_capacity = 1.0;
+  config.num_actions = 4;
+  config.enable_reuse = false;
+  config.enable_synthetic = false;
+  return config;
+}
+
+TEST(Simulator, RejectsNullSourceAndLengthMismatch) {
+  EXPECT_THROW(Simulator(nullptr, TouSchedule::flat(48, 1.0),
+                         Battery(1.0, 0.5)),
+               ConfigError);
+  EXPECT_THROW(Simulator(std::make_unique<FixedTraceSource>(48, 0.02),
+                         TouSchedule::flat(10, 1.0), Battery(1.0, 0.5)),
+               ConfigError);
+}
+
+TEST(Simulator, PassthroughReportsUsageExactly) {
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.02),
+                TouSchedule::flat(48, 1.0), Battery(1.0, 0.5));
+  PassthroughPolicy policy;
+  const DayResult day = sim.run_day(policy);
+  for (std::size_t n = 0; n < 48; ++n) {
+    ASSERT_DOUBLE_EQ(day.readings.at(n), day.usage.at(n));
+  }
+  EXPECT_DOUBLE_EQ(day.savings_cents, 0.0);
+  EXPECT_DOUBLE_EQ(day.bill_cents, day.usage_cost_cents);
+  // The battery is untouched in passthrough mode.
+  EXPECT_DOUBLE_EQ(sim.battery().level(), 0.5);
+}
+
+TEST(Simulator, RecordsBatteryLevelsAtIntervalStarts) {
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.02),
+                TouSchedule::flat(48, 1.0), Battery(1.0, 0.5));
+  RlBlhPolicy policy(small_rl_config());
+  const DayResult day = sim.run_day(policy);
+  ASSERT_EQ(day.battery_levels.size(), 48u);
+  EXPECT_DOUBLE_EQ(day.battery_levels[0], 0.5);
+  // Recorded level must evolve per b_{n+1} = b_n + y_n - x_n.
+  for (std::size_t n = 1; n < 48; ++n) {
+    const double expected = day.battery_levels[n - 1] +
+                            day.readings.at(n - 1) - day.usage.at(n - 1);
+    ASSERT_NEAR(day.battery_levels[n], expected, 1e-12);
+  }
+}
+
+TEST(Simulator, BatteryPersistsAcrossDays) {
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.02),
+                TouSchedule::flat(48, 1.0), Battery(1.0, 0.5));
+  RlBlhPolicy policy(small_rl_config());
+  const DayResult d1 = sim.run_day(policy);
+  const double end_of_day1 = d1.battery_levels.back() +
+                             d1.readings.at(47) - d1.usage.at(47);
+  const DayResult d2 = sim.run_day(policy);
+  EXPECT_NEAR(d2.battery_levels.front(), end_of_day1, 1e-12);
+}
+
+TEST(Simulator, SavingsIdentityHolds) {
+  // savings + bill == usage cost, by construction of the three sums.
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.03),
+                TouSchedule::two_zone(48, 34, 7.0, 21.0), Battery(1.0, 0.5));
+  RlBlhPolicy policy(small_rl_config());
+  for (int d = 0; d < 5; ++d) {
+    const DayResult day = sim.run_day(policy);
+    EXPECT_NEAR(day.savings_cents + day.bill_cents, day.usage_cost_cents,
+                1e-9);
+  }
+}
+
+TEST(Simulator, ShortfallShowsUpInMeterReadings) {
+  // A policy that always requests zero drains the battery; once empty, the
+  // meter must report the grid draw that actually served the load.
+  class ZeroPolicy final : public BlhPolicy {
+   public:
+    void begin_day(const TouSchedule&) override {}
+    double reading(std::size_t, double) override { return 0.0; }
+    void observe_usage(std::size_t, double) override {}
+    std::string_view name() const override { return "zero"; }
+  };
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.05),
+                TouSchedule::flat(48, 1.0), Battery(1.0, 0.1));
+  ZeroPolicy policy;
+  const DayResult day = sim.run_day(policy);
+  EXPECT_GT(day.battery_violations, 0u);
+  // Total grid energy must equal total usage minus the 0.1 kWh that the
+  // battery supplied.
+  EXPECT_NEAR(day.readings.total(), day.usage.total() - 0.1, 1e-9);
+}
+
+TEST(Simulator, RunDaysReturnsLastResult) {
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.02),
+                TouSchedule::flat(48, 1.0), Battery(1.0, 0.5));
+  RlBlhPolicy policy(small_rl_config());
+  const DayResult last = sim.run_days(policy, 5);
+  EXPECT_EQ(policy.days_completed(), 5u);
+  EXPECT_EQ(last.usage.intervals(), 48u);
+  EXPECT_THROW(sim.run_days(policy, 0), ConfigError);
+}
+
+TEST(Simulator, SetPricesValidatesAndApplies) {
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.02),
+                TouSchedule::flat(48, 1.0), Battery(1.0, 0.5));
+  EXPECT_THROW(sim.set_prices(TouSchedule::flat(10, 1.0)), ConfigError);
+  sim.set_prices(TouSchedule::flat(48, 9.0));
+  EXPECT_DOUBLE_EQ(sim.prices().rate(0), 9.0);
+}
+
+TEST(Simulator, ResetBattery) {
+  Simulator sim(std::make_unique<FixedTraceSource>(48, 0.02),
+                TouSchedule::flat(48, 1.0), Battery(1.0, 0.5));
+  sim.reset_battery(0.9);
+  EXPECT_DOUBLE_EQ(sim.battery().level(), 0.9);
+}
+
+}  // namespace
+}  // namespace rlblh

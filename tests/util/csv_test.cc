@@ -1,0 +1,98 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(Csv, ParsesSimpleNumericTable) {
+  std::istringstream in("a,b\n1,2\n3.5,-4\n");
+  const CsvTable t = read_csv(in, /*has_header=*/true);
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "a");
+  ASSERT_EQ(t.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.rows[1][0], 3.5);
+  EXPECT_DOUBLE_EQ(t.rows[1][1], -4.0);
+}
+
+TEST(Csv, ParsesWithoutHeader) {
+  std::istringstream in("1,2\n3,4\n");
+  const CsvTable t = read_csv(in, /*has_header=*/false);
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# comment\n\nx\n1\n# another\n2\n");
+  const CsvTable t = read_csv(in, /*has_header=*/true);
+  EXPECT_EQ(t.header[0], "x");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Csv, TrimsWhitespaceAroundFields) {
+  std::istringstream in(" a , b \n 1 , 2 \n");
+  const CsvTable t = read_csv(in, /*has_header=*/true);
+  EXPECT_EQ(t.header[0], "a");
+  EXPECT_DOUBLE_EQ(t.rows[0][1], 2.0);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  std::istringstream in("1,2\n3\n");
+  EXPECT_THROW(read_csv(in, false), DataError);
+}
+
+TEST(Csv, RejectsNonNumericField) {
+  std::istringstream in("1,hello\n");
+  EXPECT_THROW(read_csv(in, false), DataError);
+}
+
+TEST(Csv, RejectsTrailingGarbage) {
+  std::istringstream in("1.5x\n");
+  EXPECT_THROW(read_csv(in, false), DataError);
+}
+
+TEST(Csv, RejectsEmptyField) {
+  std::istringstream in("1,\n");
+  EXPECT_THROW(read_csv(in, false), DataError);
+}
+
+TEST(Csv, ColumnAccessByIndexAndName) {
+  std::istringstream in("u,v\n1,2\n3,4\n");
+  const CsvTable t = read_csv(in, true);
+  EXPECT_EQ(t.column(std::size_t{1}), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(t.column("u"), (std::vector<double>{1.0, 3.0}));
+  EXPECT_THROW(t.column(std::size_t{2}), DataError);
+  EXPECT_THROW(t.column("nope"), DataError);
+}
+
+TEST(Csv, RoundTripsThroughWrite) {
+  CsvTable t;
+  t.header = {"p", "q"};
+  t.rows = {{1.25, -2.0}, {0.0, 1e-6}};
+  std::ostringstream out;
+  write_csv(out, t);
+  std::istringstream in(out.str());
+  const CsvTable back = read_csv(in, true);
+  ASSERT_EQ(back.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(back.rows[0][0], 1.25);
+  EXPECT_DOUBLE_EQ(back.rows[1][1], 1e-6);
+}
+
+TEST(Csv, FileNotFoundThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv", false), DataError);
+}
+
+TEST(Csv, EmptyInputYieldsEmptyTable) {
+  std::istringstream in("");
+  const CsvTable t = read_csv(in, false);
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_EQ(t.column_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,107 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 0.0, 1.0), ConfigError);
+  EXPECT_THROW(Histogram(4, 1.0, 1.0), ConfigError);
+  EXPECT_THROW(Histogram(4, 2.0, 1.0), ConfigError);
+}
+
+TEST(Histogram, BinIndexCoversRangeEvenly) {
+  Histogram h(4, 0.0, 4.0);
+  EXPECT_EQ(h.bin_index(0.5), 0u);
+  EXPECT_EQ(h.bin_index(1.5), 1u);
+  EXPECT_EQ(h.bin_index(2.5), 2u);
+  EXPECT_EQ(h.bin_index(3.5), 3u);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToBoundaryCells) {
+  Histogram h(4, 0.0, 4.0);
+  h.add(-10.0);
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, UpperBoundGoesToLastCell) {
+  Histogram h(4, 0.0, 4.0);
+  EXPECT_EQ(h.bin_index(4.0), 3u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(4, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 3.5);
+  EXPECT_THROW(h.bin_center(4), ConfigError);
+}
+
+TEST(Histogram, ProbabilitiesSumToOne) {
+  Histogram h(8, 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 100.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) sum += h.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(2, 0.0, 1.0);
+  h.add_weighted(0.25, 3.0);
+  h.add_weighted(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.probability(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.probability(1), 0.25);
+  EXPECT_THROW(h.add_weighted(0.5, -1.0), ConfigError);
+}
+
+TEST(Histogram, EntropyOfUniformIsLogBins) {
+  Histogram h(8, 0.0, 8.0);
+  for (int i = 0; i < 8; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.entropy_bits(), 3.0, 1e-12);
+}
+
+TEST(Histogram, EntropyOfPointMassIsZero) {
+  Histogram h(8, 0.0, 8.0);
+  for (int i = 0; i < 100; ++i) h.add(3.2);
+  EXPECT_DOUBLE_EQ(h.entropy_bits(), 0.0);
+}
+
+TEST(Histogram, EntropyOfEmptyIsZero) {
+  Histogram h(8, 0.0, 8.0);
+  EXPECT_DOUBLE_EQ(h.entropy_bits(), 0.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(4, 0.0, 1.0);
+  h.add(0.5);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 0.0);
+}
+
+class HistogramBinsParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramBinsParam, EveryAddLandsInExactlyOneBin) {
+  const std::size_t bins = GetParam();
+  Histogram h(bins, -1.0, 1.0);
+  for (int i = 0; i < 257; ++i) {
+    h.add(-1.5 + 3.0 * static_cast<double>(i) / 256.0);
+  }
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) total += h.count(b);
+  EXPECT_DOUBLE_EQ(total, 257.0);
+  EXPECT_DOUBLE_EQ(h.total(), 257.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistogramBinsParam,
+                         ::testing::Values(1, 2, 3, 7, 16, 101));
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,75 @@
+#include "util/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(Quantizer, RejectsBadConstruction) {
+  EXPECT_THROW(Quantizer(1, 0.0, 1.0), ConfigError);
+  EXPECT_THROW(Quantizer(4, 1.0, 1.0), ConfigError);
+}
+
+TEST(Quantizer, EndpointsAreExactLevels) {
+  Quantizer q(5, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(q.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(q.value(4), 1.0);
+  EXPECT_DOUBLE_EQ(q.step(), 0.25);
+}
+
+TEST(Quantizer, MatchesPaperEquation5Spacing) {
+  // Paper Eq. (5): a_k = (a-1) x_M / (a_M - 1), a = 1..a_M. With a_M = 8 and
+  // x_M = 0.08 the levels are 0, 0.08/7, ..., 0.08.
+  Quantizer q(8, 0.0, 0.08);
+  for (std::size_t a = 0; a < 8; ++a) {
+    EXPECT_NEAR(q.value(a), static_cast<double>(a) * 0.08 / 7.0, 1e-15);
+  }
+}
+
+TEST(Quantizer, NearestLevelRounding) {
+  Quantizer q(5, 0.0, 1.0);
+  EXPECT_EQ(q.index(0.10), 0u);
+  EXPECT_EQ(q.index(0.13), 1u);
+  EXPECT_EQ(q.index(0.37), 1u);
+  EXPECT_EQ(q.index(0.38), 2u);
+}
+
+TEST(Quantizer, ClampsOutOfRange) {
+  Quantizer q(5, 0.0, 1.0);
+  EXPECT_EQ(q.index(-3.0), 0u);
+  EXPECT_EQ(q.index(9.0), 4u);
+}
+
+TEST(Quantizer, QuantizeIsIdempotent) {
+  Quantizer q(7, -1.0, 1.0);
+  for (double x = -1.2; x <= 1.2; x += 0.01) {
+    const double once = q.quantize(x);
+    EXPECT_DOUBLE_EQ(q.quantize(once), once);
+  }
+}
+
+TEST(Quantizer, LevelIndexRoundTrips) {
+  Quantizer q(9, 2.0, 4.0);
+  for (std::size_t i = 0; i < q.levels(); ++i) {
+    EXPECT_EQ(q.index(q.value(i)), i);
+  }
+  EXPECT_THROW(q.value(9), ConfigError);
+}
+
+class QuantizerLevelsParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuantizerLevelsParam, QuantizationErrorBoundedByHalfStep) {
+  Quantizer q(GetParam(), 0.0, 1.0);
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = static_cast<double>(i) / 1000.0;
+    EXPECT_LE(std::abs(q.quantize(x) - x), q.step() / 2.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantizerLevelsParam,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace rlblh

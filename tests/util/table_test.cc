@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyHeaderAndMismatchedRows) {
+  EXPECT_THROW(TablePrinter({}), ConfigError);
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // All lines are equally wide (alignment).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, NumFormatsWithPrecision) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(TablePrinter, ContainsAllCells) {
+  TablePrinter t({"k", "v"});
+  t.add_row({"alpha", "42"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("alpha"), std::string::npos);
+  EXPECT_NE(out.str().find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlblh
