@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_decay.dir/abl_decay.cpp.o"
+  "CMakeFiles/abl_decay.dir/abl_decay.cpp.o.d"
+  "abl_decay"
+  "abl_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_double_q.dir/abl_double_q.cpp.o"
+  "CMakeFiles/abl_double_q.dir/abl_double_q.cpp.o.d"
+  "abl_double_q"
+  "abl_double_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_double_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_household.dir/abl_household.cpp.o"
+  "CMakeFiles/abl_household.dir/abl_household.cpp.o.d"
+  "abl_household"
+  "abl_household.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_household.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

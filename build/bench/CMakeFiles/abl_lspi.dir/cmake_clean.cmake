@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lspi.dir/abl_lspi.cpp.o"
+  "CMakeFiles/abl_lspi.dir/abl_lspi.cpp.o.d"
+  "abl_lspi"
+  "abl_lspi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lspi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

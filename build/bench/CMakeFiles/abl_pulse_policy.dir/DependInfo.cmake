@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_pulse_policy.cpp" "bench/CMakeFiles/abl_pulse_policy.dir/abl_pulse_policy.cpp.o" "gcc" "bench/CMakeFiles/abl_pulse_policy.dir/abl_pulse_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rlblh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rlblh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rlblh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rlblh_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/rlblh_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/rlblh_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rlblh_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/rlblh_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rlblh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

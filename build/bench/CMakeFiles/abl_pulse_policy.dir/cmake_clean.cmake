@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pulse_policy.dir/abl_pulse_policy.cpp.o"
+  "CMakeFiles/abl_pulse_policy.dir/abl_pulse_policy.cpp.o.d"
+  "abl_pulse_policy"
+  "abl_pulse_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pulse_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

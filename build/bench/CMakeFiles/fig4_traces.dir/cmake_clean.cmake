@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_traces.dir/fig4_traces.cpp.o"
+  "CMakeFiles/fig4_traces.dir/fig4_traces.cpp.o.d"
+  "fig4_traces"
+  "fig4_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_compare_lowpass.dir/fig5_compare_lowpass.cpp.o"
+  "CMakeFiles/fig5_compare_lowpass.dir/fig5_compare_lowpass.cpp.o.d"
+  "fig5_compare_lowpass"
+  "fig5_compare_lowpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_compare_lowpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_heuristics.dir/fig7_heuristics.cpp.o"
+  "CMakeFiles/fig7_heuristics.dir/fig7_heuristics.cpp.o.d"
+  "fig7_heuristics"
+  "fig7_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_decision_interval.dir/fig8_decision_interval.cpp.o"
+  "CMakeFiles/fig8_decision_interval.dir/fig8_decision_interval.cpp.o.d"
+  "fig8_decision_interval"
+  "fig8_decision_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_decision_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

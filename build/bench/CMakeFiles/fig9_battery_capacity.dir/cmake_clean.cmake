@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_battery_capacity.dir/fig9_battery_capacity.cpp.o"
+  "CMakeFiles/fig9_battery_capacity.dir/fig9_battery_capacity.cpp.o.d"
+  "fig9_battery_capacity"
+  "fig9_battery_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_battery_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

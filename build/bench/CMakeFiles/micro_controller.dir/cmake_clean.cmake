@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_controller.dir/micro_controller.cpp.o"
+  "CMakeFiles/micro_controller.dir/micro_controller.cpp.o.d"
+  "micro_controller"
+  "micro_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

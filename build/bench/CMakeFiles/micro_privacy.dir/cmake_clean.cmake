@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_privacy.dir/micro_privacy.cpp.o"
+  "CMakeFiles/micro_privacy.dir/micro_privacy.cpp.o.d"
+  "micro_privacy"
+  "micro_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_complexity_mdp.dir/tab_complexity_mdp.cpp.o"
+  "CMakeFiles/tab_complexity_mdp.dir/tab_complexity_mdp.cpp.o.d"
+  "tab_complexity_mdp"
+  "tab_complexity_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_complexity_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

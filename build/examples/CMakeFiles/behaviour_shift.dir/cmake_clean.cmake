@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behaviour_shift.dir/behaviour_shift.cpp.o"
+  "CMakeFiles/behaviour_shift.dir/behaviour_shift.cpp.o.d"
+  "behaviour_shift"
+  "behaviour_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behaviour_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

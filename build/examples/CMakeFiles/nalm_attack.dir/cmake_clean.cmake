@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nalm_attack.dir/nalm_attack.cpp.o"
+  "CMakeFiles/nalm_attack.dir/nalm_attack.cpp.o.d"
+  "nalm_attack"
+  "nalm_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nalm_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nalm_attack.
+# This may be replaced when dependencies are built.

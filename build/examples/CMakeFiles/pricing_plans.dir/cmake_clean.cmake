@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_plans.dir/pricing_plans.cpp.o"
+  "CMakeFiles/pricing_plans.dir/pricing_plans.cpp.o.d"
+  "pricing_plans"
+  "pricing_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lowpass.cc" "src/baselines/CMakeFiles/rlblh_baselines.dir/lowpass.cc.o" "gcc" "src/baselines/CMakeFiles/rlblh_baselines.dir/lowpass.cc.o.d"
+  "/root/repo/src/baselines/mdp.cc" "src/baselines/CMakeFiles/rlblh_baselines.dir/mdp.cc.o" "gcc" "src/baselines/CMakeFiles/rlblh_baselines.dir/mdp.cc.o.d"
+  "/root/repo/src/baselines/random_pulse.cc" "src/baselines/CMakeFiles/rlblh_baselines.dir/random_pulse.cc.o" "gcc" "src/baselines/CMakeFiles/rlblh_baselines.dir/random_pulse.cc.o.d"
+  "/root/repo/src/baselines/stepping.cc" "src/baselines/CMakeFiles/rlblh_baselines.dir/stepping.cc.o" "gcc" "src/baselines/CMakeFiles/rlblh_baselines.dir/stepping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rlblh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rlblh_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/rlblh_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rlblh_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rlblh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_baselines.dir/lowpass.cc.o"
+  "CMakeFiles/rlblh_baselines.dir/lowpass.cc.o.d"
+  "CMakeFiles/rlblh_baselines.dir/mdp.cc.o"
+  "CMakeFiles/rlblh_baselines.dir/mdp.cc.o.d"
+  "CMakeFiles/rlblh_baselines.dir/random_pulse.cc.o"
+  "CMakeFiles/rlblh_baselines.dir/random_pulse.cc.o.d"
+  "CMakeFiles/rlblh_baselines.dir/stepping.cc.o"
+  "CMakeFiles/rlblh_baselines.dir/stepping.cc.o.d"
+  "librlblh_baselines.a"
+  "librlblh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

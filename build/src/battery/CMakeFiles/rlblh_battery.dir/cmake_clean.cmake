@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_battery.dir/battery.cc.o"
+  "CMakeFiles/rlblh_battery.dir/battery.cc.o.d"
+  "librlblh_battery.a"
+  "librlblh_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

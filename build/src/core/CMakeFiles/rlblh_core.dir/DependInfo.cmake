@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/rlblh_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/rlblh_core.dir/config.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/rlblh_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/rlblh_core.dir/features.cc.o.d"
+  "/root/repo/src/core/qfunction.cc" "src/core/CMakeFiles/rlblh_core.dir/qfunction.cc.o" "gcc" "src/core/CMakeFiles/rlblh_core.dir/qfunction.cc.o.d"
+  "/root/repo/src/core/rlblh_policy.cc" "src/core/CMakeFiles/rlblh_core.dir/rlblh_policy.cc.o" "gcc" "src/core/CMakeFiles/rlblh_core.dir/rlblh_policy.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/rlblh_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/rlblh_core.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlblh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rlblh_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/rlblh_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rlblh_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

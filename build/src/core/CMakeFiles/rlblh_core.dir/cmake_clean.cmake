@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_core.dir/config.cc.o"
+  "CMakeFiles/rlblh_core.dir/config.cc.o.d"
+  "CMakeFiles/rlblh_core.dir/features.cc.o"
+  "CMakeFiles/rlblh_core.dir/features.cc.o.d"
+  "CMakeFiles/rlblh_core.dir/qfunction.cc.o"
+  "CMakeFiles/rlblh_core.dir/qfunction.cc.o.d"
+  "CMakeFiles/rlblh_core.dir/rlblh_policy.cc.o"
+  "CMakeFiles/rlblh_core.dir/rlblh_policy.cc.o.d"
+  "CMakeFiles/rlblh_core.dir/serialize.cc.o"
+  "CMakeFiles/rlblh_core.dir/serialize.cc.o.d"
+  "librlblh_core.a"
+  "librlblh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

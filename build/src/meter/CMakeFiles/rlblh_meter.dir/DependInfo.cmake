@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meter/appliances.cc" "src/meter/CMakeFiles/rlblh_meter.dir/appliances.cc.o" "gcc" "src/meter/CMakeFiles/rlblh_meter.dir/appliances.cc.o.d"
+  "/root/repo/src/meter/household.cc" "src/meter/CMakeFiles/rlblh_meter.dir/household.cc.o" "gcc" "src/meter/CMakeFiles/rlblh_meter.dir/household.cc.o.d"
+  "/root/repo/src/meter/trace.cc" "src/meter/CMakeFiles/rlblh_meter.dir/trace.cc.o" "gcc" "src/meter/CMakeFiles/rlblh_meter.dir/trace.cc.o.d"
+  "/root/repo/src/meter/usage_stats.cc" "src/meter/CMakeFiles/rlblh_meter.dir/usage_stats.cc.o" "gcc" "src/meter/CMakeFiles/rlblh_meter.dir/usage_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlblh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_meter.dir/appliances.cc.o"
+  "CMakeFiles/rlblh_meter.dir/appliances.cc.o.d"
+  "CMakeFiles/rlblh_meter.dir/household.cc.o"
+  "CMakeFiles/rlblh_meter.dir/household.cc.o.d"
+  "CMakeFiles/rlblh_meter.dir/trace.cc.o"
+  "CMakeFiles/rlblh_meter.dir/trace.cc.o.d"
+  "CMakeFiles/rlblh_meter.dir/usage_stats.cc.o"
+  "CMakeFiles/rlblh_meter.dir/usage_stats.cc.o.d"
+  "librlblh_meter.a"
+  "librlblh_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

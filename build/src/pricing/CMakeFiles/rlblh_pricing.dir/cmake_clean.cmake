@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_pricing.dir/tou.cc.o"
+  "CMakeFiles/rlblh_pricing.dir/tou.cc.o.d"
+  "librlblh_pricing.a"
+  "librlblh_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/correlation.cc" "src/privacy/CMakeFiles/rlblh_privacy.dir/correlation.cc.o" "gcc" "src/privacy/CMakeFiles/rlblh_privacy.dir/correlation.cc.o.d"
+  "/root/repo/src/privacy/metrics.cc" "src/privacy/CMakeFiles/rlblh_privacy.dir/metrics.cc.o" "gcc" "src/privacy/CMakeFiles/rlblh_privacy.dir/metrics.cc.o.d"
+  "/root/repo/src/privacy/mutual_information.cc" "src/privacy/CMakeFiles/rlblh_privacy.dir/mutual_information.cc.o" "gcc" "src/privacy/CMakeFiles/rlblh_privacy.dir/mutual_information.cc.o.d"
+  "/root/repo/src/privacy/nalm.cc" "src/privacy/CMakeFiles/rlblh_privacy.dir/nalm.cc.o" "gcc" "src/privacy/CMakeFiles/rlblh_privacy.dir/nalm.cc.o.d"
+  "/root/repo/src/privacy/occupancy_attack.cc" "src/privacy/CMakeFiles/rlblh_privacy.dir/occupancy_attack.cc.o" "gcc" "src/privacy/CMakeFiles/rlblh_privacy.dir/occupancy_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlblh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/rlblh_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rlblh_pricing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_privacy.dir/correlation.cc.o"
+  "CMakeFiles/rlblh_privacy.dir/correlation.cc.o.d"
+  "CMakeFiles/rlblh_privacy.dir/metrics.cc.o"
+  "CMakeFiles/rlblh_privacy.dir/metrics.cc.o.d"
+  "CMakeFiles/rlblh_privacy.dir/mutual_information.cc.o"
+  "CMakeFiles/rlblh_privacy.dir/mutual_information.cc.o.d"
+  "CMakeFiles/rlblh_privacy.dir/nalm.cc.o"
+  "CMakeFiles/rlblh_privacy.dir/nalm.cc.o.d"
+  "CMakeFiles/rlblh_privacy.dir/occupancy_attack.cc.o"
+  "CMakeFiles/rlblh_privacy.dir/occupancy_attack.cc.o.d"
+  "librlblh_privacy.a"
+  "librlblh_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

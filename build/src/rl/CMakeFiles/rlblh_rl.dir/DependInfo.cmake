@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/linalg.cc" "src/rl/CMakeFiles/rlblh_rl.dir/linalg.cc.o" "gcc" "src/rl/CMakeFiles/rlblh_rl.dir/linalg.cc.o.d"
+  "/root/repo/src/rl/linear.cc" "src/rl/CMakeFiles/rlblh_rl.dir/linear.cc.o" "gcc" "src/rl/CMakeFiles/rlblh_rl.dir/linear.cc.o.d"
+  "/root/repo/src/rl/lspi.cc" "src/rl/CMakeFiles/rlblh_rl.dir/lspi.cc.o" "gcc" "src/rl/CMakeFiles/rlblh_rl.dir/lspi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlblh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

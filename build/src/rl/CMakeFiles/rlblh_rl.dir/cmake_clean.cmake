@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_rl.dir/linalg.cc.o"
+  "CMakeFiles/rlblh_rl.dir/linalg.cc.o.d"
+  "CMakeFiles/rlblh_rl.dir/linear.cc.o"
+  "CMakeFiles/rlblh_rl.dir/linear.cc.o.d"
+  "CMakeFiles/rlblh_rl.dir/lspi.cc.o"
+  "CMakeFiles/rlblh_rl.dir/lspi.cc.o.d"
+  "librlblh_rl.a"
+  "librlblh_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

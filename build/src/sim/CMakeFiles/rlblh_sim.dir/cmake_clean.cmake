@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_sim.dir/experiment.cc.o"
+  "CMakeFiles/rlblh_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/rlblh_sim.dir/simulator.cc.o"
+  "CMakeFiles/rlblh_sim.dir/simulator.cc.o.d"
+  "librlblh_sim.a"
+  "librlblh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

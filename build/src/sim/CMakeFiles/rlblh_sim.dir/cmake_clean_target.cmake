@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlblh_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlblh_util.dir/csv.cc.o"
+  "CMakeFiles/rlblh_util.dir/csv.cc.o.d"
+  "CMakeFiles/rlblh_util.dir/empirical_dist.cc.o"
+  "CMakeFiles/rlblh_util.dir/empirical_dist.cc.o.d"
+  "CMakeFiles/rlblh_util.dir/histogram.cc.o"
+  "CMakeFiles/rlblh_util.dir/histogram.cc.o.d"
+  "CMakeFiles/rlblh_util.dir/running_stats.cc.o"
+  "CMakeFiles/rlblh_util.dir/running_stats.cc.o.d"
+  "CMakeFiles/rlblh_util.dir/table.cc.o"
+  "CMakeFiles/rlblh_util.dir/table.cc.o.d"
+  "librlblh_util.a"
+  "librlblh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlblh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

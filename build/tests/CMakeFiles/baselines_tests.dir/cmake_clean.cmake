@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_tests.dir/baselines/lowpass_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/lowpass_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/mdp_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/mdp_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/random_pulse_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/random_pulse_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/stepping_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/baselines/stepping_test.cc.o.d"
+  "baselines_tests"
+  "baselines_tests.pdb"
+  "baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_tests.dir/battery/battery_test.cc.o"
+  "CMakeFiles/battery_tests.dir/battery/battery_test.cc.o.d"
+  "battery_tests"
+  "battery_tests.pdb"
+  "battery_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

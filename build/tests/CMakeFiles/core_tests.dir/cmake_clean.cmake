@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/config_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/config_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/double_q_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/double_q_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/features_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/features_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/qfunction_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/qfunction_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rlblh_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rlblh_policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/serialize_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/serialize_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meter_tests.dir/meter/appliances_test.cc.o"
+  "CMakeFiles/meter_tests.dir/meter/appliances_test.cc.o.d"
+  "CMakeFiles/meter_tests.dir/meter/household_test.cc.o"
+  "CMakeFiles/meter_tests.dir/meter/household_test.cc.o.d"
+  "CMakeFiles/meter_tests.dir/meter/trace_test.cc.o"
+  "CMakeFiles/meter_tests.dir/meter/trace_test.cc.o.d"
+  "CMakeFiles/meter_tests.dir/meter/usage_stats_test.cc.o"
+  "CMakeFiles/meter_tests.dir/meter/usage_stats_test.cc.o.d"
+  "meter_tests"
+  "meter_tests.pdb"
+  "meter_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meter_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

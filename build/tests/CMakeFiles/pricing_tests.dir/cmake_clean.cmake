@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_tests.dir/pricing/tou_test.cc.o"
+  "CMakeFiles/pricing_tests.dir/pricing/tou_test.cc.o.d"
+  "pricing_tests"
+  "pricing_tests.pdb"
+  "pricing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

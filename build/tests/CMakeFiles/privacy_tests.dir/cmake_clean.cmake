@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_tests.dir/privacy/correlation_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy/correlation_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy/metrics_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy/metrics_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy/mutual_information_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy/mutual_information_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy/nalm_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy/nalm_test.cc.o.d"
+  "CMakeFiles/privacy_tests.dir/privacy/occupancy_attack_test.cc.o"
+  "CMakeFiles/privacy_tests.dir/privacy/occupancy_attack_test.cc.o.d"
+  "privacy_tests"
+  "privacy_tests.pdb"
+  "privacy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

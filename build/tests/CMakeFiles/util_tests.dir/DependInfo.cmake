@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cc" "tests/CMakeFiles/util_tests.dir/util/csv_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/csv_test.cc.o.d"
+  "/root/repo/tests/util/empirical_dist_test.cc" "tests/CMakeFiles/util_tests.dir/util/empirical_dist_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/empirical_dist_test.cc.o.d"
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/quantizer_test.cc" "tests/CMakeFiles/util_tests.dir/util/quantizer_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/quantizer_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/running_stats_test.cc" "tests/CMakeFiles/util_tests.dir/util/running_stats_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/running_stats_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/util_tests.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rlblh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rlblh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rlblh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rlblh_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/rlblh_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/rlblh_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/rlblh_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/rlblh_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rlblh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
