@@ -10,6 +10,7 @@
 //                [--train DAYS] [--eval DAYS]
 //                [--trace-in usage.csv] [--trace-out day.csv]
 //                [--load-weights w.txt] [--save-weights w.txt]
+//                [--check-invariants]
 //
 // Examples:
 //   simulate_cli                                  # paper defaults
@@ -45,6 +46,7 @@ struct Options {
   std::string trace_out;
   std::string load_weights;
   std::string save_weights;
+  bool check_invariants = false;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
@@ -54,7 +56,7 @@ struct Options {
                "          [--nd MINUTES] [--seed N] [--train DAYS]\n"
                "          [--eval DAYS] [--trace-in usage.csv]\n"
                "          [--trace-out day.csv] [--load-weights w.txt]\n"
-               "          [--save-weights w.txt]\n",
+               "          [--save-weights w.txt] [--check-invariants]\n",
                argv0);
   std::exit(2);
 }
@@ -89,6 +91,8 @@ Options parse(int argc, char** argv) {
       options.load_weights = value();
     } else if (flag == "--save-weights") {
       options.save_weights = value();
+    } else if (flag == "--check-invariants") {
+      options.check_invariants = true;
     } else {
       usage_and_exit(argv[0]);
     }
@@ -168,6 +172,22 @@ int main(int argc, char** argv) {
     std::printf("policy %s | plan %s | battery %.1f kWh | n_D %zu\n",
                 std::string(policy->name()).c_str(), options.plan.c_str(),
                 options.battery, options.nd);
+
+    if (options.check_invariants) {
+      // Pulse-shaped policies get the full Section II/III-B suite; the
+      // non-pulse baselines (and passthrough) get the bound and accounting
+      // checks only. The simulator then fails fast on the first bad day.
+      const bool pulse_shaped =
+          options.policy == "rl-blh" || options.policy == "random";
+      InvariantCheckConfig check;
+      check.battery_capacity = options.battery;
+      check.usage_cap = pulse_shaped ? kDefaultUsageCap : 0.0;
+      check.decision_interval = pulse_shaped ? options.nd : 0;
+      check.expect_feasible = pulse_shaped;
+      sim.enable_invariant_checks(check);
+      std::printf("invariant checks: on (%s profile)\n",
+                  pulse_shaped ? "pulse" : "bounds-only");
+    }
 
     if (options.train > 0) {
       sim.run_days(*policy, options.train);

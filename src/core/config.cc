@@ -1,5 +1,7 @@
 #include "core/config.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace rlblh {
@@ -8,6 +10,15 @@ double RlBlhConfig::action_magnitude(std::size_t a) const {
   RLBLH_REQUIRE(a < num_actions, "RlBlhConfig: action index out of range");
   return static_cast<double>(a) * usage_cap /
          static_cast<double>(num_actions - 1);
+}
+
+std::size_t RlBlhConfig::decision_width(std::size_t k) const {
+  RLBLH_REQUIRE(k < decisions_per_day(),
+                "RlBlhConfig: decision index out of range");
+  const std::size_t begin = k * decision_interval;
+  const std::size_t end =
+      std::min(begin + decision_interval, intervals_per_day);
+  return end - begin;
 }
 
 double RlBlhConfig::high_guard() const {
@@ -24,8 +35,8 @@ void RlBlhConfig::validate() const {
                 "RlBlhConfig: need at least two intervals per day");
   RLBLH_REQUIRE(decision_interval >= 1,
                 "RlBlhConfig: decision interval must be >= 1");
-  RLBLH_REQUIRE(intervals_per_day % decision_interval == 0,
-                "RlBlhConfig: n_M must be a multiple of n_D");
+  RLBLH_REQUIRE(decision_interval <= intervals_per_day,
+                "RlBlhConfig: n_D must not exceed n_M");
   RLBLH_REQUIRE(usage_cap > 0.0, "RlBlhConfig: usage cap must be > 0");
   RLBLH_REQUIRE(battery_capacity > 0.0,
                 "RlBlhConfig: battery capacity must be > 0");

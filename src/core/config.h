@@ -65,10 +65,17 @@ struct RlBlhConfig {
 
   std::uint64_t seed = 1;  ///< RNG seed for exploration and synthesis
 
-  /// k_M: decision intervals per day.
+  /// k_M: decision intervals per day. When n_D does not divide n_M the last
+  /// decision interval is truncated to the remaining width, so this is the
+  /// ceiling of n_M / n_D.
   std::size_t decisions_per_day() const {
-    return intervals_per_day / decision_interval;
+    return (intervals_per_day + decision_interval - 1) / decision_interval;
   }
+
+  /// Width in measurement intervals of decision interval k (0-based): n_D for
+  /// every full pulse, the day's remainder for the last one when n_D does not
+  /// divide n_M.
+  std::size_t decision_width(std::size_t k) const;
 
   /// Pulse magnitude of action a in [0, a_M): a * x_M / (a_M - 1)
   /// (paper Eq. 5 with a shifted to 0-based).
@@ -82,9 +89,10 @@ struct RlBlhConfig {
   /// (no shortage): x_M * n_D.
   double low_guard() const;
 
-  /// Throws ConfigError when any parameter is out of range, when n_M is not
-  /// a multiple of n_D, or when the battery is too small for the guard bands
-  /// (b_M < 2 * x_M * n_D leaves no always-feasible region).
+  /// Throws ConfigError when any parameter is out of range, when n_D exceeds
+  /// n_M, or when the battery is too small for the guard bands
+  /// (b_M < 2 * x_M * n_D leaves no always-feasible region). n_D need not
+  /// divide n_M: the last pulse of the day is simply truncated.
   void validate() const;
 };
 

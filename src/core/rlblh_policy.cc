@@ -249,7 +249,8 @@ double RlBlhPolicy::train_virtual_day(const std::vector<double>& usage,
     const double magnitude = config_.action_magnitude(action);
 
     double savings = 0.0;
-    for (std::size_t i = 0; i < n_d; ++i) {
+    const std::size_t width = config_.decision_width(k);
+    for (std::size_t i = 0; i < width; ++i) {
       const std::size_t n = k * n_d + i;
       const double x = std::clamp(usage[n], 0.0, config_.usage_cap);
       savings += prices_->rate(n) * (x - magnitude);

@@ -1,0 +1,229 @@
+#include "sim/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace rlblh {
+
+namespace {
+
+std::string format_violation(const InvariantViolation& v) {
+  std::ostringstream out;
+  out << invariant_kind_name(v.kind);
+  if (v.interval != InvariantViolation::kWholeDay) {
+    out << " at interval " << v.interval;
+  }
+  out << ": " << v.detail;
+  return out.str();
+}
+
+}  // namespace
+
+const char* invariant_kind_name(InvariantViolation::Kind kind) {
+  switch (kind) {
+    case InvariantViolation::Kind::kBatteryBound:
+      return "battery-bound";
+    case InvariantViolation::Kind::kReadingRange:
+      return "reading-range";
+    case InvariantViolation::Kind::kPulseShape:
+      return "pulse-shape";
+    case InvariantViolation::Kind::kFeasibleAction:
+      return "feasible-action";
+    case InvariantViolation::Kind::kEnergyConservation:
+      return "energy-conservation";
+    case InvariantViolation::Kind::kSavingsAccounting:
+      return "savings-accounting";
+    case InvariantViolation::Kind::kClippingOccurred:
+      return "clipping-occurred";
+  }
+  return "unknown";
+}
+
+InvariantChecker::InvariantChecker(InvariantCheckConfig config)
+    : config_(config) {
+  RLBLH_REQUIRE(config_.battery_capacity > 0.0,
+                "InvariantChecker: battery capacity must be > 0");
+  RLBLH_REQUIRE(config_.usage_cap >= 0.0,
+                "InvariantChecker: usage cap must be >= 0");
+  RLBLH_REQUIRE(config_.tolerance >= 0.0,
+                "InvariantChecker: tolerance must be >= 0");
+}
+
+std::vector<InvariantViolation> InvariantChecker::check_day(
+    const DayResult& day, const TouSchedule& prices, double end_level) const {
+  const std::size_t n_m = day.usage.intervals();
+  RLBLH_REQUIRE(day.readings.intervals() == n_m &&
+                    day.battery_levels.size() == n_m &&
+                    prices.intervals() == n_m,
+                "InvariantChecker: day record series lengths must match");
+
+  std::vector<InvariantViolation> violations;
+  const double tol = config_.tolerance;
+  const double b_m = config_.battery_capacity;
+  const auto report = [&](InvariantViolation::Kind kind, std::size_t interval,
+                          std::string detail) {
+    violations.push_back({kind, interval, std::move(detail)});
+  };
+  const auto number = [](double value) {
+    std::ostringstream out;
+    out.precision(17);
+    out << value;
+    return out.str();
+  };
+
+  // Clipping expectation first: it gates the checks that only hold exactly
+  // on clip-free days.
+  if (config_.expect_feasible && day.battery_violations > 0) {
+    report(InvariantViolation::Kind::kClippingOccurred,
+           InvariantViolation::kWholeDay,
+           std::to_string(day.battery_violations) +
+               " clipping event(s) on a day expected feasible");
+  }
+  const bool clip_free = day.battery_violations == 0;
+
+  // Battery bound: every recorded start-of-interval level, plus the level
+  // the day ended on, must lie in [0, b_M] (paper Eq. 2).
+  for (std::size_t n = 0; n < n_m; ++n) {
+    const double b = day.battery_levels[n];
+    if (!(b >= -tol && b <= b_m + tol) || !std::isfinite(b)) {
+      report(InvariantViolation::Kind::kBatteryBound, n,
+             "level " + number(b) + " outside [0, " + number(b_m) + "]");
+    }
+  }
+  if (!(end_level >= -tol && end_level <= b_m + tol) ||
+      !std::isfinite(end_level)) {
+    report(InvariantViolation::Kind::kBatteryBound,
+           InvariantViolation::kWholeDay,
+           "end-of-day level " + number(end_level) + " outside [0, " +
+               number(b_m) + "]");
+  }
+
+  // Reading range: y_n in [0, x_M] (Section II). On days with clipping the
+  // meter legitimately reads above the scheduled pulse (served shortfall),
+  // so the upper bound only applies clip-free.
+  for (std::size_t n = 0; n < n_m; ++n) {
+    const double y = day.readings.at(n);
+    if (y < -tol || !std::isfinite(y)) {
+      report(InvariantViolation::Kind::kReadingRange, n,
+             "reading " + number(y) + " below 0");
+    } else if (config_.usage_cap > 0.0 && clip_free &&
+               y > config_.usage_cap + tol) {
+      report(InvariantViolation::Kind::kReadingRange, n,
+             "reading " + number(y) + " above x_M = " +
+                 number(config_.usage_cap));
+    }
+  }
+
+  if (config_.decision_interval > 0) {
+    const std::size_t n_d = config_.decision_interval;
+    for (std::size_t begin = 0; begin < n_m; begin += n_d) {
+      const std::size_t end = std::min(begin + n_d, n_m);
+      // Rectangularity: the reading is constant across the whole pulse
+      // (exact equality modulo tolerance; shortfall is excluded by the
+      // clip-free gate).
+      if (clip_free) {
+        const double head = day.readings.at(begin);
+        for (std::size_t n = begin + 1; n < end; ++n) {
+          if (std::abs(day.readings.at(n) - head) > tol) {
+            report(InvariantViolation::Kind::kPulseShape, n,
+                   "reading " + number(day.readings.at(n)) +
+                       " differs from pulse head " + number(head) +
+                       " (pulse starts at " + std::to_string(begin) + ")");
+            break;
+          }
+        }
+      }
+      // Feasible-action restriction (Section III-B): from the level at the
+      // pulse start, the scheduled magnitude can neither overflow the
+      // battery when usage stays at zero, nor drain it when usage stays at
+      // the cap, over the pulse's width.
+      if (config_.expect_feasible && config_.usage_cap > 0.0 && clip_free) {
+        const double b = day.battery_levels[begin];
+        const double m = day.readings.at(begin);
+        const double w = static_cast<double>(end - begin);
+        if (b + w * m > b_m + tol) {
+          report(InvariantViolation::Kind::kFeasibleAction, begin,
+                 "pulse " + number(m) + " from level " + number(b) +
+                     " over " + std::to_string(end - begin) +
+                     " interval(s) can overflow b_M = " + number(b_m));
+        }
+        if (b + w * (m - config_.usage_cap) < -tol) {
+          report(InvariantViolation::Kind::kFeasibleAction, begin,
+                 "pulse " + number(m) + " from level " + number(b) +
+                     " over " + std::to_string(end - begin) +
+                     " interval(s) can drain the battery under x_M = " +
+                     number(config_.usage_cap));
+        }
+      }
+    }
+  }
+
+  // Energy conservation: on a feasible (lossless, clip-free) day the grid
+  // over-draw equals the battery's level gain.
+  if (config_.expect_feasible && clip_free) {
+    const double start = day.battery_levels.front();
+    const double net = day.readings.total() - day.usage.total();
+    const double delta = end_level - start;
+    if (std::abs(net - delta) > tol * (1.0 + std::abs(net))) {
+      report(InvariantViolation::Kind::kEnergyConservation,
+             InvariantViolation::kWholeDay,
+             "sum(y) - sum(x) = " + number(net) +
+                 " but battery level changed by " + number(delta));
+    }
+  }
+
+  // Savings accounting: S = sum r_n (x_n - y_n), bill = sum r_n y_n, and
+  // the identity S + bill = usage cost (all recomputed from the traces in
+  // the simulator's accumulation order).
+  double savings = 0.0, bill = 0.0, cost = 0.0;
+  for (std::size_t n = 0; n < n_m; ++n) {
+    const double r = prices.rate(n);
+    savings += r * (day.usage.at(n) - day.readings.at(n));
+    bill += r * day.readings.at(n);
+    cost += r * day.usage.at(n);
+  }
+  const auto money_mismatch = [&](double recorded, double recomputed) {
+    return std::abs(recorded - recomputed) >
+           tol * (1.0 + std::abs(recomputed));
+  };
+  if (money_mismatch(day.savings_cents, savings)) {
+    report(InvariantViolation::Kind::kSavingsAccounting,
+           InvariantViolation::kWholeDay,
+           "recorded savings " + number(day.savings_cents) +
+               " != sum r_n (x_n - y_n) = " + number(savings));
+  }
+  if (money_mismatch(day.bill_cents, bill)) {
+    report(InvariantViolation::Kind::kSavingsAccounting,
+           InvariantViolation::kWholeDay,
+           "recorded bill " + number(day.bill_cents) +
+               " != sum r_n y_n = " + number(bill));
+  }
+  if (money_mismatch(day.usage_cost_cents, cost)) {
+    report(InvariantViolation::Kind::kSavingsAccounting,
+           InvariantViolation::kWholeDay,
+           "recorded usage cost " + number(day.usage_cost_cents) +
+               " != sum r_n x_n = " + number(cost));
+  }
+  if (std::abs(day.savings_cents + day.bill_cents - day.usage_cost_cents) >
+      tol * (1.0 + std::abs(day.usage_cost_cents))) {
+    report(InvariantViolation::Kind::kSavingsAccounting,
+           InvariantViolation::kWholeDay,
+           "S + bill = " + number(day.savings_cents + day.bill_cents) +
+               " != usage cost " + number(day.usage_cost_cents));
+  }
+
+  return violations;
+}
+
+void InvariantChecker::enforce_day(const DayResult& day,
+                                   const TouSchedule& prices,
+                                   double end_level) const {
+  const auto violations = check_day(day, prices, end_level);
+  if (violations.empty()) return;
+  std::ostringstream out;
+  out << violations.size() << " invariant violation(s):";
+  for (const auto& v : violations) out << "\n  " << format_violation(v);
+  throw InvariantViolationError(out.str());
+}
+
+}  // namespace rlblh

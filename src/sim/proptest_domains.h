@@ -1,0 +1,47 @@
+// Property-test domains over the library's configuration types.
+//
+// These pair with the generic runner in util/proptest.h: each domain samples
+// a *valid* configuration from the documented parameter space (invalid
+// inputs are the config unit tests' job), proposes strictly simpler
+// candidates for failure shrinking, and prints a value compactly for the
+// reproduction report. They live in the sim layer because generating a
+// TouSchedule or HouseholdConfig needs the pricing and meter libraries,
+// which sit above util in the dependency tree.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/config.h"
+#include "meter/household.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "util/proptest.h"
+
+namespace rlblh::proptest {
+
+/// Randomized RL-BLH geometry + learning knobs. Day length varies, n_D may
+/// or may not divide n_M (the last pulse is then truncated), the battery is
+/// always large enough for the Section III-B guard bands. REUSE/SYN are off
+/// by default (their replays dominate runtime); suites that exercise them
+/// flip the flags on the sampled value.
+Domain<RlBlhConfig> rlblh_config_domain();
+
+/// Randomized household behaviour matched to a day length: occupancy times
+/// are scaled to the day so the config always validates.
+Domain<HouseholdConfig> household_config_domain(std::size_t intervals,
+                                                double usage_cap);
+
+/// Random price schedule of one of the supported shapes (flat, two-zone,
+/// three-zone, hourly RTP) over the given day length.
+TouSchedule gen_tou_schedule(std::size_t intervals, Rng& rng);
+
+/// Random usage trace with mixed structure (quiet base load, plateaus,
+/// spikes, dead stretches), every value in [0, cap].
+DayTrace gen_usage_trace(std::size_t intervals, double cap, Rng& rng);
+
+/// One-line renderings used in failure reports (also handy in test logs).
+std::string describe(const RlBlhConfig& config);
+std::string describe(const HouseholdConfig& config);
+
+}  // namespace rlblh::proptest

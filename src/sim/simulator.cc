@@ -51,7 +51,17 @@ DayResult Simulator::run_day(BlhPolicy& policy) {
 
   result.usage = usage;
   result.battery_violations = battery_.violation_count() - violations_before;
+  if (invariant_config_.has_value()) {
+    InvariantChecker(*invariant_config_)
+        .enforce_day(result, prices_, battery_.level());
+  }
   return result;
+}
+
+void Simulator::enable_invariant_checks(const InvariantCheckConfig& config) {
+  // Construct a checker up front so a bad config fails here, not mid-run.
+  InvariantChecker checker(config);
+  invariant_config_ = checker.config();
 }
 
 DayResult Simulator::run_days(BlhPolicy& policy, std::size_t days) {

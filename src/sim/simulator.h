@@ -9,25 +9,17 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "battery/battery.h"
 #include "core/policy.h"
 #include "meter/trace.h"
 #include "pricing/tou.h"
+#include "sim/day_result.h"
+#include "sim/invariants.h"
 
 namespace rlblh {
-
-/// Everything observable about one simulated day.
-struct DayResult {
-  DayTrace usage;                      ///< x_n
-  DayTrace readings;                   ///< effective meter readings
-  std::vector<double> battery_levels;  ///< b_n at the *start* of interval n
-  double savings_cents = 0.0;          ///< sum r_n (x_n - y_n)
-  double bill_cents = 0.0;             ///< sum r_n y_n
-  double usage_cost_cents = 0.0;       ///< sum r_n x_n
-  std::size_t battery_violations = 0;  ///< clipped intervals this day
-};
 
 /// Owns the battery state across days and runs one policy against one
 /// household and price schedule.
@@ -62,10 +54,26 @@ class Simulator {
   /// The driven household/trace source.
   TraceSource& source() { return *source_; }
 
+  /// Turns on per-day invariant enforcement: after every run_day the day's
+  /// record is verified against the given config and an
+  /// InvariantViolationError is thrown on the first violating day. This is
+  /// the debug switch behind tests and `simulate_cli --check-invariants`;
+  /// it costs one extra pass over the day's series and nothing when off.
+  void enable_invariant_checks(const InvariantCheckConfig& config);
+
+  /// Turns per-day invariant enforcement back off.
+  void disable_invariant_checks() { invariant_config_.reset(); }
+
+  /// True while enable_invariant_checks is in effect.
+  bool invariant_checks_enabled() const {
+    return invariant_config_.has_value();
+  }
+
  private:
   std::unique_ptr<TraceSource> source_;
   TouSchedule prices_;
   Battery battery_;
+  std::optional<InvariantCheckConfig> invariant_config_;
 };
 
 }  // namespace rlblh

@@ -1,0 +1,59 @@
+#include "util/proptest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace rlblh::proptest::detail {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t iteration) {
+  // SplitMix64 (Steele/Lea/Flood): one full mixing round over base ^ i
+  // gives statistically independent seeds for neighbouring iterations.
+  std::uint64_t z = base + iteration * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool pinned_seed(std::uint64_t* seed) {
+  const char* env = std::getenv("RLBLH_PROPTEST_SEED");
+  if (env == nullptr || *env == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0') return false;
+  *seed = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
+std::size_t iteration_override(std::size_t fallback) {
+  const char* env = std::getenv("RLBLH_PROPTEST_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::string failure_message(const char* name, std::size_t iteration,
+                            std::uint64_t seed, const std::string& what,
+                            std::size_t shrink_steps,
+                            const std::string& described) {
+  std::ostringstream out;
+  out << "property '" << name << "' failed at iteration " << iteration
+      << ":\n  " << what << "\n";
+  if (shrink_steps > 0) {
+    out << "minimal failing value (after " << shrink_steps
+        << " shrink step(s)):\n";
+  } else {
+    out << "failing value:\n";
+  }
+  out << "  " << described << "\n"
+      << "reproduce this exact case with:\n"
+      << "  RLBLH_PROPTEST_SEED=" << seed << "\n";
+  const std::string message = out.str();
+  std::fprintf(stderr, "%s", message.c_str());
+  std::fflush(stderr);
+  return message;
+}
+
+}  // namespace rlblh::proptest::detail

@@ -1,0 +1,164 @@
+// Minimal in-repo property-based testing harness (generic runner).
+//
+// A property is a callable that must hold for every value a domain can
+// produce. The runner samples the domain under a per-iteration seed derived
+// from a base seed, executes the property, and on the first failure greedily
+// shrinks the failing value toward a minimal reproduction before reporting.
+// Every failure report carries the iteration's seed as
+// `RLBLH_PROPTEST_SEED=<n>`; exporting that variable makes the next run
+// replay exactly the failing iteration (and nothing else), so a CI failure
+// is reproducible on any machine with one environment variable.
+//
+//   auto result = proptest::for_all("battery stays legal",
+//                                   proptest::rlblh_config_domain(),
+//                                   [](const RlBlhConfig& c, Rng& rng) {
+//                                     ... throw to fail ...
+//                                   });
+//   ASSERT_TRUE(result.success) << result.message;
+//
+// Iteration count can be overridden globally with RLBLH_PROPTEST_ITERS.
+// Domains over the library's configuration types live one layer up, in
+// sim/proptest_domains.h (they need the meter/pricing/core libraries).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlblh::proptest {
+
+/// Thrown by properties (e.g. via PROPTEST_CHECK) to signal a violation.
+class PropertyFailure : public std::runtime_error {
+ public:
+  explicit PropertyFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Knobs of one for_all run.
+struct PropertyOptions {
+  std::size_t iterations = 100;      ///< random cases when no seed is pinned
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;  ///< stream identity
+  std::size_t max_shrink_steps = 256;  ///< cap on the greedy shrink walk
+};
+
+/// Outcome of a for_all run.
+struct PropertyResult {
+  bool success = true;
+  std::size_t iterations_run = 0;
+  std::uint64_t failing_seed = 0;   ///< valid when !success
+  std::size_t shrink_steps = 0;     ///< accepted shrinks before reporting
+  std::string message;              ///< failure + reproduction instructions
+};
+
+/// A value space: how to sample it, how to propose smaller failing
+/// candidates, and how to print a value in a failure report.
+template <typename T>
+struct Domain {
+  std::function<T(Rng&)> generate;
+  std::function<std::vector<T>(const T&)> shrink =
+      [](const T&) { return std::vector<T>{}; };
+  std::function<std::string(const T&)> describe =
+      [](const T&) { return std::string("<value>"); };
+};
+
+namespace detail {
+
+/// SplitMix64 step: decorrelates per-iteration seeds drawn from base ^ i.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t iteration);
+
+/// Reads RLBLH_PROPTEST_SEED; true (and sets `seed`) when pinned.
+bool pinned_seed(std::uint64_t* seed);
+
+/// Reads RLBLH_PROPTEST_ITERS; returns `fallback` when unset/invalid.
+std::size_t iteration_override(std::size_t fallback);
+
+/// Formats the failure report and echoes it to stderr so the reproduction
+/// seed is visible even when a test runner swallows the assertion message.
+std::string failure_message(const char* name, std::size_t iteration,
+                            std::uint64_t seed, const std::string& what,
+                            std::size_t shrink_steps,
+                            const std::string& described);
+
+}  // namespace detail
+
+/// Runs `property(value, rng)` against `options.iterations` samples of the
+/// domain. The property signals violation by throwing (PropertyFailure,
+/// LogicError — any std::exception). On failure the value is greedily shrunk
+/// while it keeps failing under the same seed, and the result carries a
+/// message with the reproduction seed. Never throws itself.
+template <typename T, typename Property>
+PropertyResult for_all(const char* name, const Domain<T>& domain,
+                       Property&& property,
+                       const PropertyOptions& options = {}) {
+  PropertyResult result;
+
+  // One attempt = regenerate + rerun under a fixed seed, optionally with a
+  // substituted value (used while shrinking so the property's own auxiliary
+  // draws stay identical to the original failure).
+  const auto attempt = [&](std::uint64_t seed, const T* override_value,
+                           std::string* what) -> bool {
+    Rng rng(seed);
+    try {
+      T value = domain.generate(rng);
+      const T& subject = override_value != nullptr ? *override_value : value;
+      property(subject, rng);
+      return true;
+    } catch (const std::exception& error) {
+      if (what != nullptr) *what = error.what();
+      return false;
+    }
+  };
+
+  std::uint64_t pinned = 0;
+  const bool replay = detail::pinned_seed(&pinned);
+  const std::size_t iterations =
+      replay ? 1 : detail::iteration_override(options.iterations);
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::uint64_t seed =
+        replay ? pinned : detail::derive_seed(options.base_seed, i);
+    std::string what;
+    ++result.iterations_run;
+    if (attempt(seed, nullptr, &what)) continue;
+
+    // Failure: regenerate the failing value, then walk the shrink lattice.
+    result.success = false;
+    result.failing_seed = seed;
+    Rng regen(seed);
+    T failing = domain.generate(regen);
+    std::string failing_what = what;
+    bool progressed = true;
+    while (progressed && result.shrink_steps < options.max_shrink_steps) {
+      progressed = false;
+      for (const T& candidate : domain.shrink(failing)) {
+        std::string candidate_what;
+        if (!attempt(seed, &candidate, &candidate_what)) {
+          failing = candidate;
+          failing_what = candidate_what;
+          ++result.shrink_steps;
+          progressed = true;
+          break;
+        }
+      }
+    }
+    result.message = detail::failure_message(
+        name, i, seed, failing_what, result.shrink_steps,
+        domain.describe(failing));
+    return result;
+  }
+  return result;
+}
+
+}  // namespace rlblh::proptest
+
+/// Fails the enclosing property with a formatted condition message.
+#define PROPTEST_CHECK(expr, msg)                                   \
+  ((expr) ? static_cast<void>(0)                                    \
+          : throw ::rlblh::proptest::PropertyFailure(               \
+                std::string("PROPTEST_CHECK failed: ") + #expr +    \
+                " -- " + (msg)))

@@ -28,6 +28,16 @@ TEST(RlBlhConfig, DecisionsPerDay) {
   EXPECT_EQ(config.decisions_per_day(), 96u);
   config.decision_interval = 10;
   EXPECT_EQ(config.decisions_per_day(), 144u);
+  // Non-divisor width: the day ends with one truncated decision interval.
+  config.decision_interval = 17;  // 1440 = 84 * 17 + 12
+  EXPECT_EQ(config.decisions_per_day(), 85u);
+  EXPECT_EQ(config.decision_width(0), 17u);
+  EXPECT_EQ(config.decision_width(83), 17u);
+  EXPECT_EQ(config.decision_width(84), 12u);
+  EXPECT_THROW(config.decision_width(85), ConfigError);
+  config.decision_interval = 1;
+  EXPECT_EQ(config.decisions_per_day(), 1440u);
+  EXPECT_EQ(config.decision_width(0), 1u);
 }
 
 TEST(RlBlhConfig, ActionMagnitudesMatchEquation5) {
@@ -46,9 +56,17 @@ TEST(RlBlhConfig, GuardLevels) {
   EXPECT_DOUBLE_EQ(config.high_guard(), 5.0 - 1.2);    // 3.8
 }
 
-TEST(RlBlhConfig, RejectsNonDivisibleDecisionInterval) {
+TEST(RlBlhConfig, AcceptsNonDivisorDecisionInterval) {
   RlBlhConfig config;
-  config.decision_interval = 17;  // 1440 % 17 != 0
+  config.decision_interval = 17;  // 1440 % 17 != 0: last pulse is truncated
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(RlBlhConfig, RejectsDecisionIntervalLongerThanDay) {
+  RlBlhConfig config;
+  config.intervals_per_day = 120;
+  config.decision_interval = 121;
+  config.battery_capacity = 50.0;  // large enough for any guard band
   EXPECT_THROW(config.validate(), ConfigError);
 }
 

@@ -1,0 +1,234 @@
+// Golden-file regression tests for the fig4-fig9 benchmark scenarios.
+//
+// Each test runs a down-scaled but seeded version of one figure scenario
+// and compares a handful of summary numbers against a committed golden
+// file, so silent behaviour drift (a changed RNG stream, a reordered
+// update, an accounting slip) fails CI with a diff instead of quietly
+// bending the paper's curves. The scenarios are deliberately small: the
+// point is pinning the seeded trajectory, not reproducing the figures.
+//
+// To refresh after an intentional behaviour change:
+//   RLBLH_GOLDEN_REGEN=1 ctest -R Golden
+// then review the diff of tests/golden/data/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/lowpass.h"
+#include "core/rlblh_policy.h"
+#include "meter/household.h"
+#include "sim/experiment.h"
+
+namespace rlblh {
+namespace {
+
+using Series = std::vector<std::pair<std::string, double>>;
+
+std::string golden_path(const std::string& scenario) {
+  return std::string(RLBLH_GOLDEN_DIR) + "/" + scenario + ".golden";
+}
+
+void write_golden(const std::string& scenario, const Series& series) {
+  const std::string path = golden_path(scenario);
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out.precision(17);
+  for (const auto& [key, value] : series) out << key << ' ' << value << '\n';
+}
+
+Series read_golden(const std::string& scenario) {
+  const std::string path = golden_path(scenario);
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with RLBLH_GOLDEN_REGEN=1";
+  Series series;
+  std::string key;
+  double value = 0.0;
+  while (in >> key >> value) series.emplace_back(key, value);
+  return series;
+}
+
+/// Compares the freshly computed series against the committed golden file,
+/// or rewrites the file when RLBLH_GOLDEN_REGEN is set.
+void expect_matches_golden(const std::string& scenario, const Series& fresh) {
+  if (std::getenv("RLBLH_GOLDEN_REGEN") != nullptr) {
+    write_golden(scenario, fresh);
+    GTEST_SKIP() << "regenerated " << golden_path(scenario);
+  }
+  const Series pinned = read_golden(scenario);
+  ASSERT_EQ(pinned.size(), fresh.size()) << "key set changed for " << scenario;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(pinned[i].first, fresh[i].first) << "key order changed";
+    // Tight relative tolerance: same-toolchain reruns are bit-identical;
+    // the slack only absorbs printing round-trips.
+    EXPECT_NEAR(pinned[i].second, fresh[i].second,
+                1e-9 * (1.0 + std::abs(pinned[i].second)))
+        << scenario << ": " << fresh[i].first << " drifted";
+  }
+}
+
+/// The figure scenarios' shared setup, scaled down for test time.
+RlBlhConfig scenario_config(std::size_t decision_interval, double battery,
+                            std::uint64_t seed) {
+  RlBlhConfig config;
+  config.decision_interval = decision_interval;
+  config.battery_capacity = battery;
+  config.seed = seed;
+  config.reuse_days = 3;
+  config.reuse_repeats = 5;
+  config.synthetic_period = 5;
+  config.synthetic_repeats = 10;
+  return config;
+}
+
+TEST(GoldenRegression, Fig4DayTraces) {
+  // Figure 4: one day of meter readings per scheme after a short burn-in.
+  Series series;
+  {
+    RlBlhConfig config = scenario_config(15, 5.0, 41);
+    RlBlhPolicy policy(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), 5.0, 141);
+    sim.run_days(policy, 5);
+    const DayResult day = sim.run_day(policy);
+    series.emplace_back("rlblh_readings_total", day.readings.total());
+    series.emplace_back("rlblh_readings_peak", day.readings.peak());
+    series.emplace_back("rlblh_savings_cents", day.savings_cents);
+  }
+  {
+    LowPassConfig config;
+    config.battery_capacity = 3.0;
+    LowPassPolicy policy(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), 3.0, 142);
+    sim.run_days(policy, 5);
+    const DayResult day = sim.run_day(policy);
+    series.emplace_back("lowpass_readings_total", day.readings.total());
+    series.emplace_back("lowpass_readings_peak", day.readings.peak());
+    series.emplace_back("lowpass_savings_cents", day.savings_cents);
+  }
+  {
+    PassthroughPolicy policy;
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), 5.0, 143);
+    const DayResult day = sim.run_day(policy);
+    series.emplace_back("none_readings_total", day.readings.total());
+    series.emplace_back("none_savings_cents", day.savings_cents);
+  }
+  expect_matches_golden("fig4_traces", series);
+}
+
+TEST(GoldenRegression, Fig5CompareLowpass) {
+  // Figure 5: cost metrics, RL-BLH against the low-pass baseline.
+  Series series;
+  EvaluationConfig eval;
+  eval.train_days = 8;
+  eval.eval_days = 4;
+  {
+    RlBlhConfig config = scenario_config(15, 5.0, 51);
+    RlBlhPolicy policy(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), 5.0, 151);
+    const EvaluationResult r = evaluate_policy(sim, policy, eval);
+    series.emplace_back("rlblh_sr", r.saving_ratio);
+    series.emplace_back("rlblh_savings_cents", r.mean_daily_savings_cents);
+    series.emplace_back("rlblh_cc", r.mean_cc);
+  }
+  {
+    LowPassConfig config;
+    config.battery_capacity = 5.0;
+    LowPassPolicy policy(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), 5.0, 152);
+    const EvaluationResult r = evaluate_policy(sim, policy, eval);
+    series.emplace_back("lowpass_sr", r.saving_ratio);
+    series.emplace_back("lowpass_savings_cents", r.mean_daily_savings_cents);
+    series.emplace_back("lowpass_cc", r.mean_cc);
+  }
+  expect_matches_golden("fig5_compare_lowpass", series);
+}
+
+TEST(GoldenRegression, Fig6Convergence) {
+  // Figure 6: the TD-error trajectory over the first training days.
+  RlBlhConfig config = scenario_config(15, 5.0, 61);
+  RlBlhPolicy policy(config);
+  Simulator sim = make_household_simulator(HouseholdConfig{},
+                                           TouSchedule::srp_plan(), 5.0, 161);
+  for (int d = 0; d < 15; ++d) (void)sim.run_day(policy);
+  const auto& stats = policy.day_stats();
+  Series series;
+  for (const std::size_t d : {0u, 4u, 9u, 14u}) {
+    series.emplace_back("td_error_day" + std::to_string(d + 1),
+                        stats[d].mean_abs_td_error);
+  }
+  series.emplace_back("savings_day15", stats[14].realized_savings);
+  expect_matches_golden("fig6_convergence", series);
+}
+
+TEST(GoldenRegression, Fig7Heuristics) {
+  // Figure 7: learning speed with and without the REUSE/SYN heuristics.
+  Series series;
+  for (const bool heuristics : {true, false}) {
+    RlBlhConfig config = scenario_config(15, 5.0, 71);
+    config.enable_reuse = heuristics;
+    config.enable_synthetic = heuristics;
+    RlBlhPolicy policy(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), 5.0, 171);
+    sim.run_days(policy, 6);
+    policy.set_learning_enabled(false);
+    policy.set_exploration_enabled(false);
+    EvaluationConfig eval;
+    eval.train_days = 0;
+    eval.eval_days = 3;
+    const EvaluationResult r = evaluate_policy(sim, policy, eval);
+    series.emplace_back(heuristics ? "sr_with_heuristics" : "sr_without",
+                        r.saving_ratio);
+  }
+  expect_matches_golden("fig7_heuristics", series);
+}
+
+TEST(GoldenRegression, Fig8DecisionInterval) {
+  // Figure 8: the saving ratio across pulse widths.
+  Series series;
+  for (const std::size_t n_d : {10u, 15u, 30u}) {
+    RlBlhConfig config = scenario_config(n_d, 5.0, 81);
+    RlBlhPolicy policy(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), 5.0, 181);
+    EvaluationConfig eval;
+    eval.train_days = 6;
+    eval.eval_days = 3;
+    const EvaluationResult r = evaluate_policy(sim, policy, eval);
+    series.emplace_back("sr_nd" + std::to_string(n_d), r.saving_ratio);
+  }
+  expect_matches_golden("fig8_decision_interval", series);
+}
+
+TEST(GoldenRegression, Fig9BatteryCapacity) {
+  // Figure 9: the saving ratio across battery capacities.
+  Series series;
+  for (const double b_m : {3.0, 5.0, 8.0}) {
+    RlBlhConfig config = scenario_config(15, b_m, 91);
+    RlBlhPolicy policy(config);
+    Simulator sim = make_household_simulator(HouseholdConfig{},
+                                             TouSchedule::srp_plan(), b_m, 191);
+    EvaluationConfig eval;
+    eval.train_days = 6;
+    eval.eval_days = 3;
+    const EvaluationResult r = evaluate_policy(sim, policy, eval);
+    std::ostringstream key;
+    key << "sr_bm" << b_m;
+    series.emplace_back(key.str(), r.saving_ratio);
+  }
+  expect_matches_golden("fig9_battery_capacity", series);
+}
+
+}  // namespace
+}  // namespace rlblh
