@@ -6,21 +6,23 @@
 // evaluation with two weight tables. This bench compares plain Q vs
 // double-Q on convergence speed and final savings under otherwise
 // identical settings.
+#include "bench_main.h"
 #include "common.h"
 #include "util/table.h"
 
 #include <iostream>
+#include <vector>
+
+namespace rlblh::bench {
 
 namespace {
-
-using namespace rlblh;
-using namespace rlblh::bench;
 
 struct Outcome {
   double sr20 = 0.0, sr60 = 0.0, err60 = 0.0;
 };
 
-Outcome run(bool double_q, unsigned seed) {
+Outcome run_learner(bool double_q, unsigned seed, int phase1, int eval1,
+                    int phase2, int eval2) {
   RlBlhConfig config = paper_config(15, 5.0, seed);
   config.double_q = double_q;
   RlBlhPolicy policy(config);
@@ -28,36 +30,52 @@ Outcome run(bool double_q, unsigned seed) {
                                            TouSchedule::srp_plan(), 5.0,
                                            1400 + seed);
   Outcome out;
-  sim.run_days(policy, 20);
-  out.sr20 = greedy_sr(sim, policy, 15);
-  sim.run_days(policy, 40);
-  out.sr60 = greedy_sr(sim, policy, 25);
+  sim.run_days(policy, static_cast<std::size_t>(phase1));
+  out.sr20 = greedy_sr(sim, policy, eval1);
+  sim.run_days(policy, static_cast<std::size_t>(phase2));
+  out.sr60 = greedy_sr(sim, policy, eval2);
   out.err60 = policy.day_stats().back().mean_abs_td_error;
   return out;
 }
 
 }  // namespace
 
-int main() {
-  using namespace rlblh::bench;
+const char* const kBenchName = "abl_double_q";
 
+void bench_body(BenchContext& ctx) {
   print_header("Extension: plain Q-learning vs Double Q-learning "
                "(n_D = 15, b_M = 5)");
 
+  const int kPhase1 = ctx.days(20, 4);
+  const int kEval1 = ctx.days(15, 3);
+  const int kPhase2 = ctx.days(40, 4);
+  const int kEval2 = ctx.days(25, 3);
+  const std::vector<bool> learners = {false, true};
+  const std::vector<unsigned> seeds = {7, 8, 9};
+
+  const std::vector<Outcome> cells = ctx.sweep().run_grid(
+      learners, seeds, [&](const bool& double_q, unsigned seed) {
+        return run_learner(double_q, seed, kPhase1, kEval1, kPhase2, kEval2);
+      });
+  ctx.count_cells(cells.size());
+  ctx.count_days(cells.size() * static_cast<std::size_t>(kPhase1 + kEval1 +
+                                                         kPhase2 + kEval2));
+
   TablePrinter table({"learner", "SR % @20d", "SR % @60d",
                       "TD error @60d"});
-  for (const bool double_q : {false, true}) {
+  for (std::size_t l = 0; l < learners.size(); ++l) {
     Outcome mean;
-    for (const unsigned seed : {7u, 8u, 9u}) {
-      const Outcome o = run(double_q, seed);
-      mean.sr20 += o.sr20 / 3.0;
-      mean.sr60 += o.sr60 / 3.0;
-      mean.err60 += o.err60 / 3.0;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const Outcome& o = cells[l * seeds.size() + s];
+      mean.sr20 += o.sr20 / static_cast<double>(seeds.size());
+      mean.sr60 += o.sr60 / static_cast<double>(seeds.size());
+      mean.err60 += o.err60 / static_cast<double>(seeds.size());
     }
-    table.add_row({double_q ? "double Q (extension)" : "plain Q (paper)",
+    table.add_row({learners[l] ? "double Q (extension)" : "plain Q (paper)",
                    TablePrinter::num(100.0 * mean.sr20, 1),
                    TablePrinter::num(100.0 * mean.sr60, 1),
                    TablePrinter::num(mean.err60, 3)});
+    ctx.metric(learners[l] ? "double_q_sr60" : "plain_q_sr60", mean.sr60);
   }
   table.print(std::cout);
   std::printf("\nmeasured result: plain Q converges faster and higher here — "
@@ -66,5 +84,6 @@ int main() {
               "apparently not the bottleneck. The extension is kept as a "
               "config knob\n(still embedded-class state) but the paper's "
               "plain Q-learning is the right default.\n");
-  return 0;
 }
+
+}  // namespace rlblh::bench

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_main.h"
 #include "common.h"
 #include "core/qfunction.h"
 #include "meter/household.h"
@@ -22,10 +23,9 @@
 #include "rl/egreedy.h"
 #include "util/table.h"
 
-namespace {
+namespace rlblh::bench {
 
-using namespace rlblh;
-using namespace rlblh::bench;
+namespace {
 
 enum class Basis { kLegendre, kMonomial, kLinearOnly };
 
@@ -105,7 +105,8 @@ struct Learner {
   }
 };
 
-double run(Basis basis, unsigned seed) {
+double run_basis(Basis basis, unsigned seed, int train_days, int syn_repeats,
+                 int eval_days) {
   const TouSchedule prices = TouSchedule::srp_plan();
   Learner learner;
   learner.basis = basis;
@@ -113,12 +114,12 @@ double run(Basis basis, unsigned seed) {
   UsageStatsTracker stats(kIntervalsPerDay, kDefaultUsageCap);
   Rng rng(seed);
   double level = 2.5;
-  for (int d = 1; d <= 60; ++d) {
+  for (int d = 1; d <= train_days; ++d) {
     const DayTrace day = household.generate_day();
     stats.observe_day(day, rng);
     level = learner.day(day.values(), prices, level, true, rng, nullptr);
     if (d % 10 == 0 && d <= 50) {  // the paper's synthetic schedule
-      for (int v = 0; v < 500; ++v) {
+      for (int v = 0; v < syn_repeats; ++v) {
         const DayTrace synthetic = stats.sample_day(rng);
         learner.day(synthetic.values(), prices,
                     rng.uniform(0.0, Learner::kCapacity), true, rng, nullptr);
@@ -126,7 +127,7 @@ double run(Basis basis, unsigned seed) {
     }
   }
   SavingRatioAccumulator sr;
-  for (int d = 0; d < 30; ++d) {
+  for (int d = 0; d < eval_days; ++d) {
     const DayTrace day = household.generate_day();
     std::vector<double> readings;
     level = learner.day(day.values(), prices, level, false, rng, &readings);
@@ -137,33 +138,49 @@ double run(Basis basis, unsigned seed) {
 
 }  // namespace
 
-int main() {
-  using namespace rlblh::bench;
+const char* const kBenchName = "abl_features";
 
+void bench_body(BenchContext& ctx) {
   print_header("Ablation: feature parametrization of the Table-I space");
 
   struct Row {
     const char* name;
     Basis basis;
   };
-  const Row rows[] = {
+  const std::vector<Row> rows = {
       {"shifted Legendre (library)", Basis::kLegendre},
       {"raw Table-I monomials", Basis::kMonomial},
       {"linear only [1, K, B]", Basis::kLinearOnly},
   };
+  const std::vector<unsigned> seeds = {7, 8, 9};
+  const int kTrainDays = ctx.days(60, 10);
+  const int kSynRepeats = ctx.days(500, 20);
+  const int kEvalDays = ctx.days(30, 3);
+
+  const std::vector<double> results = ctx.sweep().run_grid(
+      rows, seeds, [&](const Row& row, unsigned seed) {
+        return run_basis(row.basis, seed, kTrainDays, kSynRepeats, kEvalDays);
+      });
+  ctx.count_cells(results.size());
+  ctx.count_days(results.size() *
+                 static_cast<std::size_t>(kTrainDays + kEvalDays));
 
   TablePrinter table({"basis", "SR seed7 %", "SR seed8 %", "SR seed9 %"});
-  for (const Row& row : rows) {
-    std::vector<std::string> cells{row.name};
-    for (const unsigned seed : {7u, 8u, 9u}) {
-      cells.push_back(TablePrinter::num(100.0 * run(row.basis, seed), 1));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> cells{rows[r].name};
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      cells.push_back(
+          TablePrinter::num(100.0 * results[r * seeds.size() + s], 1));
     }
     table.add_row(cells);
+    ctx.metric(std::string("sr_seed7_") + rows[r].name,
+               results[r * seeds.size()]);
   }
   table.print(std::cout);
   std::printf("\nall three parametrizations can represent the same Q "
               "functions (the first two\nexactly so); only the conditioning "
               "differs — which decides whether the paper's\nEq. (18) "
               "iteration actually converges.\n");
-  return 0;
 }
+
+}  // namespace rlblh::bench

@@ -9,30 +9,33 @@
 // can be pushed before a richer approximator is needed (the paper's
 // future-work direction).
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "baselines/mdp.h"
+#include "bench_main.h"
 #include "common.h"
 #include "meter/household.h"
 #include "util/table.h"
 
-namespace {
+namespace rlblh::bench {
 
-using namespace rlblh;
-using namespace rlblh::bench;
+namespace {
 
 struct Row {
   double rl_sr = 0.0;
   double dp_sr = 0.0;
 };
 
-Row run(const HouseholdConfig& home, unsigned seed) {
+Row run_household(const HouseholdConfig& home, unsigned seed, int rl_train,
+                  int rl_eval, int dp_train, int dp_eval) {
   const TouSchedule prices = TouSchedule::srp_plan();
   Row row;
   {
     RlBlhPolicy policy(paper_config(15, 5.0, seed));
     Simulator sim = make_household_simulator(home, prices, 5.0, 1000 + seed);
-    sim.run_days(policy, 60);
-    row.rl_sr = greedy_sr(sim, policy, 30);
+    sim.run_days(policy, static_cast<std::size_t>(rl_train));
+    row.rl_sr = greedy_sr(sim, policy, rl_eval);
   }
   {
     MdpConfig config;
@@ -41,16 +44,16 @@ Row run(const HouseholdConfig& home, unsigned seed) {
     config.battery_levels = 128;
     MdpBlhPolicy policy(config);
     HouseholdModel trainer(home, 1100 + seed);
-    for (int d = 0; d < 100; ++d) {
+    for (int d = 0; d < dp_train; ++d) {
       policy.observe_training_day(trainer.generate_day(), prices);
     }
     policy.solve();
     Simulator sim = make_household_simulator(home, prices, 5.0, 1200 + seed);
     SavingRatioAccumulator sr;
-    for (int d = 0; d < 30; ++d) {
-      const DayResult day = sim.run_day(policy);
-      sr.observe_day(day.usage, day.readings, prices);
-    }
+    sim.run_days(policy, static_cast<std::size_t>(dp_eval),
+                 [&](std::size_t, const DayResult& day) {
+                   sr.observe_day(day.usage, day.readings, prices);
+                 });
     row.dp_sr = sr.saving_ratio();
   }
   return row;
@@ -58,34 +61,52 @@ Row run(const HouseholdConfig& home, unsigned seed) {
 
 }  // namespace
 
-int main() {
-  using namespace rlblh;
-  using namespace rlblh::bench;
+const char* const kBenchName = "abl_household";
 
+void bench_body(BenchContext& ctx) {
   print_header("Ablation: lumpy cheap-zone loads (overnight EV charging)");
 
   HouseholdConfig plain;  // default: no EV
   HouseholdConfig with_ev;
   with_ev.ev_probability = 0.9;
 
+  const std::vector<std::pair<const char*, HouseholdConfig>> homes = {
+      {"default", plain}, {"with EV charger", with_ev}};
+  const std::vector<unsigned> seeds = {7, 8, 9};
+  const int kRlTrain = ctx.days(60, 5);
+  const int kRlEval = ctx.days(30, 3);
+  const int kDpTrain = ctx.days(100, 10);
+  const int kDpEval = ctx.days(30, 3);
+
+  const std::vector<Row> cells = ctx.sweep().run_grid(
+      homes, seeds,
+      [&](const std::pair<const char*, HouseholdConfig>& home, unsigned seed) {
+        return run_household(home.second, seed, kRlTrain, kRlEval, kDpTrain,
+                             kDpEval);
+      });
+  ctx.count_cells(cells.size());
+  ctx.count_days(cells.size() * static_cast<std::size_t>(
+                                    kRlTrain + kRlEval + kDpTrain + kDpEval));
+
   TablePrinter table({"household", "RL-BLH SR %", "DP (known dist.) SR %",
                       "RL / DP"});
-  for (const auto& [name, home] :
-       {std::pair<const char*, HouseholdConfig>{"default", plain},
-        std::pair<const char*, HouseholdConfig>{"with EV charger", with_ev}}) {
+  for (std::size_t h = 0; h < homes.size(); ++h) {
     Row mean;
-    for (const unsigned seed : {7u, 8u, 9u}) {
-      const Row r = run(home, seed);
-      mean.rl_sr += r.rl_sr / 3.0;
-      mean.dp_sr += r.dp_sr / 3.0;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const Row& r = cells[h * seeds.size() + s];
+      mean.rl_sr += r.rl_sr / static_cast<double>(seeds.size());
+      mean.dp_sr += r.dp_sr / static_cast<double>(seeds.size());
     }
-    table.add_row({name, TablePrinter::num(100.0 * mean.rl_sr, 1),
+    table.add_row({homes[h].first, TablePrinter::num(100.0 * mean.rl_sr, 1),
                    TablePrinter::num(100.0 * mean.dp_sr, 1),
                    TablePrinter::num(mean.rl_sr / mean.dp_sr, 2)});
+    ctx.metric(std::string("rl_sr_") + homes[h].first, mean.rl_sr);
+    ctx.metric(std::string("dp_sr_") + homes[h].first, mean.dp_sr);
   }
   table.print(std::cout);
   std::printf("\nthe DP ceiling barely moves; the linear-Q policy loses a "
               "large share of it.\nRicher function approximation (the "
               "paper's future work) would close the gap.\n");
-  return 0;
 }
+
+}  // namespace rlblh::bench

@@ -13,14 +13,16 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_main.h"
 #include "common.h"
 #include "rl/lspi.h"
 #include "util/table.h"
 
-int main() {
-  using namespace rlblh;
-  using namespace rlblh::bench;
+namespace rlblh::bench {
 
+const char* const kBenchName = "abl_lspi";
+
+void bench_body(BenchContext& ctx) {
   print_header("Ablation: LSTD-Q (LSPI core) near-singularity, footnote 4");
 
   const TouSchedule prices = TouSchedule::srp_plan();
@@ -28,11 +30,14 @@ int main() {
   RlBlhPolicy policy(config);
   Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
                                            900);
-  sim.run_days(policy, 30);  // gather a competent policy first
+  const int kWarmupDays = ctx.days(30, 5);
+  sim.run_days(policy, static_cast<std::size_t>(kWarmupDays));
 
   // Re-run days, recording (features, action, reward, next max features)
   // transitions by replaying the recorded day through the policy's own
-  // decision structure: we reconstruct decisions from the readings.
+  // decision structure: we reconstruct decisions from the readings. This
+  // is one long serial chain (each day depends on the learner's state), so
+  // it stays off the sweep pool; the harness still times and records it.
   const FeatureBasis basis(config.decisions_per_day(),
                            config.battery_capacity);
   std::vector<LstdSolver> solvers;
@@ -40,9 +45,9 @@ int main() {
     solvers.emplace_back(FeatureBasis::kDim, 1.0);
   }
 
-  const int kDays = 40;
+  const int kDays = ctx.days(40, 5);
   for (int d = 0; d < kDays; ++d) {
-    const DayResult day = sim.run_day(policy);
+    const DayResult& day = sim.run_day(policy);
     const std::size_t n_d = config.decision_interval;
     for (std::size_t k = 0; k < config.decisions_per_day(); ++k) {
       const double level = day.battery_levels[k * n_d];
@@ -71,6 +76,8 @@ int main() {
       solvers[action].add_sample({phi.begin(), phi.end()}, phi_next, reward);
     }
   }
+  ctx.count_cells(1);
+  ctx.count_days(static_cast<std::size_t>(kWarmupDays + kDays));
 
   TablePrinter table({"action", "samples", "min pivot", "solvable",
                       "solvable w/ ridge"});
@@ -85,9 +92,11 @@ int main() {
                    ridged.solution.has_value() ? "yes" : "NO"});
   }
   table.print(std::cout);
+  ctx.metric("singular_systems", static_cast<double>(singular));
   std::printf("\n%zu of %zu per-action systems are near-singular without "
               "regularization\n(collected from %d days of real operation); "
               "the paper drew the same conclusion\nand used the SGD update "
               "of Eq. (18) instead.\n", singular, solvers.size(), kDays);
-  return 0;
 }
+
+}  // namespace rlblh::bench

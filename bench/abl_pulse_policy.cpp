@@ -9,60 +9,71 @@
 // flattens well (low MI) but its battery-driven step changes track usage.
 #include "baselines/random_pulse.h"
 #include "baselines/stepping.h"
+#include "bench_main.h"
 #include "common.h"
 #include "util/table.h"
 
 #include <iostream>
+#include <vector>
 
-int main() {
-  using namespace rlblh;
-  using namespace rlblh::bench;
+namespace rlblh::bench {
 
+const char* const kBenchName = "abl_pulse_policy";
+
+void bench_body(BenchContext& ctx) {
   print_header("Ablation: learned vs random pulses vs stepping "
                "(n_D = 15, b_M = 5)");
 
   const TouSchedule prices = TouSchedule::srp_plan();
-  const int kTrainDays = 70;
-  const int kEvalDays = 120;
+  const int kTrainDays = ctx.days(70, 5);
+  const int kSettleDays = ctx.days(10, 3);
+  const int kEvalDays = ctx.days(120, 4);
 
+  // Three independent cells, one per policy family.
+  const std::vector<EvaluationResult> cells =
+      ctx.sweep().run(3, [&](std::size_t cell) {
+        Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
+                                                 5.0, 1300);
+        switch (cell) {
+          case 0: {
+            RlBlhPolicy rl(paper_config(15, 5.0, /*seed=*/7));
+            sim.run_days(rl, static_cast<std::size_t>(kTrainDays));
+            return measure_full(sim, rl, kEvalDays);
+          }
+          case 1: {
+            RandomPulsePolicy random_pulse(paper_config(15, 5.0, /*seed=*/7));
+            return measure_full(sim, random_pulse, kEvalDays);
+          }
+          default: {
+            SteppingConfig config;
+            config.battery_capacity = 5.0;
+            SteppingPolicy stepping(config);
+            sim.run_days(stepping, static_cast<std::size_t>(kSettleDays));
+            return measure_full(sim, stepping, kEvalDays);
+          }
+        }
+      });
+  ctx.count_cells(cells.size());
+  ctx.count_days(static_cast<std::size_t>(kTrainDays + kSettleDays +
+                                          3 * kEvalDays));
+
+  const char* names[] = {"rl-blh (learned pulses)", "random feasible pulses",
+                         "stepping (Yang et al. style)"};
+  const char* keys[] = {"rl_sr", "random_sr", "stepping_sr"};
   TablePrinter table({"policy", "SR %", "CC", "MI", "cents/day"});
-
-  {
-    RlBlhPolicy rl(paper_config(15, 5.0, /*seed=*/7));
-    Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
-                                             1300);
-    sim.run_days(rl, kTrainDays);
-    const Metrics m = measure(sim, rl, kEvalDays);
-    table.add_row({"rl-blh (learned pulses)", TablePrinter::num(100 * m.sr, 1),
-                   TablePrinter::num(m.cc, 4), TablePrinter::num(m.mi, 4),
-                   TablePrinter::num(m.daily_savings_cents, 1)});
-  }
-  {
-    RandomPulsePolicy random_pulse(paper_config(15, 5.0, /*seed=*/7));
-    Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
-                                             1300);
-    const Metrics m = measure(sim, random_pulse, kEvalDays);
-    table.add_row({"random feasible pulses", TablePrinter::num(100 * m.sr, 1),
-                   TablePrinter::num(m.cc, 4), TablePrinter::num(m.mi, 4),
-                   TablePrinter::num(m.daily_savings_cents, 1)});
-  }
-  {
-    SteppingConfig config;
-    config.battery_capacity = 5.0;
-    SteppingPolicy stepping(config);
-    Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
-                                             1300);
-    sim.run_days(stepping, 10);  // settle the demand estimate
-    const Metrics m = measure(sim, stepping, kEvalDays);
-    table.add_row({"stepping (Yang et al. style)",
-                   TablePrinter::num(100 * m.sr, 1),
-                   TablePrinter::num(m.cc, 4), TablePrinter::num(m.mi, 4),
-                   TablePrinter::num(m.daily_savings_cents, 1)});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const EvaluationResult& m = cells[c];
+    table.add_row({names[c], TablePrinter::num(100 * m.saving_ratio, 1),
+                   TablePrinter::num(m.mean_cc, 4),
+                   TablePrinter::num(m.normalized_mi, 4),
+                   TablePrinter::num(m.mean_daily_savings_cents, 1)});
+    ctx.metric(keys[c], m.saving_ratio);
   }
 
   table.print(std::cout);
   std::printf("\nrandom pulses inherit RL-BLH's privacy but not its savings "
               "— the learning is\npurely a cost feature; the paper's privacy "
               "mechanism is the pulse structure itself.\n");
-  return 0;
 }
+
+}  // namespace rlblh::bench

@@ -1,0 +1,163 @@
+#include "bench_main.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+namespace rlblh::bench {
+
+BenchContext::BenchContext(SweepOptions sweep_options, bool quick,
+                           std::vector<char*> passthrough)
+    : sweep_(sweep_options), quick_(quick), args_(std::move(passthrough)) {}
+
+void BenchContext::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+namespace {
+
+void print_usage(const char* program) {
+  std::printf(
+      "usage: %s [--threads N] [--quick] [--out PATH] [--no-json]\n"
+      "  --threads N  sweep worker threads (default: RLBLH_THREADS env or "
+      "hardware)\n"
+      "  --quick      reduced day counts for CI smoke runs\n"
+      "  --out PATH   JSON record path (default: BENCH_<name>.json)\n"
+      "  --no-json    do not write the JSON record\n"
+      "unrecognized arguments are passed through to the bench body.\n",
+      program);
+}
+
+/// Writes a double as JSON; non-finite values become null so the record
+/// always parses.
+void write_number(std::FILE* out, double value) {
+  if (std::isfinite(value)) {
+    std::fprintf(out, "%.17g", value);
+  } else {
+    std::fputs("null", out);
+  }
+}
+
+/// Keys are harness- or bench-chosen identifiers; escape the JSON special
+/// characters anyway so a stray quote cannot corrupt the record.
+void write_string(std::FILE* out, const std::string& s) {
+  std::fputc('"', out);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', out);
+      std::fputc(c, out);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(out, "\\u%04x", c);
+    } else {
+      std::fputc(c, out);
+    }
+  }
+  std::fputc('"', out);
+}
+
+bool write_json(const std::string& path, const BenchContext& context,
+                bool quick, double wall_seconds) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const auto cells = static_cast<double>(context.total_cells());
+  const auto days = static_cast<double>(context.total_days());
+  std::fputs("{\n  \"bench\": ", out);
+  write_string(out, kBenchName);
+  std::fprintf(out, ",\n  \"threads\": %zu", context.threads());
+  std::fprintf(out, ",\n  \"quick\": %s", quick ? "true" : "false");
+  std::fputs(",\n  \"wall_seconds\": ", out);
+  write_number(out, wall_seconds);
+  std::fprintf(out, ",\n  \"cells\": %zu", context.total_cells());
+  std::fputs(",\n  \"cells_per_sec\": ", out);
+  write_number(out, wall_seconds > 0.0 ? cells / wall_seconds : 0.0);
+  std::fprintf(out, ",\n  \"simulated_days\": %zu", context.total_days());
+  std::fputs(",\n  \"days_per_sec\": ", out);
+  write_number(out, wall_seconds > 0.0 ? days / wall_seconds : 0.0);
+  std::fputs(",\n  \"metrics\": {", out);
+  bool first = true;
+  for (const auto& [key, value] : context.metrics()) {
+    std::fputs(first ? "\n    " : ",\n    ", out);
+    first = false;
+    write_string(out, key);
+    std::fputs(": ", out);
+    write_number(out, value);
+  }
+  std::fputs(first ? "}\n}\n" : "\n  }\n}\n", out);
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace
+
+}  // namespace rlblh::bench
+
+int main(int argc, char** argv) {
+  using namespace rlblh::bench;
+
+  rlblh::SweepOptions sweep_options;
+  bool quick = false;
+  bool json = true;
+  std::string out_path = std::string("BENCH_") + kBenchName + ".json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "bench: --threads needs a positive integer\n");
+        return 2;
+      }
+      sweep_options.threads = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      json = false;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  BenchContext context(sweep_options, quick, std::move(passthrough));
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    bench_body(context);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench %s failed: %s\n", kBenchName, error.what());
+    return 1;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::size_t cells = context.total_cells();
+  const std::size_t days = context.total_days();
+  std::printf(
+      "\n[bench %s] %zu cells, %zu simulated days in %.2f s wall "
+      "(%.2f cells/s, %.0f days/s) with %zu thread%s%s\n",
+      kBenchName, cells, days, wall_seconds,
+      wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0,
+      wall_seconds > 0.0 ? static_cast<double>(days) / wall_seconds : 0.0,
+      context.threads(), context.threads() == 1 ? "" : "s",
+      quick ? " (quick mode)" : "");
+
+  if (json) {
+    if (!write_json(out_path, context, quick, wall_seconds)) return 1;
+    std::printf("[bench %s] wrote %s\n", kBenchName, out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Timed benchmark harness shared by every bench binary.
+//
+// bench_main.cc owns main(): it parses the harness flags, hands a
+// BenchContext (thread count, --quick scaling, the parallel SweepRunner and
+// throughput counters) to the bench body, times the body wall-clock, prints
+// a summary line and emits a machine-readable BENCH_<name>.json record —
+// the perf-trajectory artifact CI uploads per run.
+//
+// Flags understood by every bench binary:
+//   --threads N   worker threads for the sweep engine (overrides the
+//                 RLBLH_THREADS environment variable; default: hardware)
+//   --quick       CI smoke mode: benches scale their day counts down
+//   --out PATH    where to write the JSON record
+//                 (default: BENCH_<name>.json in the working directory)
+//   --no-json     skip the JSON record
+// Unrecognized arguments are passed through to the bench body (the
+// google-benchmark micro benches forward them to benchmark::Initialize).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sweep.h"
+
+namespace rlblh::bench {
+
+/// Harness state handed to a bench body.
+class BenchContext {
+ public:
+  BenchContext(SweepOptions sweep_options, bool quick,
+               std::vector<char*> passthrough);
+
+  /// The bench's parallel sweep engine (see sim/sweep.h for the
+  /// determinism contract cells must obey).
+  SweepRunner& sweep() { return sweep_; }
+
+  /// Worker threads in effect.
+  std::size_t threads() const { return sweep_.threads(); }
+
+  /// True in --quick (CI smoke) mode.
+  bool quick() const { return quick_; }
+
+  /// Selects the full-run or the --quick day count.
+  int days(int full, int quick_days) const {
+    return quick_ ? quick_days : full;
+  }
+
+  /// Adds to the simulated-day counter behind the days/sec throughput
+  /// figure. Thread-safe: cells call it from pool workers.
+  void count_days(std::size_t days) {
+    days_.fetch_add(days, std::memory_order_relaxed);
+  }
+
+  /// Adds to the completed-cell counter. Thread-safe.
+  void count_cells(std::size_t cells) {
+    cells_.fetch_add(cells, std::memory_order_relaxed);
+  }
+
+  /// Records a headline result into the JSON record's "metrics" object.
+  /// Main thread only (call it after the sweep, in grid order, so the JSON
+  /// is independent of thread scheduling).
+  void metric(const std::string& key, double value);
+
+  /// Arguments the harness did not consume; argv[0] is preserved.
+  int passthrough_argc() const { return static_cast<int>(args_.size()); }
+  char** passthrough_argv() { return args_.data(); }
+
+  // --- harness internals (bench_main.cc) -------------------------------
+  std::size_t total_days() const { return days_.load(); }
+  std::size_t total_cells() const { return cells_.load(); }
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  SweepRunner sweep_;
+  bool quick_;
+  std::vector<char*> args_;
+  std::atomic<std::size_t> days_{0};
+  std::atomic<std::size_t> cells_{0};
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Each bench translation unit defines these two symbols; bench_main.cc
+/// supplies main().
+extern const char* const kBenchName;
+void bench_body(BenchContext& context);
+
+}  // namespace rlblh::bench

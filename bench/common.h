@@ -26,29 +26,38 @@ struct Metrics {
 
 /// Evaluates a policy over `days` with learning and exploration untouched
 /// (matching the paper's measure-while-running protocol).
-inline Metrics measure(Simulator& sim, BlhPolicy& policy, int days,
-                       std::size_t mi_levels = 8) {
+inline EvaluationResult measure_full(Simulator& sim, BlhPolicy& policy,
+                                     int days, std::size_t mi_levels = 8) {
   EvaluationConfig config;
   config.train_days = 0;
   config.eval_days = static_cast<std::size_t>(days);
   config.mi_levels = mi_levels;
-  const EvaluationResult r = evaluate_policy(sim, policy, config);
+  return evaluate_policy(sim, policy, config);
+}
+
+/// Same, projected to the fields the figure tables print.
+inline Metrics measure(Simulator& sim, BlhPolicy& policy, int days,
+                       std::size_t mi_levels = 8) {
+  const EvaluationResult r = measure_full(sim, policy, days, mi_levels);
   return {r.saving_ratio, r.mean_cc, r.normalized_mi,
           r.mean_daily_savings_cents};
 }
 
 /// Greedy (exploration- and learning-frozen) saving ratio; used where the
-/// paper reports the quality of the *learned* policy.
+/// paper reports the quality of the *learned* policy. Restores the flags
+/// the caller had set rather than force-enabling them.
 inline double greedy_sr(Simulator& sim, RlBlhPolicy& policy, int days) {
+  const bool learning_before = policy.learning_enabled();
+  const bool exploration_before = policy.exploration_enabled();
   policy.set_learning_enabled(false);
   policy.set_exploration_enabled(false);
   SavingRatioAccumulator sr;
-  for (int d = 0; d < days; ++d) {
-    const DayResult day = sim.run_day(policy);
-    sr.observe_day(day.usage, day.readings, sim.prices());
-  }
-  policy.set_learning_enabled(true);
-  policy.set_exploration_enabled(true);
+  sim.run_days(policy, static_cast<std::size_t>(days),
+               [&](std::size_t, const DayResult& day) {
+                 sr.observe_day(day.usage, day.readings, sim.prices());
+               });
+  policy.set_learning_enabled(learning_before);
+  policy.set_exploration_enabled(exploration_before);
   return sr.saving_ratio();
 }
 

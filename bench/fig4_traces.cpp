@@ -9,37 +9,48 @@
 //  * The low-pass y_n is nearly flat but its slow envelope follows the
 //    usage envelope (activity bumps leak through).
 #include "baselines/lowpass.h"
+#include "bench_main.h"
 #include "common.h"
 #include "util/table.h"
 
 #include <iostream>
+#include <vector>
 
-int main() {
-  using namespace rlblh;
-  using namespace rlblh::bench;
+namespace rlblh::bench {
 
+const char* const kBenchName = "fig4_traces";
+
+void bench_body(BenchContext& ctx) {
   print_header("Figure 4: typical day traces, n_D = 10, b_M = 3 kWh");
 
   const TouSchedule prices = TouSchedule::srp_plan();
   const double capacity = 3.0;
+  const int kRlTrainDays = ctx.days(60, 5);
+  const int kLpSettleDays = ctx.days(10, 3);
 
-  // Train RL-BLH online first (paper: traces shown after learning).
-  RlBlhConfig rl_config = paper_config(10, capacity, /*seed=*/7);
-  RlBlhPolicy rl(rl_config);
-  Simulator rl_sim = make_household_simulator(HouseholdConfig{}, prices,
-                                              capacity, /*seed=*/101);
-  rl_sim.run_days(rl, 60);
-  rl.set_exploration_enabled(false);
-
-  LowPassConfig lp_config;
-  lp_config.battery_capacity = capacity;
-  LowPassPolicy lp(lp_config);
-  Simulator lp_sim = make_household_simulator(HouseholdConfig{}, prices,
-                                              capacity, /*seed=*/101);
-  lp_sim.run_days(lp, 10);  // settle the flattening target
-
-  const DayResult rl_day = rl_sim.run_day(rl);
-  const DayResult lp_day = lp_sim.run_day(lp);
+  // Two independent cells: the trained RL-BLH day and the settled low-pass
+  // day (paper: traces shown after learning).
+  const std::vector<DayResult> days =
+      ctx.sweep().run(2, [&](std::size_t cell) -> DayResult {
+        Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
+                                                 capacity, /*seed=*/101);
+        if (cell == 0) {
+          RlBlhConfig rl_config = paper_config(10, capacity, /*seed=*/7);
+          RlBlhPolicy rl(rl_config);
+          sim.run_days(rl, static_cast<std::size_t>(kRlTrainDays));
+          rl.set_exploration_enabled(false);
+          return sim.run_day(rl);  // copies out of the simulator's scratch
+        }
+        LowPassConfig lp_config;
+        lp_config.battery_capacity = capacity;
+        LowPassPolicy lp(lp_config);
+        sim.run_days(lp, static_cast<std::size_t>(kLpSettleDays));
+        return sim.run_day(lp);
+      });
+  const DayResult& rl_day = days[0];
+  const DayResult& lp_day = days[1];
+  ctx.count_cells(2);
+  ctx.count_days(static_cast<std::size_t>(kRlTrainDays + kLpSettleDays + 2));
 
   TablePrinter table({"n", "rate", "x_n", "rl: y_n", "rl: b_n",
                       "lp: y_n", "lp: b_n"});
@@ -73,8 +84,12 @@ int main() {
               drained_dear);
   std::printf("rl-blh savings this day: %.1f cents (low-pass: %.1f)\n",
               rl_day.savings_cents, lp_day.savings_cents);
+  ctx.metric("rl_day_cc", rl_cc);
+  ctx.metric("lp_day_cc", lp_cc);
+  ctx.metric("rl_day_savings_cents", rl_day.savings_cents);
   std::printf("\npaper: Fig. 4a shows aperiodic rectangular pulses with the "
               "battery filled\nby the end of the cheap zone; Fig. 4b shows a "
               "flat reading whose envelope\nstill leaks the activity bumps.\n");
-  return 0;
 }
+
+}  // namespace rlblh::bench

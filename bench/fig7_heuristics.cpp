@@ -7,16 +7,17 @@
 //
 // Paper values for (7c): 4.2 / 8.0 / 13.0 / 15.6 percent — the ordering
 // none < reuse < synthetic < all is the shape to reproduce.
+#include "bench_main.h"
 #include "common.h"
 #include "util/table.h"
 
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
-namespace {
+namespace rlblh::bench {
 
-using namespace rlblh;
-using namespace rlblh::bench;
+namespace {
 
 struct Variant {
   const char* name;
@@ -67,31 +68,43 @@ Outcome run_variant(const Variant& variant, int train_days, int eval_days,
   return out;
 }
 
+std::string at_day(const std::vector<double>& series, int day) {
+  const auto i = static_cast<std::size_t>(day - 1);
+  return i < series.size() ? TablePrinter::num(series[i], 3) : "-";
+}
+
 }  // namespace
 
-int main() {
-  using namespace rlblh;
-  using namespace rlblh::bench;
+const char* const kBenchName = "fig7_heuristics";
 
+void bench_body(BenchContext& ctx) {
   print_header("Figure 7: effect of each heuristic, n_D = 15, b_M = 5 kWh");
 
-  const Variant variants[] = {
+  const std::vector<Variant> variants = {
       {"no heuristic", false, false, 4.2},
       {"reuse only", true, false, 8.0},
       {"synthetic only", false, true, 13.0},
       {"all heuristics", true, true, 15.6},
   };
-  const int kTrainDays = 100;
-  const int kEvalDays = 40;
-  const unsigned kSeeds[] = {7, 8, 9};
+  const int kTrainDays = ctx.days(100, 8);
+  const int kEvalDays = ctx.days(40, 4);
+  const std::vector<unsigned> seeds = {7, 8, 9};
 
-  Outcome outcomes[4];
-  double sr_mean[4] = {0, 0, 0, 0};
-  for (int v = 0; v < 4; ++v) {
-    for (const unsigned seed : kSeeds) {
-      const Outcome o = run_variant(variants[v], kTrainDays, kEvalDays, seed);
-      sr_mean[v] += o.sr / 3.0;
-      if (seed == kSeeds[0]) outcomes[v] = o;
+  const std::vector<Outcome> cells = ctx.sweep().run_grid(
+      variants, seeds, [&](const Variant& variant, unsigned seed) {
+        return run_variant(variant, kTrainDays, kEvalDays, seed);
+      });
+  ctx.count_cells(cells.size());
+  ctx.count_days(cells.size() *
+                 static_cast<std::size_t>(kTrainDays + kEvalDays));
+
+  // Error curves from the first seed; SR averaged over all seeds, in grid
+  // order.
+  std::vector<double> sr_mean(variants.size(), 0.0);
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      sr_mean[v] +=
+          cells[v * seeds.size() + s].sr / static_cast<double>(seeds.size());
     }
   }
 
@@ -99,25 +112,28 @@ int main() {
               kTrainDays);
   TablePrinter error_table({"day", "none", "reuse only", "syn only", "all"});
   for (int day : {1, 2, 4, 6, 8, 10, 15, 20, 30, 40, 60, 80, 100}) {
-    const auto i = static_cast<std::size_t>(day - 1);
+    if (day > kTrainDays) break;
     error_table.add_row({std::to_string(day),
-                         TablePrinter::num(outcomes[0].error[i], 3),
-                         TablePrinter::num(outcomes[1].error[i], 3),
-                         TablePrinter::num(outcomes[2].error[i], 3),
-                         TablePrinter::num(outcomes[3].error[i], 3)});
+                         at_day(cells[0 * seeds.size()].error, day),
+                         at_day(cells[1 * seeds.size()].error, day),
+                         at_day(cells[2 * seeds.size()].error, day),
+                         at_day(cells[3 * seeds.size()].error, day)});
   }
   error_table.print(std::cout);
 
   std::printf("\n(c) saving ratio after %d training days "
-              "(mean of 3 seeds, greedy evaluation)\n", kTrainDays);
+              "(mean of %zu seeds, greedy evaluation)\n",
+              kTrainDays, seeds.size());
   TablePrinter sr_table({"variant", "SR %", "paper SR %"});
-  for (int v = 0; v < 4; ++v) {
+  for (std::size_t v = 0; v < variants.size(); ++v) {
     sr_table.add_row({variants[v].name,
                       TablePrinter::num(100.0 * sr_mean[v], 1),
                       TablePrinter::num(variants[v].paper_sr, 1)});
+    ctx.metric(std::string("sr_") + variants[v].name, sr_mean[v]);
   }
   sr_table.print(std::cout);
   std::printf("\nshape check: none < {reuse, synthetic} < all, as in the "
               "paper's bars.\n");
-  return 0;
 }
+
+}  // namespace rlblh::bench

@@ -3,6 +3,7 @@
 // Measures the hot paths of the RL-BLH control loop.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "core/features.h"
 #include "core/qfunction.h"
 #include "core/rlblh_policy.h"
@@ -122,4 +123,18 @@ BENCHMARK(BM_FullSimulatedDay);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace rlblh::bench {
+
+const char* const kBenchName = "micro_controller";
+
+// The harness supplies main(); google-benchmark gets the passthrough args
+// (e.g. --benchmark_filter=...) and the harness records total wall time
+// into BENCH_micro_controller.json.
+void bench_body(BenchContext& ctx) {
+  int argc = ctx.passthrough_argc();
+  benchmark::Initialize(&argc, ctx.passthrough_argv());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+}
+
+}  // namespace rlblh::bench

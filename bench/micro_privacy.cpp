@@ -3,6 +3,7 @@
 // figure benches spend measuring (as opposed to simulating).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
 #include "meter/household.h"
 #include "privacy/correlation.h"
 #include "privacy/mutual_information.h"
@@ -70,4 +71,17 @@ BENCHMARK(BM_NalmDetectDay);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace rlblh::bench {
+
+const char* const kBenchName = "micro_privacy";
+
+// The harness supplies main(); google-benchmark gets the passthrough args
+// and the harness records total wall time into BENCH_micro_privacy.json.
+void bench_body(BenchContext& ctx) {
+  int argc = ctx.passthrough_argc();
+  benchmark::Initialize(&argc, ctx.passthrough_argv());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+}
+
+}  // namespace rlblh::bench

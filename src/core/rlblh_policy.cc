@@ -23,7 +23,13 @@ RlBlhPolicy::RlBlhPolicy(RlBlhConfig config)
       q2_(config_.num_actions, FeatureBasis::kDim),
       stats_(config_.intervals_per_day, config_.usage_cap, config_.stats_bins,
              config_.stats_reservoir),
-      rng_(config_.seed) {}
+      rng_(config_.seed),
+      actions_all_(config_.num_actions),
+      actions_zero_only_{0},
+      actions_max_only_{config_.num_actions - 1} {
+  for (std::size_t a = 0; a < actions_all_.size(); ++a) actions_all_[a] = a;
+  day_stats_.reserve(256);
+}
 
 double RlBlhPolicy::current_alpha() const {
   if (!config_.decay_hyperparams) return config_.alpha;
@@ -39,21 +45,19 @@ double RlBlhPolicy::current_epsilon() const {
                   InverseSqrtDecay(config_.epsilon).at(d + 1));
 }
 
-std::vector<std::size_t> RlBlhPolicy::allowed_actions(
+const std::vector<std::size_t>& RlBlhPolicy::allowed_actions(
     double battery_level) const {
   // Section III-B feasibility: above the high guard only a zero pulse is
   // safe (the battery could otherwise overflow if usage stays at zero);
   // below the low guard only the full pulse is safe (usage could stay at
   // x_M and drain the battery).
   if (battery_level > config_.high_guard()) {
-    return {0};
+    return actions_zero_only_;
   }
   if (battery_level < config_.low_guard()) {
-    return {config_.num_actions - 1};
+    return actions_max_only_;
   }
-  std::vector<std::size_t> all(config_.num_actions);
-  for (std::size_t a = 0; a < all.size(); ++a) all[a] = a;
-  return all;
+  return actions_all_;
 }
 
 std::size_t RlBlhPolicy::acting_argmax(
@@ -88,7 +92,7 @@ double RlBlhPolicy::bootstrap_value(std::span<const double> features,
 
 std::size_t RlBlhPolicy::choose_action(std::size_t k, double battery_level,
                                        double epsilon_now) {
-  const auto allowed = allowed_actions(battery_level);
+  const auto& allowed = allowed_actions(battery_level);
   const auto features = basis_.at(k, battery_level);
   const std::size_t greedy = acting_argmax(features, allowed);
   const std::size_t chosen =
@@ -242,7 +246,7 @@ double RlBlhPolicy::train_virtual_day(const std::vector<double>& usage,
 
   for (std::size_t k = 0; k < k_max; ++k) {
     const auto features = basis_.at(k, level);
-    const auto allowed = allowed_actions(level);
+    const auto& allowed = allowed_actions(level);
     const std::size_t greedy = acting_argmax(features, allowed);
     const std::size_t action =
         epsilon_greedy(allowed, greedy, epsilon_now, rng_);

@@ -58,6 +58,12 @@ class RlBlhPolicy final : public BlhPolicy {
   /// deterministic evaluation of a learned policy.
   void set_exploration_enabled(bool enabled) { exploration_ = enabled; }
 
+  /// True while weight updates are enabled.
+  bool learning_enabled() const { return learning_; }
+
+  /// True while epsilon exploration is enabled.
+  bool exploration_enabled() const { return exploration_; }
+
   // --- introspection ----------------------------------------------------
   /// Configuration in effect.
   const RlBlhConfig& config() const { return config_; }
@@ -96,8 +102,10 @@ class RlBlhPolicy final : public BlhPolicy {
 
   /// Feasible actions at the given battery level (Section III-B): only
   /// action 0 above the high guard, only the maximum action below the low
-  /// guard, every action in between.
-  std::vector<std::size_t> allowed_actions(double battery_level) const;
+  /// guard, every action in between. Returns a reference to one of three
+  /// precomputed sets (the decision loop calls this twice per decision, so
+  /// it must not allocate).
+  const std::vector<std::size_t>& allowed_actions(double battery_level) const;
 
   /// Pulse magnitude (kWh per interval) of action a.
   double action_magnitude(std::size_t a) const {
@@ -138,6 +146,11 @@ class RlBlhPolicy final : public BlhPolicy {
   PerActionLinearQ q2_;
   UsageStatsTracker stats_;
   Rng rng_;
+
+  // Precomputed feasible-action sets (see allowed_actions()).
+  std::vector<std::size_t> actions_all_;
+  std::vector<std::size_t> actions_zero_only_;
+  std::vector<std::size_t> actions_max_only_;
 
   bool learning_ = true;
   bool exploration_ = true;

@@ -24,15 +24,16 @@ EvaluationResult evaluate_policy(Simulator& simulator, BlhPolicy& policy,
   PairwiseMiEstimator mi(n_m, config.mi_levels, x_cap, x_cap);
 
   EvaluationResult result;
-  for (std::size_t d = 0; d < config.eval_days; ++d) {
-    const DayResult day = simulator.run_day(policy);
-    sr.observe_day(day.usage, day.readings, simulator.prices());
-    cc.observe_day(day.usage, day.readings);
-    mi.observe_day(day.usage, day.readings);
-    result.battery_violations += day.battery_violations;
-    result.mean_daily_bill_cents += day.bill_cents;
-    result.mean_daily_usage_cost_cents += day.usage_cost_cents;
-  }
+  simulator.run_days(
+      policy, config.eval_days,
+      [&](std::size_t, const DayResult& day) {
+        sr.observe_day(day.usage, day.readings, simulator.prices());
+        cc.observe_day(day.usage, day.readings);
+        mi.observe_day(day.usage, day.readings);
+        result.battery_violations += day.battery_violations;
+        result.mean_daily_bill_cents += day.bill_cents;
+        result.mean_daily_usage_cost_cents += day.usage_cost_cents;
+      });
   const auto days = static_cast<double>(config.eval_days);
   result.saving_ratio = sr.saving_ratio();
   result.mean_cc = cc.mean_cc();

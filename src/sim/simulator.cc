@@ -15,12 +15,22 @@ Simulator::Simulator(std::unique_ptr<TraceSource> source, TouSchedule prices,
                 "Simulator: price schedule length must match the day length");
 }
 
-DayResult Simulator::run_day(BlhPolicy& policy) {
+const DayResult& Simulator::run_day(BlhPolicy& policy) {
   const std::size_t n_m = source_->intervals();
-  DayResult result{DayTrace(n_m), DayTrace(n_m), {}, 0.0, 0.0, 0.0, 0};
+  // Reuse the scratch record's buffers: after the first day the loop below
+  // overwrites them in place instead of reallocating.
+  DayResult& result = scratch_;
+  result.usage = source_->next_day();  // move-assigned, no copy
+  if (result.readings.intervals() != n_m) {
+    result.readings = DayTrace(n_m);
+  }
+  result.battery_levels.clear();
   result.battery_levels.reserve(n_m);
+  result.savings_cents = 0.0;
+  result.bill_cents = 0.0;
+  result.usage_cost_cents = 0.0;
 
-  const DayTrace usage = source_->next_day();
+  const DayTrace& usage = result.usage;
   const std::size_t violations_before = battery_.violation_count();
 
   policy.begin_day(prices_);
@@ -49,7 +59,6 @@ DayResult Simulator::run_day(BlhPolicy& policy) {
   }
   policy.end_day();
 
-  result.usage = usage;
   result.battery_violations = battery_.violation_count() - violations_before;
   if (invariant_config_.has_value()) {
     InvariantChecker(*invariant_config_)
@@ -64,13 +73,14 @@ void Simulator::enable_invariant_checks(const InvariantCheckConfig& config) {
   invariant_config_ = checker.config();
 }
 
-DayResult Simulator::run_days(BlhPolicy& policy, std::size_t days) {
+const DayResult& Simulator::run_days(BlhPolicy& policy, std::size_t days,
+                                     const DayCallback& on_day) {
   RLBLH_REQUIRE(days >= 1, "Simulator: days must be >= 1");
-  DayResult last{DayTrace(1), DayTrace(1), {}, 0.0, 0.0, 0.0, 0};
   for (std::size_t d = 0; d < days; ++d) {
-    last = run_day(policy);
+    const DayResult& day = run_day(policy);
+    if (on_day) on_day(d, day);
   }
-  return last;
+  return scratch_;
 }
 
 void Simulator::set_prices(TouSchedule prices) {

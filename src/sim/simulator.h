@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -31,13 +32,23 @@ class Simulator {
   Simulator(std::unique_ptr<TraceSource> source, TouSchedule prices,
             Battery battery);
 
-  /// Runs one full day with the given policy and returns the day's record.
-  DayResult run_day(BlhPolicy& policy);
+  /// Observer invoked after each completed day of a run_days() loop with
+  /// the 0-based day index and that day's record. The reference is to the
+  /// simulator's reused scratch record: copy what must outlive the call.
+  using DayCallback = std::function<void(std::size_t day, const DayResult&)>;
 
-  /// Runs `days` consecutive days, returning only the last result (the
-  /// cheap path for long training phases where per-day records are not
-  /// needed).
-  DayResult run_days(BlhPolicy& policy, std::size_t days);
+  /// Runs one full day with the given policy and returns the day's record.
+  /// The reference stays valid until the next run_day/run_days call; copy
+  /// it to keep it (all scratch buffers are reused across days, so the
+  /// steady-state day loop performs no per-day allocation of its own).
+  const DayResult& run_day(BlhPolicy& policy);
+
+  /// Runs `days` consecutive days, returning the last result (the cheap
+  /// path for long training phases). When `on_day` is set it observes every
+  /// day's record in order, so callers needing intermediate days no longer
+  /// re-implement the day loop.
+  const DayResult& run_days(BlhPolicy& policy, std::size_t days,
+                            const DayCallback& on_day = nullptr);
 
   /// Replaces the price schedule from the next day on (length must match).
   void set_prices(TouSchedule prices);
@@ -74,6 +85,7 @@ class Simulator {
   TouSchedule prices_;
   Battery battery_;
   std::optional<InvariantCheckConfig> invariant_config_;
+  DayResult scratch_;  ///< day record reused across run_day calls
 };
 
 }  // namespace rlblh

@@ -1,0 +1,46 @@
+#include "sim/sweep.h"
+
+#include "util/error.h"
+
+namespace rlblh {
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : threads_(options.threads != 0 ? options.threads
+                                    : ThreadPool::default_thread_count()) {
+  if (threads_ > 1) {
+    pool_.emplace(threads_);
+  }
+}
+
+void EvaluationStats::add(const EvaluationResult& result) {
+  saving_ratio.add(result.saving_ratio);
+  mean_cc.add(result.mean_cc);
+  normalized_mi.add(result.normalized_mi);
+  mean_daily_savings_cents.add(result.mean_daily_savings_cents);
+  mean_daily_bill_cents.add(result.mean_daily_bill_cents);
+  mean_daily_usage_cost_cents.add(result.mean_daily_usage_cost_cents);
+  battery_violations += result.battery_violations;
+}
+
+void EvaluationStats::merge(const EvaluationStats& other) {
+  saving_ratio.merge(other.saving_ratio);
+  mean_cc.merge(other.mean_cc);
+  normalized_mi.merge(other.normalized_mi);
+  mean_daily_savings_cents.merge(other.mean_daily_savings_cents);
+  mean_daily_bill_cents.merge(other.mean_daily_bill_cents);
+  mean_daily_usage_cost_cents.merge(other.mean_daily_usage_cost_cents);
+  battery_violations += other.battery_violations;
+}
+
+EvaluationStats mean_over_cells(const std::vector<EvaluationResult>& results,
+                                std::size_t first, std::size_t count) {
+  RLBLH_REQUIRE(first + count <= results.size(),
+                "mean_over_cells: slice out of range");
+  EvaluationStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    stats.add(results[first + i]);
+  }
+  return stats;
+}
+
+}  // namespace rlblh

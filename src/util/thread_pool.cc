@@ -1,0 +1,67 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+
+namespace rlblh {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  RLBLH_REQUIRE(threads >= 1, "ThreadPool: need at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    RLBLH_REQUIRE(!stopping_, "ThreadPool: submit() after shutdown began");
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and fully drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    // packaged_task captures any exception into its future; a raw callable
+    // that throws would terminate, matching std::thread semantics.
+    task();
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("RLBLH_THREADS")) {
+    try {
+      const long parsed = std::stol(env);
+      if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    } catch (const std::exception&) {
+      // Fall through to hardware detection on an unparsable value.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+}  // namespace rlblh

@@ -1,0 +1,65 @@
+// Fixed-size thread pool for the sweep engine.
+//
+// The pool owns N worker threads that drain a FIFO task queue. There is no
+// work stealing and no task priority: sweep cells are independent and
+// coarse-grained (whole simulated experiments), so a single mutex-guarded
+// queue is both simple and uncontended. Exceptions thrown by a task are
+// captured in the std::future returned by submit() and rethrown at get().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rlblh {
+
+/// A fixed-size pool of worker threads draining one FIFO queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` (>= 1) workers.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a nullary callable; the returned future yields its result (or
+  /// rethrows its exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+  /// Thread count the library should default to: the RLBLH_THREADS
+  /// environment variable when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  static std::size_t default_thread_count();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace rlblh

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace rlblh {
+namespace {
+
+TEST(ThreadPoolTest, RequiresAtLeastOneWorker) {
+  EXPECT_THROW(ThreadPool pool(0), ConfigError);
+}
+
+TEST(ThreadPoolTest, ReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, TasksCompleteWithCorrectResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SupportsMoveOnlyResults) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return std::make_unique<int>(42); });
+  const std::unique_ptr<int> result = future.get();
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto failing = pool.submit(
+      []() -> int { throw std::runtime_error("cell exploded"); });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+
+  // The worker survives a throwing task; the pool stays usable.
+  auto ok = pool.submit([] { return 7; });
+  EXPECT_EQ(ok.get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destruction must wait for every queued task, not just running ones.
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPoolTest, ManyThreadsOneTaskEach) {
+  ThreadPool pool(8);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit(
+        [&completed] { completed.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(completed.load(), 8);
+}
+
+// Restores the prior value of an environment variable on scope exit so the
+// RLBLH_THREADS tests cannot leak state into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* prior = std::getenv(name)) previous_ = prior;
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (previous_.has_value()) {
+      ::setenv(name_, previous_->c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> previous_;
+};
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  const ScopedEnv env("RLBLH_THREADS", "5");
+  EXPECT_EQ(ThreadPool::default_thread_count(), 5u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIgnoresInvalidEnv) {
+  {
+    const ScopedEnv env("RLBLH_THREADS", "not-a-number");
+    EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  }
+  {
+    const ScopedEnv env("RLBLH_THREADS", "0");
+    EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountAtLeastOneWithoutEnv) {
+  const ScopedEnv env("RLBLH_THREADS", nullptr);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rlblh
