@@ -1,12 +1,20 @@
 #include "bench_main.h"
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <iostream>
 #include <string>
+
+#include "obs/json_writer.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/metrics_dump.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace rlblh::bench {
 
@@ -23,75 +31,93 @@ namespace {
 void print_usage(const char* program) {
   std::printf(
       "usage: %s [--threads N] [--quick] [--out PATH] [--no-json]\n"
-      "  --threads N  sweep worker threads (default: RLBLH_THREADS env or "
+      "          [--obs] [--obs-out PATH]\n"
+      "  --threads N   sweep worker threads (default: RLBLH_THREADS env or "
       "hardware)\n"
-      "  --quick      reduced day counts for CI smoke runs\n"
-      "  --out PATH   JSON record path (default: BENCH_<name>.json)\n"
-      "  --no-json    do not write the JSON record\n"
+      "  --quick       reduced day counts for CI smoke runs\n"
+      "  --out PATH    JSON record path (default: BENCH_<name>.json)\n"
+      "  --no-json     do not write the JSON record\n"
+      "  --obs         record metrics + spans, write RUN_<name>.json and\n"
+      "                print the metrics_dump tables (also enabled by a\n"
+      "                non-empty RLBLH_OBS_OUT environment variable)\n"
+      "  --obs-out P   manifest path (implies --obs; default: RLBLH_OBS_OUT\n"
+      "                env or RUN_<name>.json)\n"
       "unrecognized arguments are passed through to the bench body.\n",
       program);
 }
 
-/// Writes a double as JSON; non-finite values become null so the record
-/// always parses.
-void write_number(std::FILE* out, double value) {
-  if (std::isfinite(value)) {
-    std::fprintf(out, "%.17g", value);
-  } else {
-    std::fputs("null", out);
-  }
-}
+/// The "obs" sub-object embedded into BENCH_<name>.json when recording:
+/// counters and gauges verbatim, histograms as summary statistics. Timing
+/// values vary run to run, which is why this lives beside — never inside —
+/// the deterministic "metrics" object the regression gate compares.
+void write_obs_section(obs::JsonWriter& json) {
+  json.key("obs");
+  json.begin_object();
 
-/// Keys are harness- or bench-chosen identifiers; escape the JSON special
-/// characters anyway so a stray quote cannot corrupt the record.
-void write_string(std::FILE* out, const std::string& s) {
-  std::fputc('"', out);
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      std::fputc('\\', out);
-      std::fputc(c, out);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      std::fprintf(out, "\\u%04x", c);
-    } else {
-      std::fputc(c, out);
-    }
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : obs::registry().counter_values()) {
+    json.member(name, static_cast<long long>(value));
   }
-  std::fputc('"', out);
+  json.end_object();
+
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : obs::registry().gauge_values()) {
+    json.member(name, value);
+  }
+  json.end_object();
+
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, snap] : obs::registry().histogram_values()) {
+    json.key(name);
+    json.begin_object();
+    json.member("count", static_cast<unsigned long long>(snap.count));
+    json.member("mean", snap.mean());
+    json.member("p50", snap.quantile(0.50));
+    json.member("p90", snap.quantile(0.90));
+    json.member("p99", snap.quantile(0.99));
+    json.member("max", snap.max);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.end_object();
 }
 
 bool write_json(const std::string& path, const BenchContext& context,
-                bool quick, double wall_seconds) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
+                bool quick, double wall_seconds, bool obs_recording) {
+  std::ofstream file(path);
+  if (!file) {
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
     return false;
   }
   const auto cells = static_cast<double>(context.total_cells());
   const auto days = static_cast<double>(context.total_days());
-  std::fputs("{\n  \"bench\": ", out);
-  write_string(out, kBenchName);
-  std::fprintf(out, ",\n  \"threads\": %zu", context.threads());
-  std::fprintf(out, ",\n  \"quick\": %s", quick ? "true" : "false");
-  std::fputs(",\n  \"wall_seconds\": ", out);
-  write_number(out, wall_seconds);
-  std::fprintf(out, ",\n  \"cells\": %zu", context.total_cells());
-  std::fputs(",\n  \"cells_per_sec\": ", out);
-  write_number(out, wall_seconds > 0.0 ? cells / wall_seconds : 0.0);
-  std::fprintf(out, ",\n  \"simulated_days\": %zu", context.total_days());
-  std::fputs(",\n  \"days_per_sec\": ", out);
-  write_number(out, wall_seconds > 0.0 ? days / wall_seconds : 0.0);
-  std::fputs(",\n  \"metrics\": {", out);
-  bool first = true;
+
+  obs::JsonWriter json(file);
+  json.begin_object();
+  json.member("bench", kBenchName);
+  json.member("threads", context.threads());
+  json.member("quick", quick);
+  json.member("wall_seconds", wall_seconds);
+  json.member("cells", context.total_cells());
+  json.member("cells_per_sec", wall_seconds > 0.0 ? cells / wall_seconds : 0.0);
+  json.member("simulated_days", context.total_days());
+  json.member("days_per_sec", wall_seconds > 0.0 ? days / wall_seconds : 0.0);
+  json.key("metrics");
+  json.begin_object();
   for (const auto& [key, value] : context.metrics()) {
-    std::fputs(first ? "\n    " : ",\n    ", out);
-    first = false;
-    write_string(out, key);
-    std::fputs(": ", out);
-    write_number(out, value);
+    json.member(key, value);
   }
-  std::fputs(first ? "}\n}\n" : "\n  }\n}\n", out);
-  std::fclose(out);
-  return true;
+  json.end_object();
+  if (obs_recording) {
+    write_obs_section(json);
+  }
+  json.end_object();
+  json.finish();
+  return file.good();
 }
 
 }  // namespace
@@ -104,7 +130,9 @@ int main(int argc, char** argv) {
   rlblh::SweepOptions sweep_options;
   bool quick = false;
   bool json = true;
+  bool obs_requested = false;
   std::string out_path = std::string("BENCH_") + kBenchName + ".json";
+  std::string obs_out_path;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
 
@@ -123,6 +151,11 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(arg, "--no-json") == 0) {
       json = false;
+    } else if (std::strcmp(arg, "--obs") == 0) {
+      obs_requested = true;
+    } else if (std::strcmp(arg, "--obs-out") == 0 && i + 1 < argc) {
+      obs_requested = true;
+      obs_out_path = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       print_usage(argv[0]);
@@ -132,9 +165,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (const char* env = std::getenv("RLBLH_OBS_OUT")) {
+    if (env[0] != '\0') obs_requested = true;
+  }
+  if (obs_requested) {
+    if (!rlblh::obs::compiled_in()) {
+      std::fprintf(stderr,
+                   "bench %s: observability compiled out (RLBLH_OBS=OFF); "
+                   "manifest will carry build info only\n",
+                   kBenchName);
+    }
+    rlblh::obs::registry().reset();
+    rlblh::obs::Tracer::instance().reset();
+    rlblh::obs::set_enabled(true);
+    if (obs_out_path.empty()) {
+      obs_out_path = rlblh::obs::default_manifest_path(kBenchName);
+    }
+  }
+
   BenchContext context(sweep_options, quick, std::move(passthrough));
   const auto start = std::chrono::steady_clock::now();
   try {
+    RLBLH_OBS_SPAN("bench.body");
     bench_body(context);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "bench %s failed: %s\n", kBenchName, error.what());
@@ -143,6 +195,11 @@ int main(int argc, char** argv) {
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (obs_requested) {
+    // Join the sweep workers so every worker-side metric write is visible
+    // to the snapshots below (the join is the synchronization point).
+    context.sweep().shutdown();
+  }
 
   const std::size_t cells = context.total_cells();
   const std::size_t days = context.total_days();
@@ -156,8 +213,24 @@ int main(int argc, char** argv) {
       quick ? " (quick mode)" : "");
 
   if (json) {
-    if (!write_json(out_path, context, quick, wall_seconds)) return 1;
+    if (!write_json(out_path, context, quick, wall_seconds, obs_requested)) {
+      return 1;
+    }
     std::printf("[bench %s] wrote %s\n", kBenchName, out_path.c_str());
+  }
+
+  if (obs_requested) {
+    rlblh::obs::RunInfo info;
+    info.name = kBenchName;
+    info.command.assign(argv, argv + argc);
+    info.config = {
+        {"threads", std::to_string(context.threads())},
+        {"quick", quick ? "true" : "false"},
+        {"wall_seconds", std::to_string(wall_seconds)},
+    };
+    if (!rlblh::obs::write_manifest_file(obs_out_path, info)) return 1;
+    std::printf("[bench %s] wrote %s\n", kBenchName, obs_out_path.c_str());
+    rlblh::obs::dump_all(std::cout);
   }
   return 0;
 }

@@ -13,6 +13,13 @@
 //   --out PATH    where to write the JSON record
 //                 (default: BENCH_<name>.json in the working directory)
 //   --no-json     skip the JSON record
+//   --obs         turn on the observability layer for the run: metrics and
+//                 spans are recorded, a RUN_<name>.json manifest is written
+//                 (see src/obs/manifest.h for the schema), an "obs" section
+//                 is embedded in BENCH_<name>.json and the metrics_dump
+//                 tables are printed. A non-empty RLBLH_OBS_OUT environment
+//                 variable implies --obs and names the manifest path.
+//   --obs-out P   manifest path (implies --obs)
 // Unrecognized arguments are passed through to the bench body (the
 // google-benchmark micro benches forward them to benchmark::Initialize).
 #pragma once

@@ -9,6 +9,7 @@
 // checkpoints (convergence in error must translate into converged savings).
 #include "bench_main.h"
 #include "common.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 #include <algorithm>
@@ -84,12 +85,15 @@ void bench_body(BenchContext& ctx) {
   // all-heuristics learner over the zoomed one. The 1600-day serial chain
   // dominates this bench's wall-clock (the parallel win here is only the
   // overlap of the two cells; the seed sweeps are where threads shine).
-  const std::vector<std::vector<double>> series =
-      ctx.sweep().run(2, [&](std::size_t cell) {
-        return cell == 0
-                   ? error_series(/*heuristics=*/false, kLongDays, 7)
-                   : error_series(/*heuristics=*/true, kShortDays, 7);
-      });
+  std::vector<std::vector<double>> series;
+  {
+    RLBLH_OBS_SPAN("fig6.sweep");
+    series = ctx.sweep().run(2, [&](std::size_t cell) {
+      return cell == 0 ? error_series(/*heuristics=*/false, kLongDays, 7)
+                       : error_series(/*heuristics=*/true, kShortDays, 7);
+    });
+  }
+  RLBLH_OBS_SPAN("fig6.reduce");
   const std::vector<double> plain = normalize(series[0]);
   const std::vector<double> boosted = normalize(series[1]);
   ctx.count_cells(2);

@@ -10,7 +10,7 @@
 //                [--train DAYS] [--eval DAYS]
 //                [--trace-in usage.csv] [--trace-out day.csv]
 //                [--load-weights w.txt] [--save-weights w.txt]
-//                [--check-invariants]
+//                [--check-invariants] [--obs [--obs-out run.json]]
 //
 // Examples:
 //   simulate_cli                                  # paper defaults
@@ -22,11 +22,18 @@
 #include <memory>
 #include <string>
 
+#include <iostream>
+
 #include "baselines/lowpass.h"
 #include "baselines/random_pulse.h"
 #include "baselines/stepping.h"
 #include "core/rlblh_policy.h"
 #include "core/serialize.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/metrics_dump.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "util/csv.h"
 
@@ -47,6 +54,8 @@ struct Options {
   std::string load_weights;
   std::string save_weights;
   bool check_invariants = false;
+  bool obs = false;
+  std::string obs_out;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
@@ -56,7 +65,8 @@ struct Options {
                "          [--nd MINUTES] [--seed N] [--train DAYS]\n"
                "          [--eval DAYS] [--trace-in usage.csv]\n"
                "          [--trace-out day.csv] [--load-weights w.txt]\n"
-               "          [--save-weights w.txt] [--check-invariants]\n",
+               "          [--save-weights w.txt] [--check-invariants]\n"
+               "          [--obs] [--obs-out run.json]\n",
                argv0);
   std::exit(2);
 }
@@ -93,6 +103,11 @@ Options parse(int argc, char** argv) {
       options.save_weights = value();
     } else if (flag == "--check-invariants") {
       options.check_invariants = true;
+    } else if (flag == "--obs") {
+      options.obs = true;
+    } else if (flag == "--obs-out") {
+      options.obs = true;
+      options.obs_out = value();
     } else {
       usage_and_exit(argv[0]);
     }
@@ -149,8 +164,16 @@ std::unique_ptr<BlhPolicy> make_policy(const Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options options = parse(argc, argv);
+  Options options = parse(argc, argv);
+  if (const char* env = std::getenv("RLBLH_OBS_OUT")) {
+    if (env[0] != '\0') options.obs = true;
+  }
   try {
+    if (options.obs) {
+      obs::registry().reset();
+      obs::Tracer::instance().reset();
+      obs::set_enabled(true);
+    }
     const TouSchedule prices = make_plan(options.plan, options.seed);
 
     std::unique_ptr<TraceSource> source;
@@ -190,6 +213,7 @@ int main(int argc, char** argv) {
     }
 
     if (options.train > 0) {
+      RLBLH_OBS_SPAN("cli.train");
       sim.run_days(*policy, options.train);
       std::printf("trained %zu day(s)\n", options.train);
     }
@@ -197,7 +221,10 @@ int main(int argc, char** argv) {
     EvaluationConfig eval;
     eval.train_days = 0;
     eval.eval_days = options.eval;
-    const EvaluationResult r = evaluate_policy(sim, *policy, eval);
+    const EvaluationResult r = [&] {
+      RLBLH_OBS_SPAN("cli.evaluate");
+      return evaluate_policy(sim, *policy, eval);
+    }();
     std::printf("over %zu evaluation day(s):\n", options.eval);
     std::printf("  saving ratio : %6.2f %%\n", 100.0 * r.saving_ratio);
     std::printf("  daily savings: %6.2f cents (bill %.1f of %.1f)\n",
@@ -229,6 +256,27 @@ int main(int argc, char** argv) {
       }
       save_weights_file(options.save_weights, rl->q());
       std::printf("saved weights to %s\n", options.save_weights.c_str());
+    }
+
+    if (options.obs) {
+      obs::RunInfo info;
+      info.name = "simulate_cli";
+      info.command.assign(argv, argv + argc);
+      info.config = {
+          {"policy", options.policy},
+          {"plan", options.plan},
+          {"battery_kwh", std::to_string(options.battery)},
+          {"nd", std::to_string(options.nd)},
+          {"seed", std::to_string(options.seed)},
+          {"train_days", std::to_string(options.train)},
+          {"eval_days", std::to_string(options.eval)},
+      };
+      const std::string path = options.obs_out.empty()
+                                   ? obs::default_manifest_path(info.name)
+                                   : options.obs_out;
+      if (!obs::write_manifest_file(path, info)) return 1;
+      std::printf("wrote run manifest to %s\n", path.c_str());
+      obs::dump_all(std::cout);
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json records against committed baselines.
+
+CI regression gate: for every baseline record under bench/baselines/ the
+current run must provide a matching BENCH_<name>.json whose
+
+  * headline "metrics" object agrees with the baseline within a relative
+    tolerance (the benches are deterministic, so drift means the simulation
+    changed — a correctness signal, not noise), and
+  * "wall_seconds" has not regressed by more than the allowed fraction
+    (default 25%). Wall time is only compared when the current machine is
+    not slower overall than the baseline machine, which is estimated from
+    the records themselves (see --wall-tolerance / --no-wall below).
+
+Exit status is non-zero on any failure. A summary table is printed to
+stdout and, when the GITHUB_STEP_SUMMARY environment variable points at a
+file, appended there as a Markdown table.
+
+Refreshing baselines after an intentional change:
+
+  1. Download the `bench-json` artifact from a green CI run on main
+     (or regenerate locally: `<bench> --quick --threads 2 --out ...`).
+  2. Copy the BENCH_*.json files over bench/baselines/.
+  3. Commit them together with the change that moved the numbers, and say
+     why in the commit message.
+
+Usage:
+  bench_compare.py BASELINE_DIR CURRENT_DIR [--wall-tolerance F]
+                   [--metric-rtol F] [--no-wall]
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+from pathlib import Path
+
+# Metric keys with a time-unit token (dp_solve_ms_L16, rl_us_per_day) are
+# measurements, not simulation outputs: they move with the machine, so they
+# are exempt from the strict drift check and only gated — like wall time —
+# by the machine-ratio-scaled budget in main().
+TIMING_METRIC = re.compile(r"(^|_)(ns|us|ms|sec|seconds)(_|$)")
+
+
+def load_records(directory: Path) -> dict:
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path) as handle:
+            record = json.load(handle)
+        records[record.get("bench", path.stem)] = record
+    return records
+
+
+def close(a: float, b: float, rtol: float) -> bool:
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=1e-12)
+
+
+def compare_metrics(name: str, base: dict, cur: dict, rtol: float) -> list:
+    """Returns a list of failure strings for one bench's metrics object."""
+    failures = []
+    base_metrics = base.get("metrics", {})
+    cur_metrics = cur.get("metrics", {})
+    for key in sorted(base_metrics):
+        if key not in cur_metrics:
+            failures.append(f"{name}: metric '{key}' missing from current run")
+            continue
+        if TIMING_METRIC.search(key):
+            continue  # timing measurement: gated by the wall budget instead
+        b, c = base_metrics[key], cur_metrics[key]
+        if not close(float(b), float(c), rtol):
+            failures.append(
+                f"{name}: metric '{key}' drifted: baseline {b!r} vs "
+                f"current {c!r} (rtol {rtol})"
+            )
+    for key in sorted(set(cur_metrics) - set(base_metrics)):
+        failures.append(
+            f"{name}: new metric '{key}' not in baseline "
+            f"(refresh bench/baselines/ to accept it)"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline_dir", type=Path)
+    parser.add_argument("current_dir", type=Path)
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall_seconds regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--metric-rtol",
+        type=float,
+        default=0.10,
+        help="relative tolerance for headline metric drift (default 0.10)",
+    )
+    parser.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="skip the wall-clock comparison (metrics only)",
+    )
+    args = parser.parse_args()
+
+    baselines = load_records(args.baseline_dir)
+    currents = load_records(args.current_dir)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 2
+
+    # Wall-clock comparisons are meaningful only when the current machine is
+    # at least as fast as the one that produced the baselines. Estimate the
+    # machine-speed ratio from the median per-bench throughput ratio; when
+    # the current machine is slower overall, scale the budget accordingly so
+    # the gate still catches a bench that regressed relative to its peers.
+    ratios = []
+    for name, base in baselines.items():
+        cur = currents.get(name)
+        if cur is None:
+            continue
+        b, c = base.get("days_per_sec", 0.0), cur.get("days_per_sec", 0.0)
+        if b > 0.0 and c > 0.0:
+            ratios.append(c / b)
+    ratios.sort()
+    machine_speedup = ratios[len(ratios) // 2] if ratios else 1.0
+
+    failures = []
+    rows = []
+    for name, base in sorted(baselines.items()):
+        cur = currents.get(name)
+        if cur is None:
+            failures.append(f"{name}: no current BENCH record (bench removed?)")
+            rows.append((name, "MISSING", "-", "-"))
+            continue
+
+        failures.extend(compare_metrics(name, base, cur, args.metric_rtol))
+
+        base_wall = float(base.get("wall_seconds", 0.0))
+        cur_wall = float(cur.get("wall_seconds", 0.0))
+        # Budget in current-machine seconds: baseline wall rescaled by the
+        # overall machine ratio, plus the allowed regression fraction.
+        budget = (
+            base_wall / machine_speedup * (1.0 + args.wall_tolerance)
+            if machine_speedup > 0.0
+            else float("inf")
+        )
+        wall_ok = args.no_wall or base_wall <= 0.0 or cur_wall <= budget
+        if not wall_ok:
+            failures.append(
+                f"{name}: wall_seconds regressed: {cur_wall:.3f}s vs budget "
+                f"{budget:.3f}s (baseline {base_wall:.3f}s, machine ratio "
+                f"{machine_speedup:.2f}x, tolerance "
+                f"{args.wall_tolerance:.0%})"
+            )
+        metrics_ok = not any(f.startswith(f"{name}: metric") or
+                             f.startswith(f"{name}: new metric")
+                             for f in failures)
+        rows.append(
+            (
+                name,
+                "ok" if (wall_ok and metrics_ok) else "FAIL",
+                f"{base_wall:.3f}s -> {cur_wall:.3f}s",
+                "ok" if metrics_ok else "drift",
+            )
+        )
+
+    header = ("bench", "status", "wall", "metrics")
+    widths = [
+        max(len(str(row[i])) for row in rows + [header]) for i in range(4)
+    ]
+    print(f"bench_compare: machine speed ratio {machine_speedup:.2f}x "
+          f"(current vs baseline)")
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as summary:
+            summary.write("## Bench regression gate\n\n")
+            summary.write(
+                f"Machine speed ratio: {machine_speedup:.2f}x, wall "
+                f"tolerance {args.wall_tolerance:.0%}, metric rtol "
+                f"{args.metric_rtol}\n\n"
+            )
+            summary.write("| " + " | ".join(header) + " |\n")
+            summary.write("|" + "---|" * 4 + "\n")
+            for row in rows:
+                summary.write("| " + " | ".join(str(c) for c in row) + " |\n")
+            if failures:
+                summary.write("\n**Failures**\n\n")
+                for failure in failures:
+                    summary.write(f"- {failure}\n")
+                summary.write(
+                    "\nTo refresh baselines after an intentional change: "
+                    "download the `bench-json` artifact from a green main "
+                    "run, copy its BENCH_*.json over `bench/baselines/`, "
+                    "and commit them with the change.\n"
+                )
+
+    if failures:
+        print("\nbench_compare: FAILED")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(
+            "\nIf the change is intentional, refresh bench/baselines/ "
+            "(see the module docstring) and commit the new records."
+        )
+        return 1
+    print("\nbench_compare: all benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

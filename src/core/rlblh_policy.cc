@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "rl/decay.h"
 #include "rl/egreedy.h"
 #include "util/error.h"
@@ -13,6 +14,19 @@ namespace {
 RlBlhConfig validated(RlBlhConfig config) {
   config.validate();
   return config;
+}
+
+/// L2 norm over every weight of the table (the manifest's convergence
+/// proxy: a plateauing norm with shrinking TD error means the approximator
+/// has settled).
+[[maybe_unused]] double weight_norm(const PerActionLinearQ& q) {
+  double sum_sq = 0.0;
+  for (std::size_t a = 0; a < q.num_actions(); ++a) {
+    for (const double w : q.function(a).weights()) {
+      sum_sq += w * w;
+    }
+  }
+  return std::sqrt(sum_sq);
 }
 }  // namespace
 
@@ -201,6 +215,26 @@ void RlBlhPolicy::end_day() {
   stats.exploring_decisions = explored_count_;
   day_stats_.push_back(stats);
 
+  // Learning-progress telemetry (end_day is far off the interval hot path;
+  // the weight-norm pass is guarded so dormant observability costs one
+  // branch). Instrumentation only reads values — the Rng is never touched,
+  // keeping obs-on runs bitwise identical to obs-off runs.
+  RLBLH_OBS_COUNT("rl.real_days", 1);
+  RLBLH_OBS_COUNT("rl.decisions", decisions_done_);
+  RLBLH_OBS_COUNT("rl.explored_decisions", explored_count_);
+  RLBLH_OBS_OBSERVE("rl.day_mean_abs_td_error", stats.mean_abs_td_error);
+  RLBLH_OBS_OBSERVE("rl.day_realized_savings_cents", stats.realized_savings);
+  RLBLH_OBS_GAUGE("rl.signed_td_error", stats.signed_td_error);
+  RLBLH_OBS_GAUGE("rl.exploration_rate",
+                  exploration_ ? current_epsilon() : 0.0);
+  RLBLH_OBS_GAUGE("rl.learning_rate", current_alpha());
+  if (obs::enabled()) {
+    RLBLH_OBS_GAUGE("rl.weight_norm", weight_norm(q_));
+    if (config_.double_q) {
+      RLBLH_OBS_GAUGE("rl.weight_norm_q2", weight_norm(q2_));
+    }
+  }
+
   // Per-interval statistics feed the SYN heuristic.
   stats_.observe_day(DayTrace(today_usage_), rng_);
 
@@ -280,6 +314,7 @@ double RlBlhPolicy::train_virtual_day(const std::vector<double>& usage,
     abs_error += std::abs(delta_q);
   }
   if (learning_) ++episodes_;
+  RLBLH_OBS_COUNT("rl.virtual_days", 1);
   return abs_error / static_cast<double>(k_max);
 }
 

@@ -1,0 +1,148 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace rlblh::obs {
+
+JsonWriter::JsonWriter(std::ostream& out, int base_indent)
+    : out_(out), base_indent_(base_indent) {}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level scalar or root container
+  auto& [scope, count] = stack_.back();
+  if (scope == Scope::kObject) {
+    RLBLH_REQUIRE(key_pending_, "JsonWriter: object member needs a key()");
+    key_pending_ = false;
+    return;  // key() already emitted the separator and indentation
+  }
+  if (count > 0) out_ << ',';
+  out_ << '\n';
+  const int depth = base_indent_ + static_cast<int>(stack_.size());
+  for (int i = 0; i < depth * 2; ++i) out_ << ' ';
+  ++count;
+}
+
+void JsonWriter::key(const std::string& name) {
+  RLBLH_REQUIRE(!stack_.empty() && stack_.back().first == Scope::kObject,
+                "JsonWriter: key() outside an object");
+  RLBLH_REQUIRE(!key_pending_, "JsonWriter: key() twice without a value");
+  auto& count = stack_.back().second;
+  if (count > 0) out_ << ',';
+  out_ << '\n';
+  const int depth = base_indent_ + static_cast<int>(stack_.size());
+  for (int i = 0; i < depth * 2; ++i) out_ << ' ';
+  ++count;
+  out_ << '"' << escape(name) << "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.emplace_back(Scope::kObject, 0);
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.emplace_back(Scope::kArray, 0);
+}
+
+void JsonWriter::end_object() {
+  RLBLH_REQUIRE(!stack_.empty() && stack_.back().first == Scope::kObject,
+                "JsonWriter: end_object() without begin_object()");
+  RLBLH_REQUIRE(!key_pending_, "JsonWriter: dangling key()");
+  const int members = stack_.back().second;
+  stack_.pop_back();
+  if (members > 0) {
+    out_ << '\n';
+    const int depth = base_indent_ + static_cast<int>(stack_.size());
+    for (int i = 0; i < depth * 2; ++i) out_ << ' ';
+  }
+  out_ << '}';
+}
+
+void JsonWriter::end_array() {
+  RLBLH_REQUIRE(!stack_.empty() && stack_.back().first == Scope::kArray,
+                "JsonWriter: end_array() without begin_array()");
+  const int members = stack_.back().second;
+  stack_.pop_back();
+  if (members > 0) {
+    out_ << '\n';
+    const int depth = base_indent_ + static_cast<int>(stack_.size());
+    for (int i = 0; i < depth * 2; ++i) out_ << ' ';
+  }
+  out_ << ']';
+}
+
+void JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ << '"' << escape(text) << '"';
+}
+
+void JsonWriter::value(const char* text) { value(std::string(text)); }
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (std::isfinite(number)) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    out_ << buffer;
+  } else {
+    out_ << "null";
+  }
+}
+
+void JsonWriter::value(long long number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(unsigned long long number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+void JsonWriter::raw(const std::string& rendered) {
+  before_value();
+  out_ << rendered;
+}
+
+void JsonWriter::finish() {
+  RLBLH_REQUIRE(stack_.empty(), "JsonWriter: unclosed containers at finish()");
+  out_ << '\n';
+}
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace rlblh::obs

@@ -1,0 +1,73 @@
+// Streaming JSON writer with pretty-printing.
+//
+// The observability artifacts (RUN_*.json manifests, BENCH_*.json records,
+// span trees) are all emitted through this one writer so escaping, number
+// formatting (%.17g round-trippable doubles, null for non-finite values)
+// and indentation are decided in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rlblh::obs {
+
+/// Emits one JSON document. Usage is push-down: begin_object()/begin_array()
+/// open a container, key() names the next member inside an object, value()
+/// writes a scalar, end_*() closes. Commas and indentation are automatic.
+class JsonWriter {
+ public:
+  /// Writes to `out` with 2-space indentation starting at `base_indent`
+  /// levels (so a sub-document can be spliced into an outer one).
+  explicit JsonWriter(std::ostream& out, int base_indent = 0);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Names the next member; must be directly inside an object.
+  void key(const std::string& name);
+
+  void value(const std::string& text);
+  void value(const char* text);
+  void value(double number);  ///< non-finite doubles become null
+  void value(long long number);
+  void value(unsigned long long number);
+  void value(int number) { value(static_cast<long long>(number)); }
+  void value(std::size_t number) {
+    value(static_cast<unsigned long long>(number));
+  }
+  void value(bool flag);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void member(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// Splices a pre-rendered JSON sub-document in value position. The text
+  /// must be a complete JSON value rendered at the matching indent level
+  /// (see write_span_tree_json's `indent` parameter).
+  void raw(const std::string& rendered);
+
+  /// Writes the final newline; asserts all containers are closed.
+  void finish();
+
+  /// JSON string escaping (exposed for call sites that cannot stream).
+  static std::string escape(const std::string& text);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+
+  std::ostream& out_;
+  int base_indent_;
+  std::vector<std::pair<Scope, int>> stack_;  // scope, emitted-member count
+  bool key_pending_ = false;
+};
+
+}  // namespace rlblh::obs

@@ -1,0 +1,145 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace rlblh::obs {
+
+namespace {
+
+void write_histogram(JsonWriter& json, const HistogramMetric::Snapshot& snap) {
+  json.begin_object();
+  json.member("count", static_cast<unsigned long long>(snap.count));
+  json.member("sum", snap.sum);
+  json.member("mean", snap.mean());
+  json.member("min", snap.min);
+  json.member("max", snap.max);
+  json.member("p50", snap.quantile(0.50));
+  json.member("p90", snap.quantile(0.90));
+  json.member("p99", snap.quantile(0.99));
+  json.key("buckets");
+  json.begin_array();
+  for (std::size_t i = 0; i < HistogramMetric::kBuckets; ++i) {
+    if (snap.buckets[i] == 0) continue;
+    json.begin_array();
+    const double upper = HistogramMetric::bucket_upper(i);
+    if (i + 1 < HistogramMetric::kBuckets) {
+      json.value(upper);
+    } else {
+      json.null();  // unbounded top bucket
+    }
+    json.value(static_cast<unsigned long long>(snap.buckets[i]));
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_manifest(std::ostream& out, const RunInfo& info) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.member("schema", "rlblh-run-v1");
+  json.member("name", info.name);
+
+  json.key("command");
+  json.begin_array();
+  for (const std::string& arg : info.command) json.value(arg);
+  json.end_array();
+
+  json.key("build");
+  json.begin_object();
+  json.member("git_sha", build_git_sha());
+  json.member("compiler", build_compiler());
+  json.member("build_type", build_type());
+  json.member("obs_compiled", compiled_in());
+  json.end_object();
+
+  json.key("config");
+  json.begin_object();
+  for (const auto& [key, value] : info.config) json.member(key, value);
+  json.end_object();
+
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : registry().counter_values()) {
+    json.member(name, static_cast<long long>(value));
+  }
+  json.end_object();
+
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : registry().gauge_values()) {
+    json.member(name, value);
+  }
+  json.end_object();
+
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, snap] : registry().histogram_values()) {
+    json.key(name);
+    write_histogram(json, snap);
+  }
+  json.end_object();
+
+  // Splice the span tree in as a pre-rendered sub-document: JsonWriter
+  // handles the key, write_span_tree_json the nested array.
+  json.key("spans");
+  std::ostringstream spans;
+  write_span_tree_json(spans, Tracer::instance().snapshot(), /*indent=*/1);
+  json.raw(spans.str());
+  json.end_object();
+  json.finish();
+}
+
+bool write_manifest_file(const std::string& path, const RunInfo& info) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write manifest %s\n", path.c_str());
+    return false;
+  }
+  write_manifest(out, info);
+  return out.good();
+}
+
+std::string default_manifest_path(const std::string& name) {
+  if (const char* env = std::getenv("RLBLH_OBS_OUT")) {
+    if (env[0] != '\0') return env;
+  }
+  return "RUN_" + name + ".json";
+}
+
+std::string build_git_sha() {
+#ifdef RLBLH_GIT_SHA
+  return RLBLH_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_compiler() {
+#ifdef __VERSION__
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() {
+#ifdef RLBLH_BUILD_TYPE
+  return RLBLH_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace rlblh::obs

@@ -1,0 +1,57 @@
+// Run manifests: one RUN_<name>.json per observed run, carrying everything
+// needed to understand it after the fact — the command line, the run's
+// configuration, build provenance (git sha, compiler, build type), every
+// registered metric and the full span tree.
+//
+// Schema (rlblh-run-v1):
+//   {
+//     "schema": "rlblh-run-v1",
+//     "name": "<run name>",
+//     "command": ["argv0", ...],
+//     "build": {"git_sha", "compiler", "build_type", "obs_compiled"},
+//     "config": {"<key>": "<value>", ...},
+//     "counters": {"<name>": <integer>, ...},
+//     "gauges": {"<name>": <double>, ...},
+//     "histograms": {"<name>": {"count", "sum", "mean", "min", "max",
+//                               "p50", "p90", "p99",
+//                               "buckets": [[upper_bound, count], ...]}},
+//     "spans": [{"name", "thread", "start_ns", "duration_ns",
+//                "children": [...]}, ...]
+//   }
+// Histogram "buckets" lists only non-empty buckets; the last bucket's upper
+// bound is serialized as null (unbounded).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlblh::obs {
+
+/// Identity and configuration of the run being manifested.
+struct RunInfo {
+  std::string name;                ///< "fig6_convergence", "simulate_cli", ...
+  std::vector<std::string> command;  ///< argv as invoked (may be empty)
+  /// Free-form configuration pairs, serialized in the given order.
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Writes the manifest for the current registry/tracer state to `out`.
+void write_manifest(std::ostream& out, const RunInfo& info);
+
+/// Writes the manifest to `path`; returns false (after printing to stderr)
+/// when the file cannot be opened.
+bool write_manifest_file(const std::string& path, const RunInfo& info);
+
+/// Resolves the manifest output path: the RLBLH_OBS_OUT environment
+/// variable when set and non-empty, else RUN_<name>.json in the working
+/// directory.
+std::string default_manifest_path(const std::string& name);
+
+/// Build provenance baked in at compile time.
+std::string build_git_sha();
+std::string build_compiler();
+std::string build_type();
+
+}  // namespace rlblh::obs

@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rlblh::obs {
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+// --- Counter --------------------------------------------------------------
+
+long long Counter::value() const {
+  long long total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Gauge ----------------------------------------------------------------
+
+void Gauge::reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  written_.store(false, std::memory_order_relaxed);
+}
+
+// --- HistogramMetric ------------------------------------------------------
+
+double HistogramMetric::bucket_upper(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i) - kZeroBias);
+}
+
+std::size_t HistogramMetric::bucket_of(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the bottom bucket
+  int exponent = 0;
+  // frexp: value = m * 2^exponent with m in [0.5, 1) => value <= 2^exponent.
+  (void)std::frexp(value, &exponent);
+  const long bucket = static_cast<long>(exponent) + kZeroBias;
+  if (bucket < 0) return 0;
+  if (bucket >= static_cast<long>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(bucket);
+}
+
+void HistogramMetric::observe(double value) {
+  Shard& shard = shards_[thread_ordinal() % kMetricShards];
+  shard.counts[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+
+  if (!extremes_set_.load(std::memory_order_relaxed)) {
+    // First observation seeds both extremes; losing the race just means
+    // falling through to the CAS loops below.
+    bool expected = false;
+    if (extremes_set_.compare_exchange_strong(expected, true,
+                                              std::memory_order_relaxed)) {
+      min_.store(value, std::memory_order_relaxed);
+      max_.store(value, std::memory_order_relaxed);
+      return;
+    }
+  }
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double HistogramMetric::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count > 0 ? count - 1 : 0));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative > rank) {
+      // Clamp to the observed extremes so estimates never exceed max (the
+      // bucket upper bound can, by up to one bucket width).
+      const double upper = bucket_upper(i);
+      return std::isfinite(upper) ? std::min(std::max(upper, min), max) : max;
+    }
+  }
+  return max;
+}
+
+HistogramMetric::Snapshot HistogramMetric::snapshot() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = shard.counts[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += c;
+      snap.count += c;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  if (extremes_set_.load(std::memory_order_relaxed)) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void HistogramMetric::reset() {
+  for (Shard& shard : shards_) {
+    for (auto& count : shard.counts) {
+      count.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  extremes_set_.store(false, std::memory_order_relaxed);
+}
+
+// --- MetricRegistry -------------------------------------------------------
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return *slot;
+}
+
+void MetricRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->reset();
+  for (auto& [name, metric] : gauges_) metric->reset();
+  for (auto& [name, metric] : histograms_) metric->reset();
+}
+
+std::vector<std::pair<std::string, long long>>
+MetricRegistry::counter_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, long long>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) {
+    out.emplace_back(name, metric->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::gauge_values()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) {
+    if (metric->written()) out.emplace_back(name, metric->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramMetric::Snapshot>>
+MetricRegistry::histogram_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramMetric::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    out.emplace_back(name, metric->snapshot());
+  }
+  return out;
+}
+
+MetricRegistry& registry() {
+  static MetricRegistry instance;
+  return instance;
+}
+
+}  // namespace rlblh::obs

@@ -1,0 +1,163 @@
+// Lock-cheap metrics registry: counters, gauges and histograms.
+//
+// Hot-path writes must not serialize the sweep workers, so every metric is
+// sharded: a writer picks the shard owned by its thread id and does one
+// relaxed atomic RMW on a cache line no other shard touches. Reads (only
+// taken when a manifest or dump is produced) sum across shards. The
+// registry itself is a mutex-guarded name table, but each instrumentation
+// site resolves its metric once through a function-local static, so the
+// mutex is touched once per site per process, not per hit.
+//
+// Values are monotone within a run; reset() (registry-wide) zeroes every
+// metric while keeping registrations — and therefore the cached references
+// held by instrumentation sites — valid.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rlblh::obs {
+
+/// Number of write shards per metric. More shards than typical worker
+/// counts so two workers rarely share a cache line; small enough that a
+/// read-side sum stays trivial.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable small id of the calling thread (0 for the first thread that asks,
+/// 1 for the second, ...). Used both for metric sharding and to label spans.
+std::uint32_t thread_ordinal();
+
+/// Monotone counter. add() is wait-free on platforms with native fetch_add.
+class Counter {
+ public:
+  void add(long long delta) {
+    shards_[thread_ordinal() % kMetricShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards.
+  long long value() const;
+
+  /// Zeroes every shard.
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<long long> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+    written_.store(true, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// True once set() has been called since construction/reset.
+  bool written() const { return written_.load(std::memory_order_relaxed); }
+
+  void reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> written_{false};
+};
+
+/// Sharded histogram over geometric (power-of-two) buckets.
+///
+/// Bucket i covers (upper(i-1), upper(i)] with upper(i) = 2^(i - kZeroBias);
+/// the layout spans ~1.5e-8 .. ~7e10, wide enough for both sub-kWh energy
+/// values and nanosecond latencies up to a minute. Values at or below zero
+/// land in bucket 0, values beyond the top bound in the last bucket, so
+/// every observation is counted exactly once.
+class HistogramMetric {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr int kZeroBias = 27;  // bucket 0 upper bound = 2^-27
+
+  void observe(double value);
+
+  /// Upper bound of bucket i (inclusive); +inf for the last bucket.
+  static double bucket_upper(std::size_t i);
+
+  /// Bucket that `value` falls into.
+  static std::size_t bucket_of(double value);
+
+  /// A consistent-enough read of the histogram (relaxed loads; exact once
+  /// writers are quiescent, which is when snapshots are taken).
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< smallest observed value (0 when empty)
+    double max = 0.0;  ///< largest observed value (0 when empty)
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+
+    /// Upper bound of the bucket holding the q-quantile observation
+    /// (q in [0, 1]); 0 when empty. Exact to within one bucket width.
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+  // Extremes are process-wide CAS cells: the loop only spins while the
+  // value is a fresh extreme, which is rare after warm-up.
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> extremes_set_{false};
+};
+
+/// Name -> metric table. Lookup registers on first use and returns a
+/// reference that stays valid (and keeps its identity across reset()) for
+/// the registry's lifetime. Counters, gauges and histograms have separate
+/// namespaces.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name);
+
+  /// Zeroes every registered metric; registrations (and references handed
+  /// out earlier) survive.
+  void reset();
+
+  // --- read side (manifest writer, pretty printer) ---------------------
+  std::vector<std::pair<std::string, long long>> counter_values() const;
+  /// Gauges that have been written since the last reset.
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+  std::vector<std::pair<std::string, HistogramMetric::Snapshot>>
+  histogram_values() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// The process-wide registry used by the RLBLH_OBS_* macros.
+MetricRegistry& registry();
+
+}  // namespace rlblh::obs

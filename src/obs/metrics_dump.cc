@@ -1,0 +1,179 @@
+#include "obs/metrics_dump.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlblh::obs {
+
+namespace {
+
+std::string format_number(double value, int precision = 4) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+/// Nanoseconds rendered in the largest unit that keeps >= 1 digit before
+/// the point: "1.23 s", "45.6 ms", "789 ns".
+std::string format_duration_ns(double ns) {
+  char buffer[64];
+  if (ns >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f ns", ns);
+  }
+  return buffer;
+}
+
+/// Minimal aligned-table rendering (kept local so the obs library stays
+/// dependency-free below rlblh_util, which links against it).
+void print_table(std::ostream& out,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << row[c]
+          << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  print_row(header);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows) print_row(row);
+}
+
+}  // namespace
+
+void dump_metrics(std::ostream& out) {
+  const auto counters = registry().counter_values();
+  if (!counters.empty()) {
+    out << "counters\n";
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(counters.size());
+    for (const auto& [name, value] : counters) {
+      rows.push_back({name, std::to_string(value)});
+    }
+    print_table(out, {"name", "value"}, rows);
+    out << '\n';
+  }
+
+  const auto gauges = registry().gauge_values();
+  if (!gauges.empty()) {
+    out << "gauges\n";
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(gauges.size());
+    for (const auto& [name, value] : gauges) {
+      rows.push_back({name, format_number(value, 6)});
+    }
+    print_table(out, {"name", "value"}, rows);
+    out << '\n';
+  }
+
+  const auto histograms = registry().histogram_values();
+  if (!histograms.empty()) {
+    out << "histograms\n";
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(histograms.size());
+    for (const auto& [name, snap] : histograms) {
+      const bool ns = name.size() > 3 &&
+                      name.compare(name.size() - 3, 3, "_ns") == 0;
+      const auto fmt = [&](double v) {
+        return ns ? format_duration_ns(v) : format_number(v);
+      };
+      rows.push_back({name, std::to_string(snap.count), fmt(snap.mean()),
+                      fmt(snap.quantile(0.50)), fmt(snap.quantile(0.90)),
+                      fmt(snap.quantile(0.99)), fmt(snap.min),
+                      fmt(snap.max)});
+    }
+    print_table(out, {"name", "count", "mean", "p50", "p90", "p99", "min",
+                      "max"},
+                rows);
+    out << '\n';
+  }
+}
+
+void dump_spans(std::ostream& out) {
+  std::vector<SpanRecord> spans = Tracer::instance().snapshot();
+  if (spans.empty()) return;
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.id < b.id;
+            });
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) by_id[span.id] = &span;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& span : spans) {
+    if (span.parent != 0 && by_id.count(span.parent) != 0) {
+      children[span.parent].push_back(&span);
+    } else {
+      roots.push_back(&span);
+    }
+  }
+
+  out << "spans\n";
+  const std::function<void(const SpanRecord&, int)> print_span =
+      [&](const SpanRecord& span, int depth) {
+        out << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+            << span.name << "  "
+            << format_duration_ns(static_cast<double>(span.duration_ns))
+            << "  [thread " << span.thread << "]\n";
+        const auto it = children.find(span.id);
+        if (it == children.end()) return;
+        // Collapse large fan-outs (per-day spans): print the first few and
+        // summarize the rest per name.
+        constexpr std::size_t kMaxShown = 8;
+        std::size_t shown = 0;
+        std::map<std::string, std::pair<std::size_t, double>> elided;
+        for (const SpanRecord* child : it->second) {
+          if (shown < kMaxShown) {
+            print_span(*child, depth + 1);
+            ++shown;
+          } else {
+            auto& [count, total_ns] = elided[child->name];
+            ++count;
+            total_ns += static_cast<double>(child->duration_ns);
+          }
+        }
+        for (const auto& [name, agg] : elided) {
+          out << std::string(static_cast<std::size_t>(depth + 1) * 2, ' ')
+              << "... " << agg.first << " more '" << name << "' totalling "
+              << format_duration_ns(agg.second) << '\n';
+        }
+      };
+  for (const SpanRecord* root : roots) print_span(*root, 0);
+  out << '\n';
+}
+
+void dump_all(std::ostream& out) {
+  out << "== observability =========================================\n";
+  dump_metrics(out);
+  dump_spans(out);
+}
+
+}  // namespace rlblh::obs

@@ -1,0 +1,23 @@
+// Human-readable rendering of the current registry and span tree.
+//
+// `metrics_dump` is the terminal-facing twin of the RUN_*.json manifest:
+// aligned tables for counters, gauges and histogram summaries, and an
+// indented tree of spans with durations. Used by `bench --obs` and
+// `simulate_cli --obs` after a run; also handy from a debugger.
+#pragma once
+
+#include <iosfwd>
+
+namespace rlblh::obs {
+
+/// Prints counters, gauges and histogram summaries as aligned tables.
+void dump_metrics(std::ostream& out);
+
+/// Prints the span tree, one span per line, children indented, with
+/// durations in the largest sensible unit.
+void dump_spans(std::ostream& out);
+
+/// dump_metrics + dump_spans with section headings.
+void dump_all(std::ostream& out);
+
+}  // namespace rlblh::obs

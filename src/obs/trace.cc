@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace rlblh::obs {
+
+namespace {
+/// Innermost open span on this thread; 0 at top level.
+thread_local std::uint64_t t_current_span = 0;
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  completed_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  id_counter_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_.size();
+}
+
+std::chrono::steady_clock::time_point Tracer::epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+void Tracer::record(SpanRecord span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  completed_.push_back(std::move(span));
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!obs::enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  active_ = true;
+  name_ = name;
+  id_ = tracer.next_id();
+  parent_ = t_current_span;
+  t_current_span = id_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  Tracer& tracer = Tracer::instance();
+  SpanRecord span;
+  span.id = id_;
+  span.parent = parent_;
+  span.name = name_;
+  span.thread = thread_ordinal();
+  const auto epoch = tracer.epoch();
+  span.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_ - epoch)
+          .count());
+  span.duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
+  t_current_span = parent_;
+  tracer.record(std::move(span));
+}
+
+namespace {
+
+void write_span(JsonWriter& json, const SpanRecord& span,
+                const std::map<std::uint64_t, std::vector<const SpanRecord*>>&
+                    children) {
+  json.begin_object();
+  json.member("name", span.name);
+  json.member("thread", static_cast<unsigned long long>(span.thread));
+  json.member("start_ns", static_cast<unsigned long long>(span.start_ns));
+  json.member("duration_ns", static_cast<unsigned long long>(span.duration_ns));
+  json.key("children");
+  json.begin_array();
+  const auto it = children.find(span.id);
+  if (it != children.end()) {
+    for (const SpanRecord* child : it->second) {
+      write_span(json, *child, children);
+    }
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_span_tree_json(std::ostream& out,
+                          const std::vector<SpanRecord>& spans,
+                          int indent) {
+  // Index children by parent and order siblings by id (= start order).
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& span : spans) ordered.push_back(&span);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->id < b->id;
+            });
+
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord* span : ordered) by_id[span->id] = span;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord* span : ordered) {
+    if (span->parent != 0 && by_id.count(span->parent) != 0) {
+      children[span->parent].push_back(span);
+    } else {
+      // Parent unknown (e.g. still open when the snapshot was taken):
+      // surface the span as a root rather than dropping it.
+      roots.push_back(span);
+    }
+  }
+
+  JsonWriter json(out, indent);
+  json.begin_array();
+  for (const SpanRecord* root : roots) {
+    write_span(json, *root, children);
+  }
+  json.end_array();
+}
+
+}  // namespace rlblh::obs

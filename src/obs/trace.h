@@ -1,0 +1,92 @@
+// Tracing spans: RAII scoped timers forming a per-run span tree.
+//
+// A ScopedSpan marks a region of work ("bench.body", "sweep.run",
+// "sim.run_days"). Spans nest through a thread-local current-span pointer,
+// so the tree mirrors the dynamic call structure on each thread; spans
+// opened on pool workers have no parent on that thread and therefore show
+// up as per-thread roots, which is the honest picture of a fan-out.
+//
+// Timing uses the steady clock relative to the tracer's epoch (reset() at
+// process/run start), so span times line up with each other regardless of
+// wall-clock adjustments. Completed spans are appended to one mutex-guarded
+// vector: spans are coarse-grained (days, cells, phases — not intervals),
+// so one lock per completed span is far off the hot path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rlblh::obs {
+
+/// One completed span.
+struct SpanRecord {
+  std::uint64_t id = 0;      ///< 1-based, in start order
+  std::uint64_t parent = 0;  ///< 0 for roots
+  std::string name;
+  std::uint32_t thread = 0;   ///< thread_ordinal() of the opening thread
+  std::uint64_t start_ns = 0; ///< steady-clock offset from the tracer epoch
+  std::uint64_t duration_ns = 0;
+};
+
+/// Process-wide collector of completed spans.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Clears collected spans and restarts the epoch. Call from the main
+  /// thread between runs, with no spans open.
+  void reset();
+
+  /// Completed spans in completion order. Sort by id for start order.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Number of completed spans.
+  std::size_t size() const;
+
+  // --- ScopedSpan internals --------------------------------------------
+  std::chrono::steady_clock::time_point epoch() const;
+  void record(SpanRecord span);
+  std::uint64_t next_id() {
+    return id_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  Tracer();
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> completed_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> id_counter_{0};
+};
+
+/// RAII span. Does nothing unless obs::enabled() was true at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Serializes the spans as a JSON array of trees: each element carries
+/// name/thread/start_ns/duration_ns and a "children" array, children in
+/// start order. Roots (parent absent from `spans`) appear at top level.
+void write_span_tree_json(std::ostream& out,
+                          const std::vector<SpanRecord>& spans,
+                          int indent = 0);
+
+}  // namespace rlblh::obs

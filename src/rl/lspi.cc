@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace rlblh {
@@ -29,9 +30,17 @@ void LstdSolver::add_sample(const std::vector<double>& phi,
 
 SolveResult LstdSolver::solve(double ridge) const {
   RLBLH_REQUIRE(ridge >= 0.0, "LstdSolver: ridge must be >= 0");
+  RLBLH_OBS_SPAN("lspi.solve");
   Matrix a = a_;
   if (ridge > 0.0) a.add_diagonal(ridge);
-  return solve_linear_system(std::move(a), b_);
+  SolveResult result = solve_linear_system(std::move(a), b_);
+  RLBLH_OBS_COUNT("lspi.solves", 1);
+  if (!result.solution.has_value()) {
+    // The paper's observed failure mode; worth counting, not just citing.
+    RLBLH_OBS_COUNT("lspi.singular_systems", 1);
+  }
+  RLBLH_OBS_GAUGE("lspi.samples", samples_);
+  return result;
 }
 
 void LstdSolver::reset() {

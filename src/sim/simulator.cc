@@ -1,7 +1,9 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace rlblh {
@@ -61,9 +63,15 @@ const DayResult& Simulator::run_day(BlhPolicy& policy) {
 
   result.battery_violations = battery_.violation_count() - violations_before;
   if (invariant_config_.has_value()) {
+    RLBLH_OBS_NOW(check_start);
     InvariantChecker(*invariant_config_)
         .enforce_day(result, prices_, battery_.level());
+    RLBLH_OBS_COUNT_NS_SINCE("sim.invariant_check_ns", check_start);
+    RLBLH_OBS_COUNT("sim.invariant_checked_days", 1);
   }
+  RLBLH_OBS_COUNT("sim.days", 1);
+  RLBLH_OBS_COUNT("sim.intervals", n_m);
+  RLBLH_OBS_COUNT("sim.battery_violations", result.battery_violations);
   return result;
 }
 
@@ -76,6 +84,7 @@ void Simulator::enable_invariant_checks(const InvariantCheckConfig& config) {
 const DayResult& Simulator::run_days(BlhPolicy& policy, std::size_t days,
                                      const DayCallback& on_day) {
   RLBLH_REQUIRE(days >= 1, "Simulator: days must be >= 1");
+  RLBLH_OBS_SPAN("sim.run_days");
   for (std::size_t d = 0; d < days; ++d) {
     const DayResult& day = run_day(policy);
     if (on_day) on_day(d, day);

@@ -7,6 +7,7 @@ namespace rlblh {
 SweepRunner::SweepRunner(SweepOptions options)
     : threads_(options.threads != 0 ? options.threads
                                     : ThreadPool::default_thread_count()) {
+  RLBLH_OBS_GAUGE("sweep.threads", threads_);
   if (threads_ > 1) {
     pool_.emplace(threads_);
   }

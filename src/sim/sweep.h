@@ -15,6 +15,7 @@
 // completion order. Thread count therefore changes wall-clock time only.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <future>
 #include <optional>
@@ -22,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/experiment.h"
 #include "util/running_stats.h"
 #include "util/thread_pool.h"
@@ -45,6 +47,12 @@ class SweepRunner {
   /// inline on the calling thread in grid order.
   std::size_t threads() const { return threads_; }
 
+  /// Joins and discards the worker pool. Call before snapshotting the
+  /// metrics registry: the join makes every worker-side counter increment
+  /// visible to the snapshotting thread. Subsequent run() calls execute
+  /// serially on the caller.
+  void shutdown() { pool_.reset(); }
+
   /// Evaluates `fn(cell_index)` for every cell in [0, cells) and returns the
   /// results indexed by cell. `fn` must be a pure function of the index (see
   /// the file comment); it is invoked concurrently from pool workers when
@@ -54,21 +62,26 @@ class SweepRunner {
   auto run(std::size_t cells, Fn&& fn)
       -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
     using R = std::invoke_result_t<Fn&, std::size_t>;
+    RLBLH_OBS_SPAN("sweep.run");
     std::vector<R> results;
     results.reserve(cells);
     if (threads_ <= 1 || cells <= 1) {
       for (std::size_t i = 0; i < cells; ++i) {
-        results.push_back(fn(i));
+        results.push_back(timed_cell(fn, i));
       }
       return results;
     }
     std::vector<std::future<R>> futures;
     futures.reserve(cells);
     for (std::size_t i = 0; i < cells; ++i) {
-      futures.push_back(pool_->submit([&fn, i] { return fn(i); }));
+      futures.push_back(
+          pool_->submit([&fn, i] { return timed_cell(fn, i); }));
     }
-    for (std::size_t i = 0; i < cells; ++i) {
-      results.push_back(futures[i].get());  // grid order, rethrows
+    {
+      RLBLH_OBS_SPAN("sweep.collect");
+      for (std::size_t i = 0; i < cells; ++i) {
+        results.push_back(futures[i].get());  // grid order, rethrows
+      }
     }
     return results;
   }
@@ -87,6 +100,23 @@ class SweepRunner {
   }
 
  private:
+  /// Evaluates one cell, feeding the cell-latency histogram when
+  /// observability is recording. Timing wraps the cell without touching its
+  /// inputs or outputs, so determinism is unaffected.
+  template <typename Fn>
+  static auto timed_cell(Fn& fn, std::size_t i)
+      -> std::invoke_result_t<Fn&, std::size_t> {
+    if (!obs::enabled()) return fn(i);
+    [[maybe_unused]] const auto start = std::chrono::steady_clock::now();
+    auto result = fn(i);
+    RLBLH_OBS_OBSERVE("sweep.cell_ns",
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+    RLBLH_OBS_COUNT("sweep.cells", 1);
+    return result;
+  }
+
   std::size_t threads_;
   std::optional<ThreadPool> pool_;  // engaged only when threads_ > 1
 };

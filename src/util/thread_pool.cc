@@ -9,6 +9,7 @@ namespace rlblh {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   RLBLH_REQUIRE(threads >= 1, "ThreadPool: need at least one worker");
+  RLBLH_OBS_GAUGE("pool.workers", threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -27,17 +28,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  Task entry;
+  entry.run = std::move(task);
+  if (obs::enabled()) {
+    entry.enqueued = std::chrono::steady_clock::now();
+  }
+  [[maybe_unused]] std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     RLBLH_REQUIRE(!stopping_, "ThreadPool: submit() after shutdown began");
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(entry));
+    depth = tasks_.size();
   }
+  RLBLH_OBS_COUNT("pool.tasks_submitted", 1);
+  RLBLH_OBS_OBSERVE("pool.queue_depth", depth);
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -45,9 +55,28 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Wait/busy accounting only when recording; the timestamps cost two
+    // clock reads per task, which is noise against whole-experiment cells.
+    if (obs::enabled() &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      [[maybe_unused]] const auto started = std::chrono::steady_clock::now();
+      RLBLH_OBS_OBSERVE(
+          "pool.task_wait_ns",
+          std::chrono::duration_cast<std::chrono::nanoseconds>(started -
+                                                               task.enqueued)
+              .count());
+      task.run();
+      RLBLH_OBS_COUNT("pool.busy_ns",
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count());
+      RLBLH_OBS_COUNT("pool.tasks_completed", 1);
+      continue;
+    }
     // packaged_task captures any exception into its future; a raw callable
     // that throws would terminate, matching std::thread semantics.
-    task();
+    task.run();
+    RLBLH_OBS_COUNT("pool.tasks_completed", 1);
   }
 }
 

@@ -7,6 +7,7 @@
 // captured in the std::future returned by submit() and rethrown at get().
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -16,6 +17,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace rlblh {
 
@@ -52,11 +55,19 @@ class ThreadPool {
   static std::size_t default_thread_count();
 
  private:
+  /// Queue entry: the callable plus its enqueue timestamp (only taken while
+  /// observability is recording; a default time_point otherwise, which the
+  /// worker treats as "wait time unknown").
+  struct Task {
+    std::function<void()> run;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void enqueue(std::function<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -1,0 +1,175 @@
+// Manifest writer contract: RUN_<name>.json carries the rlblh-run-v1
+// schema with build provenance, config, every registered metric and the
+// span tree, and the JsonWriter escapes what needs escaping.
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace rlblh::obs {
+namespace {
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    registry().reset();
+    Tracer::instance().reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    registry().reset();
+    Tracer::instance().reset();
+  }
+};
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool balanced(const std::string& text) {
+  long braces = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST_F(ManifestTest, CarriesSchemaBuildInfoConfigMetricsAndSpans) {
+  registry().counter("test.days").add(42);
+  registry().gauge("test.rate").set(0.125);
+  registry().histogram("test.latency_ns").observe(1000.0);
+  registry().histogram("test.latency_ns").observe(3000.0);
+  {
+    ScopedSpan outer("manifest.outer");
+    ScopedSpan inner("manifest.inner");
+  }
+
+  RunInfo info;
+  info.name = "unit_test_run";
+  info.command = {"./unit", "--flag"};
+  info.config = {{"threads", "2"}, {"quick", "true"}};
+
+  std::ostringstream out;
+  write_manifest(out, info);
+  const std::string doc = out.str();
+
+  EXPECT_TRUE(balanced(doc)) << doc;
+  EXPECT_TRUE(contains(doc, "\"schema\": \"rlblh-run-v1\""));
+  EXPECT_TRUE(contains(doc, "\"name\": \"unit_test_run\""));
+  EXPECT_TRUE(contains(doc, "\"--flag\""));
+  EXPECT_TRUE(contains(doc, "\"git_sha\""));
+  EXPECT_TRUE(contains(doc, "\"compiler\""));
+  EXPECT_TRUE(contains(doc, "\"build_type\""));
+  EXPECT_TRUE(contains(doc, "\"obs_compiled\""));
+  EXPECT_TRUE(contains(doc, "\"threads\": \"2\""));
+  EXPECT_TRUE(contains(doc, "\"test.days\": 42"));
+  EXPECT_TRUE(contains(doc, "\"test.rate\": 0.125"));
+  EXPECT_TRUE(contains(doc, "\"test.latency_ns\""));
+  EXPECT_TRUE(contains(doc, "\"count\": 2"));
+#if RLBLH_OBS_ENABLED
+  EXPECT_TRUE(contains(doc, "\"manifest.outer\""));
+  EXPECT_TRUE(contains(doc, "\"manifest.inner\""));
+  // Nesting survives serialization: inner appears inside outer's children.
+  EXPECT_LT(doc.find("manifest.outer"), doc.find("manifest.inner"));
+#endif
+}
+
+TEST_F(ManifestTest, EmptyRegistryStillProducesBalancedDocument) {
+  RunInfo info;
+  info.name = "empty";
+  std::ostringstream out;
+  write_manifest(out, info);
+  const std::string doc = out.str();
+  EXPECT_TRUE(balanced(doc)) << doc;
+  EXPECT_TRUE(contains(doc, "\"schema\": \"rlblh-run-v1\""));
+  EXPECT_TRUE(contains(doc, "\"counters\""));
+  EXPECT_TRUE(contains(doc, "\"spans\""));
+}
+
+TEST_F(ManifestTest, DefaultPathPrefersEnvironmentVariable) {
+  ::unsetenv("RLBLH_OBS_OUT");
+  EXPECT_EQ(default_manifest_path("fig6"), "RUN_fig6.json");
+  ::setenv("RLBLH_OBS_OUT", "/tmp/custom_manifest.json", 1);
+  EXPECT_EQ(default_manifest_path("fig6"), "/tmp/custom_manifest.json");
+  ::unsetenv("RLBLH_OBS_OUT");
+}
+
+TEST_F(ManifestTest, BuildProvenanceIsNeverEmpty) {
+  EXPECT_FALSE(build_git_sha().empty());
+  EXPECT_FALSE(build_compiler().empty());
+  EXPECT_FALSE(build_type().empty());
+}
+
+// --- JsonWriter -----------------------------------------------------------
+
+TEST(JsonWriterTest, EscapesControlCharactersQuotesAndBackslashes) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\u000abreak");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.member("nan", std::nan(""));
+  json.member("finite", 1.5);
+  json.end_object();
+  json.finish();
+  EXPECT_TRUE(out.str().find("\"nan\": null") != std::string::npos)
+      << out.str();
+  EXPECT_TRUE(out.str().find("\"finite\": 1.5") != std::string::npos)
+      << out.str();
+}
+
+TEST(JsonWriterTest, NestedContainersIndentAndComma) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("list");
+  json.begin_array();
+  json.value(1LL);
+  json.value(2LL);
+  json.end_array();
+  json.member("flag", true);
+  json.end_object();
+  json.finish();
+  const std::string doc = out.str();
+  EXPECT_TRUE(doc.find("\"list\": [") != std::string::npos) << doc;
+  EXPECT_TRUE(doc.find("\"flag\": true") != std::string::npos) << doc;
+}
+
+}  // namespace
+}  // namespace rlblh::obs

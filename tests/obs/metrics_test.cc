@@ -1,0 +1,163 @@
+// Metrics registry contract: concurrent increments sum exactly, histogram
+// summaries stay within one geometric bucket of the truth, and the registry
+// hands out stable identities across reset().
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace rlblh::obs {
+namespace {
+
+TEST(CounterTest, SingleThreadSumsExactly) {
+  Counter counter;
+  for (int i = 0; i < 1000; ++i) counter.add(3);
+  counter.add(-500);
+  EXPECT_EQ(counter.value(), 2500);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromManyThreadsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<long long>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, LastWriteWinsAndWrittenFlagTracksUse) {
+  Gauge gauge;
+  EXPECT_FALSE(gauge.written());
+  gauge.set(1.5);
+  gauge.set(-2.25);
+  EXPECT_TRUE(gauge.written());
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+  gauge.reset();
+  EXPECT_FALSE(gauge.written());
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramMetricTest, BucketBoundsCoverEveryValueOnce) {
+  // Buckets are half-open [lower, upper): every positive value lands in a
+  // bucket whose upper bound exceeds it and whose predecessor's upper bound
+  // (the lower bound) does not. Powers of two sit on their lower bound.
+  for (const double v : {1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, 100.0, 1e9, 1e20}) {
+    const std::size_t bucket = HistogramMetric::bucket_of(v);
+    EXPECT_GE(HistogramMetric::bucket_upper(bucket), v) << v;
+    if (bucket + 1 < HistogramMetric::kBuckets) {
+      EXPECT_GT(HistogramMetric::bucket_upper(bucket), v) << v;
+    }
+    if (bucket > 0 && bucket + 1 < HistogramMetric::kBuckets) {
+      EXPECT_LE(HistogramMetric::bucket_upper(bucket - 1), v) << v;
+    }
+  }
+  // Non-positive and NaN values land in the bottom bucket, never lost.
+  EXPECT_EQ(HistogramMetric::bucket_of(0.0), 0u);
+  EXPECT_EQ(HistogramMetric::bucket_of(-3.5), 0u);
+  EXPECT_EQ(HistogramMetric::bucket_of(std::nan("")), 0u);
+}
+
+TEST(HistogramMetricTest, CountSumExtremesExactAndPercentilesSane) {
+  HistogramMetric histogram;
+  // Uniform 1..1000: median 500, p90 900.
+  for (int i = 1; i <= 1000; ++i) histogram.observe(i);
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.sum, 500500.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 500.5);
+  // Geometric buckets: a quantile estimate is the bucket upper bound, so it
+  // can exceed the true quantile by at most a factor of 2 (and is clamped
+  // to the observed extremes).
+  EXPECT_GE(snap.quantile(0.5), 500.0 / 2.0);
+  EXPECT_LE(snap.quantile(0.5), 500.0 * 2.0);
+  EXPECT_GE(snap.quantile(0.9), 900.0 / 2.0);
+  EXPECT_LE(snap.quantile(0.9), 1000.0);
+  EXPECT_LE(snap.quantile(1.0), 1000.0);
+  EXPECT_GE(snap.quantile(0.0), 1.0);
+}
+
+TEST(HistogramMetricTest, QuantilesMonotoneInQ) {
+  HistogramMetric histogram;
+  for (int i = 0; i < 5000; ++i) {
+    histogram.observe(std::pow(1.5, i % 40));
+  }
+  const auto snap = histogram.snapshot();
+  double previous = 0.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double estimate = snap.quantile(q);
+    EXPECT_GE(estimate, previous) << "q=" << q;
+    previous = estimate;
+  }
+}
+
+TEST(HistogramMetricTest, ConcurrentObservationsCountExactly) {
+  HistogramMetric histogram;
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        histogram.observe(t + 1);  // integral values: FP-order independent
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kObservations);
+  // Sum of integers up to 8 * 5000 each stays exactly representable, and
+  // atomic fetch_add of exactly-representable values is order-independent.
+  EXPECT_DOUBLE_EQ(snap.sum, 5000.0 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+}
+
+TEST(MetricRegistryTest, LookupReturnsStableIdentitiesAcrossReset) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("test.counter");
+  Counter& b = reg.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  reg.reset();
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(&reg.counter("test.counter"), &a);
+
+  Gauge& g = reg.gauge("test.counter");  // same name, separate namespace
+  g.set(1.0);
+  EXPECT_EQ(a.value(), 0);
+}
+
+TEST(MetricRegistryTest, SnapshotsSortedByNameAndSkipUnwrittenGauges) {
+  MetricRegistry reg;
+  reg.counter("b.second").add(2);
+  reg.counter("a.first").add(1);
+  const auto counters = reg.counter_values();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.first");
+  EXPECT_EQ(counters[1].first, "b.second");
+
+  reg.gauge("written").set(3.0);
+  reg.gauge("untouched");
+  const auto gauges = reg.gauge_values();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].first, "written");
+}
+
+}  // namespace
+}  // namespace rlblh::obs

@@ -1,0 +1,303 @@
+// Tracer contract: spans nest via the thread-local current-span id, worker
+// threads start their own root chains, and write_span_tree_json emits valid
+// JSON that round-trips the recorded tree (checked with a mini parser).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace rlblh::obs {
+namespace {
+
+/// Restores a clean, disabled obs state around every test in this file so
+/// span recording in one test never leaks into another (or into other
+/// test binaries' expectations).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Tracer::instance().reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Tracer::instance().reset();
+  }
+};
+
+/// Skips tests that need spans to actually record; under RLBLH_OBS=OFF
+/// ScopedSpan is deliberately dormant (enabled() is constexpr false).
+/// A macro so GTEST_SKIP returns from the test body, not a helper.
+#define REQUIRE_RECORDING()                                     \
+  do {                                                          \
+    if (!compiled_in())                                         \
+      GTEST_SKIP() << "observability compiled out";             \
+  } while (0)
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST_F(TraceTest, NestedScopesFormParentChain) {
+  REQUIRE_RECORDING();
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan middle("middle");
+      ScopedSpan inner("inner");
+    }
+    ScopedSpan sibling("sibling");
+  }
+  const std::vector<SpanRecord> spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& span : spans) by_name[span.name] = span;
+  ASSERT_EQ(by_name.size(), 4u);
+
+  EXPECT_EQ(by_name["outer"].parent, 0u);
+  EXPECT_EQ(by_name["middle"].parent, by_name["outer"].id);
+  EXPECT_EQ(by_name["inner"].parent, by_name["middle"].id);
+  EXPECT_EQ(by_name["sibling"].parent, by_name["outer"].id);
+  // Completion order: innermost scopes close first.
+  EXPECT_EQ(spans.front().name, "inner");
+  EXPECT_EQ(spans.back().name, "outer");
+  // A child span cannot outlast its parent.
+  EXPECT_LE(by_name["inner"].duration_ns, by_name["outer"].duration_ns);
+}
+
+TEST_F(TraceTest, MacroSpansNestLikeScopedSpans) {
+  {
+    RLBLH_OBS_SPAN("macro.outer");
+    RLBLH_OBS_SPAN("macro.inner");
+  }
+  const std::vector<SpanRecord> spans = Tracer::instance().snapshot();
+#if RLBLH_OBS_ENABLED
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "macro.inner");
+  EXPECT_EQ(spans[1].name, "macro.outer");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+#else
+  EXPECT_EQ(spans.size(), 0u);
+#endif
+}
+
+TEST_F(TraceTest, WorkerThreadsStartTheirOwnRoots) {
+  REQUIRE_RECORDING();
+  {
+    ScopedSpan main_root("main.root");
+    std::thread worker([] {
+      ScopedSpan worker_root("worker.root");
+      ScopedSpan worker_child("worker.child");
+    });
+    worker.join();
+  }
+  const std::vector<SpanRecord> spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& span : spans) by_name[span.name] = span;
+  EXPECT_EQ(by_name["main.root"].parent, 0u);
+  EXPECT_EQ(by_name["worker.root"].parent, 0u);
+  EXPECT_EQ(by_name["worker.child"].parent, by_name["worker.root"].id);
+  EXPECT_NE(by_name["worker.root"].thread, by_name["main.root"].thread);
+}
+
+TEST_F(TraceTest, ResetAdvancesEpochAndClearsRecords) {
+  REQUIRE_RECORDING();
+  { ScopedSpan span("before"); }
+  EXPECT_EQ(Tracer::instance().size(), 1u);
+  const auto epoch = Tracer::instance().epoch();
+  Tracer::instance().reset();
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+  EXPECT_GE(Tracer::instance().epoch(), epoch);
+  // New spans start their offsets from the fresh epoch.
+  { ScopedSpan span("after"); }
+  const std::vector<SpanRecord> spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "after");
+  EXPECT_EQ(spans[0].id, 1u);
+}
+
+// --- JSON round-trip ------------------------------------------------------
+
+/// Minimal recursive-descent reader for exactly the JSON write_span_tree_json
+/// produces: arrays of objects whose members are strings, integers, or
+/// nested span arrays. Enough to verify structure without a JSON library.
+class MiniParser {
+ public:
+  explicit MiniParser(std::string text) : text_(std::move(text)) {}
+
+  struct Node {
+    std::string name;
+    std::uint64_t id = 0;
+    long long duration_ns = -1;
+    std::vector<Node> children;
+  };
+
+  std::vector<Node> parse() {
+    const std::vector<Node> roots = parse_array();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing content after span array";
+    return roots;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out.push_back(text_[pos_++]);
+    }
+    expect('"');
+    return out;
+  }
+
+  long long parse_integer() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (text_[end] == '-' || std::isdigit(
+                static_cast<unsigned char>(text_[end])))) {
+      ++end;
+    }
+    EXPECT_GT(end, pos_) << "expected integer at offset " << pos_;
+    const long long value = std::stoll(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return value;
+  }
+
+  std::vector<Node> parse_array() {
+    std::vector<Node> nodes;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return nodes;
+    }
+    while (true) {
+      nodes.push_back(parse_object());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return nodes;
+    }
+  }
+
+  Node parse_object() {
+    Node node;
+    expect('{');
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "children") {
+        node.children = parse_array();
+      } else if (key == "name") {
+        node.name = parse_string();
+      } else if (key == "id") {
+        node.id = static_cast<std::uint64_t>(parse_integer());
+      } else if (key == "duration_ns") {
+        node.duration_ns = parse_integer();
+      } else if (peek() == '"') {
+        (void)parse_string();  // other string members, e.g. future additions
+      } else {
+        (void)parse_integer();  // parent, thread, start_ns
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return node;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(TraceTest, JsonRoundTripPreservesTreeShape) {
+  REQUIRE_RECORDING();
+  {
+    ScopedSpan root("root");
+    {
+      ScopedSpan stage("stage.a");
+      ScopedSpan leaf("leaf.1");
+    }
+    ScopedSpan stage_b("stage.b");
+  }
+  std::thread worker([] { ScopedSpan span("worker.task"); });
+  worker.join();
+
+  std::ostringstream out;
+  write_span_tree_json(out, Tracer::instance().snapshot());
+  const std::vector<MiniParser::Node> roots =
+      MiniParser(out.str()).parse();
+
+  ASSERT_EQ(roots.size(), 2u);
+  // Roots are ordered by span id: "root" opened before "worker.task".
+  EXPECT_EQ(roots[0].name, "root");
+  EXPECT_EQ(roots[1].name, "worker.task");
+  EXPECT_TRUE(roots[1].children.empty());
+
+  ASSERT_EQ(roots[0].children.size(), 2u);
+  EXPECT_EQ(roots[0].children[0].name, "stage.a");
+  EXPECT_EQ(roots[0].children[1].name, "stage.b");
+  ASSERT_EQ(roots[0].children[0].children.size(), 1u);
+  EXPECT_EQ(roots[0].children[0].children[0].name, "leaf.1");
+  for (const MiniParser::Node& root : roots) {
+    EXPECT_GE(root.duration_ns, 0);
+  }
+}
+
+TEST_F(TraceTest, JsonEscapesSpanNames) {
+  REQUIRE_RECORDING();
+  { ScopedSpan span("quote\"and\\slash"); }
+  std::ostringstream out;
+  write_span_tree_json(out, Tracer::instance().snapshot());
+  const std::vector<MiniParser::Node> roots =
+      MiniParser(out.str()).parse();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "quote\"and\\slash");
+}
+
+TEST_F(TraceTest, EmptySnapshotWritesEmptyArray) {
+  std::ostringstream out;
+  write_span_tree_json(out, {});
+  EXPECT_TRUE(MiniParser(out.str()).parse().empty());
+}
+
+}  // namespace
+}  // namespace rlblh::obs

@@ -15,6 +15,9 @@
 
 #include "core/rlblh_policy.h"
 #include "meter/household.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 
 namespace rlblh {
@@ -124,6 +127,50 @@ TEST(SweepDeterminismTest, LowestIndexedFailureWinsDeterministically) {
       EXPECT_STREQ(error.what(), "cell 3");
     }
   }
+}
+
+TEST(SweepDeterminismTest, ObservabilityOnMatchesOffBitwise) {
+  // The instrumentation contract: recording metrics and spans only reads
+  // simulation values — it never touches an Rng or feeds back into control
+  // flow — so results with observability enabled are bitwise identical to
+  // results with it disabled, serially and in parallel.
+  obs::set_enabled(false);
+  const std::vector<EvaluationResult> off_serial = sweep_with(1);
+  const std::vector<EvaluationResult> off_parallel = sweep_with(2);
+
+  obs::registry().reset();
+  obs::Tracer::instance().reset();
+  obs::set_enabled(true);
+  const std::vector<EvaluationResult> on_serial = sweep_with(1);
+  const std::vector<EvaluationResult> on_parallel = sweep_with(2);
+  obs::set_enabled(false);
+
+  ASSERT_EQ(off_serial.size(), 4u);
+  ASSERT_EQ(on_serial.size(), off_serial.size());
+  ASSERT_EQ(on_parallel.size(), off_serial.size());
+  for (std::size_t i = 0; i < off_serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    expect_bitwise_equal(off_serial[i], on_serial[i]);
+    expect_bitwise_equal(off_serial[i], on_parallel[i]);
+    expect_bitwise_equal(off_serial[i], off_parallel[i]);
+  }
+
+  // Reduced statistics agree bitwise too.
+  for (std::size_t row = 0; row < 2; ++row) {
+    const EvaluationStats a = mean_over_cells(off_serial, row * 2, 2);
+    const EvaluationStats b = mean_over_cells(on_parallel, row * 2, 2);
+    EXPECT_EQ(bits(a.saving_ratio.mean()), bits(b.saving_ratio.mean()));
+    EXPECT_EQ(bits(a.normalized_mi.mean()), bits(b.normalized_mi.mean()));
+  }
+
+#if RLBLH_OBS_ENABLED
+  // And recording actually happened while enabled: the simulator counted
+  // its days (4 cells x 5 days x 2 runs) and the sweep timed its cells.
+  EXPECT_EQ(obs::registry().counter("sim.days").value(), 2 * 4 * 5);
+  EXPECT_EQ(obs::registry().counter("sweep.cells").value(), 2 * 4);
+#endif
+  obs::registry().reset();
+  obs::Tracer::instance().reset();
 }
 
 TEST(SweepDeterminismTest, SerialRunnerRunsInline) {
