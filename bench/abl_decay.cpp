@@ -31,17 +31,15 @@ struct Variant {
 
 double run_schedule(const Variant& v, unsigned seed, int train_days,
                     int eval_days) {
-  RlBlhConfig config = paper_config(15, 5.0, seed);
-  config.decay_hyperparams = v.decay;
-  config.decay_by_episodes = v.by_episodes;
-  config.alpha_floor = v.alpha_floor;
-  config.epsilon_floor = v.epsilon_floor;
-  RlBlhPolicy policy(config);
-  Simulator sim = make_household_simulator(HouseholdConfig{},
-                                           TouSchedule::srp_plan(), 5.0,
-                                           700 + seed);
-  sim.run_days(policy, static_cast<std::size_t>(train_days));
-  return greedy_sr(sim, policy, eval_days);
+  ScenarioSpec spec = paper_spec("rlblh", 15, 5.0, seed, 700 + seed);
+  spec.policy_params.set("decay", v.decay);
+  spec.policy_params.set("decay_by_episodes", v.by_episodes);
+  spec.policy_params.set("alpha_floor", v.alpha_floor);
+  spec.policy_params.set("epsilon_floor", v.epsilon_floor);
+  Scenario scenario = build_scenario(spec);
+  auto& policy = *scenario.policy_as<RlBlhPolicy>();
+  scenario.simulator.run_days(policy, static_cast<std::size_t>(train_days));
+  return greedy_sr(scenario.simulator, policy, eval_days);
 }
 
 }  // namespace

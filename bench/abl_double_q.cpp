@@ -23,12 +23,11 @@ struct Outcome {
 
 Outcome run_learner(bool double_q, unsigned seed, int phase1, int eval1,
                     int phase2, int eval2) {
-  RlBlhConfig config = paper_config(15, 5.0, seed);
-  config.double_q = double_q;
-  RlBlhPolicy policy(config);
-  Simulator sim = make_household_simulator(HouseholdConfig{},
-                                           TouSchedule::srp_plan(), 5.0,
-                                           1400 + seed);
+  ScenarioSpec spec = paper_spec("rlblh", 15, 5.0, seed, 1400 + seed);
+  spec.policy_params.set("double_q", double_q);
+  Scenario scenario = build_scenario(spec);
+  auto& policy = *scenario.policy_as<RlBlhPolicy>();
+  Simulator& sim = scenario.simulator;
   Outcome out;
   sim.run_days(policy, static_cast<std::size_t>(phase1));
   out.sr20 = greedy_sr(sim, policy, eval1);

@@ -18,7 +18,9 @@
 #include "common.h"
 #include "core/qfunction.h"
 #include "meter/household.h"
+#include "meter/household_registry.h"
 #include "meter/usage_stats.h"
+#include "pricing/pricing_registry.h"
 #include "privacy/metrics.h"
 #include "rl/egreedy.h"
 #include "util/table.h"
@@ -107,10 +109,10 @@ struct Learner {
 
 double run_basis(Basis basis, unsigned seed, int train_days, int syn_repeats,
                  int eval_days) {
-  const TouSchedule prices = TouSchedule::srp_plan();
+  const TouSchedule prices = make_pricing("srp", {});
   Learner learner;
   learner.basis = basis;
-  HouseholdModel household(HouseholdConfig{}, 800 + seed);
+  HouseholdModel household(make_household_config("default", {}), 800 + seed);
   UsageStatsTracker stats(kIntervalsPerDay, kDefaultUsageCap);
   Rng rng(seed);
   double level = 2.5;

@@ -9,13 +9,14 @@
 // can be pushed before a richer approximator is needed (the paper's
 // future-work direction).
 #include <iostream>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "baselines/mdp.h"
 #include "bench_main.h"
 #include "common.h"
-#include "meter/household.h"
+#include "meter/household_registry.h"
 #include "util/table.h"
 
 namespace rlblh::bench {
@@ -27,33 +28,34 @@ struct Row {
   double dp_sr = 0.0;
 };
 
-Row run_household(const HouseholdConfig& home, unsigned seed, int rl_train,
+Row run_household(const std::string& home, unsigned seed, int rl_train,
                   int rl_eval, int dp_train, int dp_eval) {
-  const TouSchedule prices = TouSchedule::srp_plan();
   Row row;
   {
-    RlBlhPolicy policy(paper_config(15, 5.0, seed));
-    Simulator sim = make_household_simulator(home, prices, 5.0, 1000 + seed);
-    sim.run_days(policy, static_cast<std::size_t>(rl_train));
-    row.rl_sr = greedy_sr(sim, policy, rl_eval);
+    ScenarioSpec spec = paper_spec("rlblh", 15, 5.0, seed, 1000 + seed);
+    spec.household = home;
+    Scenario s = build_scenario(spec);
+    auto& policy = *s.policy_as<RlBlhPolicy>();
+    s.simulator.run_days(policy, static_cast<std::size_t>(rl_train));
+    row.rl_sr = greedy_sr(s.simulator, policy, rl_eval);
   }
   {
-    MdpConfig config;
-    config.decision_interval = 15;
-    config.battery_capacity = 5.0;
-    config.battery_levels = 128;
-    MdpBlhPolicy policy(config);
-    HouseholdModel trainer(home, 1100 + seed);
+    ScenarioSpec spec = paper_spec("mdp", 15, 5.0, seed, 1200 + seed);
+    spec.household = home;
+    spec.policy_params.set("levels", 128);
+    Scenario s = build_scenario(spec);
+    auto& policy = *s.policy_as<MdpBlhPolicy>();
+    const TouSchedule& prices = s.simulator.prices();
+    auto trainer = make_trace_source(home, {}, 1100 + seed);
     for (int d = 0; d < dp_train; ++d) {
-      policy.observe_training_day(trainer.generate_day(), prices);
+      policy.observe_training_day(trainer->next_day(), prices);
     }
     policy.solve();
-    Simulator sim = make_household_simulator(home, prices, 5.0, 1200 + seed);
     SavingRatioAccumulator sr;
-    sim.run_days(policy, static_cast<std::size_t>(dp_eval),
-                 [&](std::size_t, const DayResult& day) {
-                   sr.observe_day(day.usage, day.readings, prices);
-                 });
+    s.simulator.run_days(policy, static_cast<std::size_t>(dp_eval),
+                         [&](std::size_t, const DayResult& day) {
+                           sr.observe_day(day.usage, day.readings, prices);
+                         });
     row.dp_sr = sr.saving_ratio();
   }
   return row;
@@ -66,12 +68,10 @@ const char* const kBenchName = "abl_household";
 void bench_body(BenchContext& ctx) {
   print_header("Ablation: lumpy cheap-zone loads (overnight EV charging)");
 
-  HouseholdConfig plain;  // default: no EV
-  HouseholdConfig with_ev;
-  with_ev.ev_probability = 0.9;
-
-  const std::vector<std::pair<const char*, HouseholdConfig>> homes = {
-      {"default", plain}, {"with EV charger", with_ev}};
+  // Registry presets: "ev_owner" is the default household plus the
+  // 0.9-probability overnight EV charger.
+  const std::vector<std::pair<const char*, const char*>> homes = {
+      {"default", "default"}, {"with EV charger", "ev_owner"}};
   const std::vector<unsigned> seeds = {7, 8, 9};
   const int kRlTrain = ctx.days(60, 5);
   const int kRlEval = ctx.days(30, 3);
@@ -80,7 +80,7 @@ void bench_body(BenchContext& ctx) {
 
   const std::vector<Row> cells = ctx.sweep().run_grid(
       homes, seeds,
-      [&](const std::pair<const char*, HouseholdConfig>& home, unsigned seed) {
+      [&](const std::pair<const char*, const char*>& home, unsigned seed) {
         return run_household(home.second, seed, kRlTrain, kRlEval, kDpTrain,
                              kDpEval);
       });

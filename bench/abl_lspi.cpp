@@ -25,11 +25,12 @@ const char* const kBenchName = "abl_lspi";
 void bench_body(BenchContext& ctx) {
   print_header("Ablation: LSTD-Q (LSPI core) near-singularity, footnote 4");
 
-  const TouSchedule prices = TouSchedule::srp_plan();
-  RlBlhConfig config = paper_config(15, 5.0, /*seed=*/7);
-  RlBlhPolicy policy(config);
-  Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0,
-                                           900);
+  Scenario scenario =
+      build_scenario(paper_spec("rlblh", 15, 5.0, /*seed=*/7, /*hseed=*/900));
+  auto& policy = *scenario.policy_as<RlBlhPolicy>();
+  Simulator& sim = scenario.simulator;
+  const TouSchedule& prices = sim.prices();
+  const RlBlhConfig& config = policy.config();
   const int kWarmupDays = ctx.days(30, 5);
   sim.run_days(policy, static_cast<std::size_t>(kWarmupDays));
 

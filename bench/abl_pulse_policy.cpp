@@ -7,8 +7,6 @@
 // and drops the learning; the stepping baseline keeps neither. Expect:
 // random pulses match RL-BLH's MI and CC but forfeit the savings; stepping
 // flattens well (low MI) but its battery-driven step changes track usage.
-#include "baselines/random_pulse.h"
-#include "baselines/stepping.h"
 #include "bench_main.h"
 #include "common.h"
 #include "util/table.h"
@@ -24,7 +22,6 @@ void bench_body(BenchContext& ctx) {
   print_header("Ablation: learned vs random pulses vs stepping "
                "(n_D = 15, b_M = 5)");
 
-  const TouSchedule prices = TouSchedule::srp_plan();
   const int kTrainDays = ctx.days(70, 5);
   const int kSettleDays = ctx.days(10, 3);
   const int kEvalDays = ctx.days(120, 4);
@@ -32,26 +29,17 @@ void bench_body(BenchContext& ctx) {
   // Three independent cells, one per policy family.
   const std::vector<EvaluationResult> cells =
       ctx.sweep().run(3, [&](std::size_t cell) {
-        Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
-                                                 5.0, 1300);
-        switch (cell) {
-          case 0: {
-            RlBlhPolicy rl(paper_config(15, 5.0, /*seed=*/7));
-            sim.run_days(rl, static_cast<std::size_t>(kTrainDays));
-            return measure_full(sim, rl, kEvalDays);
-          }
-          case 1: {
-            RandomPulsePolicy random_pulse(paper_config(15, 5.0, /*seed=*/7));
-            return measure_full(sim, random_pulse, kEvalDays);
-          }
-          default: {
-            SteppingConfig config;
-            config.battery_capacity = 5.0;
-            SteppingPolicy stepping(config);
-            sim.run_days(stepping, static_cast<std::size_t>(kSettleDays));
-            return measure_full(sim, stepping, kEvalDays);
-          }
+        const char* const policies[] = {"rlblh", "random_pulse", "stepping"};
+        Scenario s = build_scenario(
+            paper_spec(policies[cell], 15, 5.0, /*seed=*/7, /*hseed=*/1300));
+        if (cell == 0) {
+          s.simulator.run_days(*s.policy,
+                               static_cast<std::size_t>(kTrainDays));
+        } else if (cell == 2) {
+          s.simulator.run_days(*s.policy,
+                               static_cast<std::size_t>(kSettleDays));
         }
+        return measure_full(s.simulator, *s.policy, kEvalDays);
       });
   ctx.count_cells(cells.size());
   ctx.count_days(static_cast<std::size_t>(kTrainDays + kSettleDays +

@@ -13,6 +13,7 @@
 #include "privacy/metrics.h"
 #include "privacy/mutual_information.h"
 #include "sim/experiment.h"
+#include "sim/scenario.h"
 
 namespace rlblh::bench {
 
@@ -61,14 +62,20 @@ inline double greedy_sr(Simulator& sim, RlBlhPolicy& policy, int days) {
   return sr.saving_ratio();
 }
 
-/// The paper's experiment-wide defaults (Section VII-A).
-inline RlBlhConfig paper_config(std::size_t decision_interval,
-                                double battery_capacity, unsigned seed) {
-  RlBlhConfig config;
-  config.decision_interval = decision_interval;
-  config.battery_capacity = battery_capacity;
-  config.seed = seed;
-  return config;
+/// The paper's experiment-wide defaults (Section VII-A) as a scenario spec:
+/// the named policy with n_D, b_M and the two seed streams set, household
+/// and pricing at their registry defaults (default synthetic household,
+/// SRP two-zone plan). Benches tune variants via spec.policy_params.
+inline ScenarioSpec paper_spec(const char* policy, std::size_t nd,
+                               double battery_capacity, std::uint64_t seed,
+                               std::uint64_t household_seed) {
+  ScenarioSpec spec;
+  spec.policy = policy;
+  spec.nd = nd;
+  spec.battery_kwh = battery_capacity;
+  spec.seed = seed;
+  spec.hseed = household_seed;
+  return spec;
 }
 
 inline void print_header(const char* what) {

@@ -8,9 +8,9 @@
 //    and drains afterwards (dear).
 //  * The low-pass y_n is nearly flat but its slow envelope follows the
 //    usage envelope (activity bumps leak through).
-#include "baselines/lowpass.h"
 #include "bench_main.h"
 #include "common.h"
+#include "pricing/pricing_registry.h"
 #include "util/table.h"
 
 #include <iostream>
@@ -23,7 +23,7 @@ const char* const kBenchName = "fig4_traces";
 void bench_body(BenchContext& ctx) {
   print_header("Figure 4: typical day traces, n_D = 10, b_M = 3 kWh");
 
-  const TouSchedule prices = TouSchedule::srp_plan();
+  const TouSchedule prices = make_pricing("srp", {});
   const double capacity = 3.0;
   const int kRlTrainDays = ctx.days(60, 5);
   const int kLpSettleDays = ctx.days(10, 3);
@@ -32,20 +32,20 @@ void bench_body(BenchContext& ctx) {
   // day (paper: traces shown after learning).
   const std::vector<DayResult> days =
       ctx.sweep().run(2, [&](std::size_t cell) -> DayResult {
-        Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
-                                                 capacity, /*seed=*/101);
         if (cell == 0) {
-          RlBlhConfig rl_config = paper_config(10, capacity, /*seed=*/7);
-          RlBlhPolicy rl(rl_config);
-          sim.run_days(rl, static_cast<std::size_t>(kRlTrainDays));
+          Scenario s = build_scenario(
+              paper_spec("rlblh", 10, capacity, /*seed=*/7, /*hseed=*/101));
+          auto& rl = *s.policy_as<RlBlhPolicy>();
+          s.simulator.run_days(rl, static_cast<std::size_t>(kRlTrainDays));
           rl.set_exploration_enabled(false);
-          return sim.run_day(rl);  // copies out of the simulator's scratch
+          // Copies out of the simulator's scratch.
+          return s.simulator.run_day(rl);
         }
-        LowPassConfig lp_config;
-        lp_config.battery_capacity = capacity;
-        LowPassPolicy lp(lp_config);
-        sim.run_days(lp, static_cast<std::size_t>(kLpSettleDays));
-        return sim.run_day(lp);
+        Scenario s = build_scenario(
+            paper_spec("lowpass", 10, capacity, /*seed=*/7, /*hseed=*/101));
+        s.simulator.run_days(*s.policy,
+                             static_cast<std::size_t>(kLpSettleDays));
+        return s.simulator.run_day(*s.policy);
       });
   const DayResult& rl_day = days[0];
   const DayResult& lp_day = days[1];

@@ -10,7 +10,6 @@
 //  (5c) SR  — RL-BLH's savings grow with b_M by design; the low-pass
 //             scheme's savings are incidental (whatever the usage/tariff
 //             covariance happens to give).
-#include "baselines/lowpass.h"
 #include "bench_main.h"
 #include "common.h"
 #include "util/table.h"
@@ -25,7 +24,6 @@ const char* const kBenchName = "fig5_compare_lowpass";
 void bench_body(BenchContext& ctx) {
   print_header("Figure 5: RL-BLH vs low-pass across b_M (n_D = 10)");
 
-  const TouSchedule prices = TouSchedule::srp_plan();
   const int kTrainDays = ctx.days(70, 5);
   const int kLpSettleDays = ctx.days(10, 3);
   const int kEvalDays = ctx.days(120, 4);
@@ -45,19 +43,19 @@ void bench_body(BenchContext& ctx) {
       ctx.sweep().run(paper.size() * 2, [&](std::size_t cell) {
         const PaperRow& row = paper[cell / 2];
         const double capacity = row.capacity;
-        Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
-                                                 capacity, /*seed=*/200);
         if (cell % 2 == 0) {
           // RL-BLH, trained online with the paper's heuristics.
-          RlBlhPolicy rl(paper_config(10, capacity, /*seed=*/7));
-          sim.run_days(rl, static_cast<std::size_t>(kTrainDays));
-          return measure_full(sim, rl, kEvalDays);
+          Scenario s = build_scenario(
+              paper_spec("rlblh", 10, capacity, /*seed=*/7, /*hseed=*/200));
+          auto& rl = *s.policy_as<RlBlhPolicy>();
+          s.simulator.run_days(rl, static_cast<std::size_t>(kTrainDays));
+          return measure_full(s.simulator, rl, kEvalDays);
         }
-        LowPassConfig lp_config;
-        lp_config.battery_capacity = capacity;
-        LowPassPolicy lp(lp_config);
-        sim.run_days(lp, static_cast<std::size_t>(kLpSettleDays));
-        return measure_full(sim, lp, kEvalDays);
+        Scenario s = build_scenario(
+            paper_spec("lowpass", 10, capacity, /*seed=*/7, /*hseed=*/200));
+        s.simulator.run_days(*s.policy,
+                             static_cast<std::size_t>(kLpSettleDays));
+        return measure_full(s.simulator, *s.policy, kEvalDays);
       });
   ctx.count_cells(cells.size());
   ctx.count_days(paper.size() *

@@ -22,14 +22,12 @@ namespace {
 
 /// Runs `days` real days and returns the per-day mean |TD error| series.
 std::vector<double> error_series(bool heuristics, int days, unsigned seed) {
-  RlBlhConfig config = paper_config(15, 5.0, seed);
-  config.enable_reuse = heuristics;
-  config.enable_synthetic = heuristics;
-  RlBlhPolicy policy(config);
-  Simulator sim = make_household_simulator(HouseholdConfig{},
-                                           TouSchedule::srp_plan(), 5.0,
-                                           300 + seed);
-  sim.run_days(policy, static_cast<std::size_t>(days));
+  ScenarioSpec spec = paper_spec("rlblh", 15, 5.0, seed, 300 + seed);
+  spec.policy_params.set("reuse", heuristics);
+  spec.policy_params.set("syn", heuristics);
+  Scenario scenario = build_scenario(spec);
+  auto& policy = *scenario.policy_as<RlBlhPolicy>();
+  scenario.simulator.run_days(policy, static_cast<std::size_t>(days));
   std::vector<double> series;
   series.reserve(policy.day_stats().size());
   for (const auto& day : policy.day_stats()) {

@@ -50,16 +50,14 @@ std::vector<double> normalize(const std::vector<double>& raw) {
 
 Outcome run_variant(const Variant& variant, int train_days, int eval_days,
                     unsigned seed) {
-  RlBlhConfig config = paper_config(15, 5.0, seed);
-  config.enable_reuse = variant.reuse;
-  config.enable_synthetic = variant.synthetic;
-  RlBlhPolicy policy(config);
-  Simulator sim = make_household_simulator(HouseholdConfig{},
-                                           TouSchedule::srp_plan(), 5.0,
-                                           400 + seed);
-  sim.run_days(policy, static_cast<std::size_t>(train_days));
+  ScenarioSpec spec = paper_spec("rlblh", 15, 5.0, seed, 400 + seed);
+  spec.policy_params.set("reuse", variant.reuse);
+  spec.policy_params.set("syn", variant.synthetic);
+  Scenario scenario = build_scenario(spec);
+  auto& policy = *scenario.policy_as<RlBlhPolicy>();
+  scenario.simulator.run_days(policy, static_cast<std::size_t>(train_days));
   Outcome out;
-  out.sr = greedy_sr(sim, policy, eval_days);
+  out.sr = greedy_sr(scenario.simulator, policy, eval_days);
   std::vector<double> raw;
   for (const auto& day : policy.day_stats()) {
     raw.push_back(day.mean_abs_td_error);

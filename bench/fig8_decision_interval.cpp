@@ -20,7 +20,6 @@ const char* const kBenchName = "fig8_decision_interval";
 void bench_body(BenchContext& ctx) {
   print_header("Figure 8: effect of the decision interval n_D (b_M = 5 kWh)");
 
-  const TouSchedule prices = TouSchedule::srp_plan();
   struct PaperRow {
     std::size_t n_d;
     double sr, mi;
@@ -35,11 +34,11 @@ void bench_body(BenchContext& ctx) {
 
   const std::vector<EvaluationResult> cells = ctx.sweep().run_grid(
       paper, seeds, [&](const PaperRow& row, unsigned seed) {
-        RlBlhPolicy policy(paper_config(row.n_d, 5.0, seed));
-        Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
-                                                 5.0, 500 + seed);
-        sim.run_days(policy, static_cast<std::size_t>(kTrainDays));
-        return measure_full(sim, policy, kEvalDays);
+        Scenario s =
+            build_scenario(paper_spec("rlblh", row.n_d, 5.0, seed, 500 + seed));
+        auto& policy = *s.policy_as<RlBlhPolicy>();
+        s.simulator.run_days(policy, static_cast<std::size_t>(kTrainDays));
+        return measure_full(s.simulator, policy, kEvalDays);
       });
   ctx.count_cells(cells.size());
   ctx.count_days(cells.size() *

@@ -19,7 +19,6 @@ const char* const kBenchName = "fig9_battery_capacity";
 void bench_body(BenchContext& ctx) {
   print_header("Figure 9: effect of the battery capacity b_M (n_D = 15)");
 
-  const TouSchedule prices = TouSchedule::srp_plan();
   struct PaperRow {
     double capacity, sr, cc;
   };
@@ -36,11 +35,11 @@ void bench_body(BenchContext& ctx) {
   // One sweep cell per (capacity, seed): train then measure, in isolation.
   const std::vector<EvaluationResult> cells = ctx.sweep().run_grid(
       paper, seeds, [&](const PaperRow& row, unsigned seed) {
-        RlBlhPolicy policy(paper_config(15, row.capacity, seed));
-        Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
-                                                 row.capacity, 600 + seed);
-        sim.run_days(policy, static_cast<std::size_t>(kTrainDays));
-        return measure_full(sim, policy, kEvalDays);
+        Scenario s = build_scenario(
+            paper_spec("rlblh", 15, row.capacity, seed, 600 + seed));
+        auto& policy = *s.policy_as<RlBlhPolicy>();
+        s.simulator.run_days(policy, static_cast<std::size_t>(kTrainDays));
+        return measure_full(s.simulator, policy, kEvalDays);
       });
   ctx.count_cells(cells.size());
   ctx.count_days(cells.size() *

@@ -1,0 +1,117 @@
+// Fleet-scaling benchmark: throughput of FleetSimulator as the worker
+// count grows, over a heterogeneous household mix.
+//
+// Times the same fleet at 1 worker and at 8 workers and reports simulated
+// days per second for each (timing metrics, exempt from the drift gate),
+// plus the fleet's aggregate SR/CC/MI (deterministic, drift-gated — the
+// same numbers whichever thread count produced them, per FleetSimulator's
+// bitwise-determinism contract, which this bench also asserts).
+#include "bench_main.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "sim/fleet.h"
+#include "util/table.h"
+
+#include <iostream>
+
+namespace rlblh::bench {
+
+const char* const kBenchName = "fleet_scaling";
+
+namespace {
+
+/// A deterministic heterogeneous fleet: cycles through the registered
+/// policy/household/pricing mix, `size` households total.
+std::vector<ScenarioSpec> build_fleet(std::size_t size, std::size_t train_days,
+                                      std::size_t eval_days) {
+  const char* const mixes[] = {
+      "policy=rlblh;household=default;pricing=srp;battery=5",
+      "policy=lowpass;household=weekday_heavy;pricing=tou2;battery=3",
+      "policy=stepping;household=night_owl;pricing=tou3;battery=5",
+      "policy=rlblh;household=ev_owner;pricing=srp;battery=7",
+      "policy=none;household=apartment;pricing=flat",
+      "policy=random_pulse;household=vacationer;pricing=srp;battery=4",
+      "policy=rlblh;household=weekday_heavy;pricing=rtp;battery=5;"
+      "pricing.seed=5",
+      "policy=mdp;household=default;pricing=srp;battery=3;"
+      "policy.levels=16;policy.usage_levels=8",
+  };
+  const std::size_t n_mixes = sizeof(mixes) / sizeof(mixes[0]);
+  std::vector<ScenarioSpec> fleet;
+  fleet.reserve(size);
+  for (std::size_t index = 0; index < size; ++index) {
+    ScenarioSpec spec = ScenarioSpec::parse(mixes[index % n_mixes]);
+    spec.train_days = train_days;
+    spec.eval_days = eval_days;
+    fleet.push_back(std::move(spec));
+  }
+  return fleet;
+}
+
+}  // namespace
+
+void bench_body(BenchContext& ctx) {
+  print_header("Fleet scaling: heterogeneous households over worker threads");
+
+  const std::size_t kHouseholds = static_cast<std::size_t>(ctx.days(48, 8));
+  const std::size_t kTrainDays = static_cast<std::size_t>(ctx.days(20, 2));
+  const std::size_t kEvalDays = static_cast<std::size_t>(ctx.days(20, 2));
+  const std::uint64_t kFleetSeed = 7;
+  const std::vector<ScenarioSpec> specs =
+      build_fleet(kHouseholds, kTrainDays, kEvalDays);
+  const std::size_t days_per_run = kHouseholds * (kTrainDays + kEvalDays);
+
+  TablePrinter table({"threads", "seconds", "days/sec", "SR mean %",
+                      "SR p95 %", "CC mean", "MI mean"});
+  FleetResult reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    FleetSimulator fleet(specs, FleetOptions{threads});
+    const auto start = std::chrono::steady_clock::now();
+    FleetResult result = fleet.run(kFleetSeed);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double days_per_sec =
+        seconds > 0.0 ? static_cast<double>(days_per_run) / seconds : 0.0;
+    ctx.count_cells(kHouseholds);
+    ctx.count_days(days_per_run);
+    table.add_row({std::to_string(threads), TablePrinter::num(seconds, 3),
+                   TablePrinter::num(days_per_sec, 1),
+                   TablePrinter::num(100.0 * result.saving_ratio.mean, 1),
+                   TablePrinter::num(100.0 * result.saving_ratio.p95, 1),
+                   TablePrinter::num(result.mean_cc.mean, 4),
+                   TablePrinter::num(result.normalized_mi.mean, 4)});
+    ctx.metric("days_per_sec_t" + std::to_string(threads), days_per_sec);
+    if (threads == 1) {
+      reference = std::move(result);
+    } else if (result.saving_ratio.mean != reference.saving_ratio.mean ||
+               result.mean_cc.mean != reference.mean_cc.mean ||
+               result.normalized_mi.mean != reference.normalized_mi.mean) {
+      std::fprintf(stderr,
+                   "fleet determinism violated: %zu-thread aggregates "
+                   "differ from the 1-thread run\n",
+                   threads);
+      std::exit(1);
+    }
+  }
+  table.print(std::cout);
+
+  // Aggregates are thread-count independent; gate them once.
+  ctx.metric("sr_mean", reference.saving_ratio.mean);
+  ctx.metric("sr_p95", reference.saving_ratio.p95);
+  ctx.metric("cc_mean", reference.mean_cc.mean);
+  ctx.metric("mi_mean", reference.normalized_mi.mean);
+
+  std::printf("\n%zu households, %zu simulated days per run; identical "
+              "aggregates at every thread count (bitwise determinism "
+              "contract, asserted above).\n",
+              kHouseholds, days_per_run);
+}
+
+}  // namespace rlblh::bench

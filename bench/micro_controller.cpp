@@ -3,11 +3,14 @@
 // Measures the hot paths of the RL-BLH control loop.
 #include <benchmark/benchmark.h>
 
+#include "baselines/policy_registry.h"
 #include "bench_main.h"
 #include "core/features.h"
 #include "core/qfunction.h"
 #include "core/rlblh_policy.h"
 #include "meter/household.h"
+#include "meter/household_registry.h"
+#include "pricing/pricing_registry.h"
 #include "sim/experiment.h"
 
 namespace {
@@ -15,13 +18,13 @@ namespace {
 using namespace rlblh;
 
 RlBlhConfig bench_config() {
-  RlBlhConfig config;
-  config.decision_interval = 15;
-  config.battery_capacity = 5.0;
-  config.enable_reuse = false;
-  config.enable_synthetic = false;
-  config.seed = 7;
-  return config;
+  SpecParams params;
+  params.set("nd", 15);
+  params.set("battery", 5.0);
+  params.set("reuse", false);
+  params.set("syn", false);
+  params.set("seed", 7);
+  return make_rlblh_config(params);
 }
 
 void BM_FeatureBasisAt(benchmark::State& state) {
@@ -74,8 +77,8 @@ void BM_ControllerInterval(benchmark::State& state) {
   // One measurement interval of the full controller (decision boundaries
   // amortized in), i.e. the work per meter tick on the embedded device.
   RlBlhPolicy policy(bench_config());
-  const TouSchedule prices = TouSchedule::srp_plan();
-  HouseholdModel household(HouseholdConfig{}, 5);
+  const TouSchedule prices = make_pricing("srp", {});
+  HouseholdModel household(make_household_config("default", {}), 5);
   DayTrace day = household.generate_day();
   std::size_t n = 0;
   double level = 2.5;
@@ -99,10 +102,10 @@ BENCHMARK(BM_ControllerInterval);
 void BM_TrainVirtualDay(benchmark::State& state) {
   // One replayed training day (the unit of the REUSE/SYN heuristics).
   RlBlhPolicy policy(bench_config());
-  const TouSchedule prices = TouSchedule::srp_plan();
-  Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0, 6);
+  const TouSchedule prices = make_pricing("srp", {});
+  Simulator sim = make_household_simulator("default", {}, prices, 5.0, 6);
   sim.run_days(policy, 1);  // establishes the price schedule
-  HouseholdModel household(HouseholdConfig{}, 7);
+  HouseholdModel household(make_household_config("default", {}), 7);
   const DayTrace day = household.generate_day();
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy.train_virtual_day(day.values(), 2.5));
@@ -113,8 +116,8 @@ BENCHMARK(BM_TrainVirtualDay);
 void BM_FullSimulatedDay(benchmark::State& state) {
   // A whole simulated day end to end (trace generation + control + battery).
   RlBlhPolicy policy(bench_config());
-  Simulator sim = make_household_simulator(HouseholdConfig{},
-                                           TouSchedule::srp_plan(), 5.0, 8);
+  Simulator sim =
+      make_household_simulator("default", {}, make_pricing("srp", {}), 5.0, 8);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim.run_day(policy).savings_cents);
   }

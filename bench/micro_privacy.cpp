@@ -5,6 +5,7 @@
 
 #include "bench_main.h"
 #include "meter/household.h"
+#include "meter/household_registry.h"
 #include "privacy/correlation.h"
 #include "privacy/mutual_information.h"
 #include "privacy/nalm.h"
@@ -14,12 +15,12 @@ namespace {
 using namespace rlblh;
 
 DayTrace sample_day(unsigned seed) {
-  HouseholdModel household(HouseholdConfig{}, seed);
+  HouseholdModel household(make_household_config("default", {}), seed);
   return household.generate_day();
 }
 
 void BM_HouseholdGenerateDay(benchmark::State& state) {
-  HouseholdModel household(HouseholdConfig{}, 11);
+  HouseholdModel household(make_household_config("default", {}), 11);
   for (auto _ : state) {
     benchmark::DoNotOptimize(household.generate_day().total());
   }
@@ -50,7 +51,7 @@ BENCHMARK(BM_MiObserveDay);
 void BM_MiQuery(benchmark::State& state) {
   PairwiseMiEstimator mi(kIntervalsPerDay, 8, kDefaultUsageCap,
                          kDefaultUsageCap);
-  HouseholdModel household(HouseholdConfig{}, 5);
+  HouseholdModel household(make_household_config("default", {}), 5);
   for (int d = 0; d < 50; ++d) {
     const DayTrace x = household.generate_day();
     mi.observe_day(x, x);

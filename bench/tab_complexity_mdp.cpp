@@ -15,6 +15,8 @@
 #include "bench_main.h"
 #include "common.h"
 #include "meter/household.h"
+#include "meter/household_registry.h"
+#include "pricing/pricing_registry.h"
 #include "util/table.h"
 
 namespace rlblh::bench {
@@ -41,8 +43,8 @@ const char* const kBenchName = "tab_complexity_mdp";
 void bench_body(BenchContext& ctx) {
   print_header("Section VIII: decision-table complexity, DP vs RL-BLH");
 
-  const TouSchedule prices = TouSchedule::srp_plan();
-  HouseholdModel household(HouseholdConfig{}, /*seed=*/17);
+  const TouSchedule prices = make_pricing("srp", {});
+  HouseholdModel household(make_household_config("default", {}), /*seed=*/17);
 
   // Shared training data for every DP variant: generated once up front,
   // read-only from the sweep cells.
@@ -64,12 +66,14 @@ void bench_body(BenchContext& ctx) {
   // granularities is preserved on an unloaded machine.
   const std::vector<DpCell> dp_cells = ctx.sweep().run(
       level_grid.size(), [&](std::size_t cell) {
-        MdpConfig config;
-        config.decision_interval = 15;
-        config.battery_capacity = 5.0;
-        config.battery_levels = level_grid[cell];
-        config.usage_levels = 32;
-        MdpBlhPolicy policy(config);
+        ScenarioSpec spec;
+        spec.policy = "mdp";
+        spec.nd = 15;
+        spec.battery_kwh = 5.0;
+        spec.policy_params.set("levels", level_grid[cell]);
+        spec.policy_params.set("usage_levels", 32);
+        auto built = make_scenario_policy(spec);
+        auto& policy = dynamic_cast<MdpBlhPolicy&>(*built);
         for (const auto& day : training) {
           policy.observe_training_day(day, prices);
         }
@@ -108,11 +112,12 @@ void bench_body(BenchContext& ctx) {
 
   // RL-BLH's footprint: weights plus one day of updates, measured serially
   // (a timing microcosm; keep it off the pool so nothing runs beside it).
-  RlBlhConfig rl_config = paper_config(15, 5.0, 7);
-  rl_config.enable_reuse = false;
-  rl_config.enable_synthetic = false;
-  RlBlhPolicy rl(rl_config);
-  Simulator sim = make_household_simulator(HouseholdConfig{}, prices, 5.0, 18);
+  ScenarioSpec rl_spec = paper_spec("rlblh", 15, 5.0, /*seed=*/7, /*hseed=*/18);
+  rl_spec.policy_params.set("reuse", false);
+  rl_spec.policy_params.set("syn", false);
+  Scenario rl_scenario = build_scenario(rl_spec);
+  auto& rl = *rl_scenario.policy_as<RlBlhPolicy>();
+  Simulator& sim = rl_scenario.simulator;
   const int kWarmupDays = 3;
   sim.run_days(rl, kWarmupDays);
   const auto start = std::chrono::steady_clock::now();

@@ -10,34 +10,34 @@
 #include <cstdio>
 
 #include "core/rlblh_policy.h"
+#include "meter/household_registry.h"
 #include "privacy/metrics.h"
-#include "sim/experiment.h"
+#include "sim/scenario.h"
 
 int main() {
   using namespace rlblh;
 
-  const TouSchedule prices = TouSchedule::srp_plan();
-  RlBlhConfig config;
-  config.battery_capacity = 5.0;
-  config.decision_interval = 15;
-  config.seed = 29;
-  // Keep a little permanent exploration/learning so adaptation never stalls.
-  config.decay_hyperparams = true;
-  RlBlhPolicy policy(config);
+  // The run starts as a stock scenario (default day-worker household, SRP
+  // prices, RL-BLH with permanent 1/sqrt(day) decay so adaptation never
+  // stalls); the behaviour change below is applied to the live trace
+  // source mid-run — exactly what a spec cannot describe.
+  ScenarioSpec spec;
+  spec.nd = 15;
+  spec.battery_kwh = 5.0;
+  spec.seed = 29;
+  spec.hseed = 31;
+  Scenario scenario = build_scenario(spec);
+  auto& policy = *scenario.policy_as<RlBlhPolicy>();
+  Simulator& sim = scenario.simulator;
+  const TouSchedule& prices = sim.prices();
 
-  HouseholdConfig day_worker;  // default: wakes 6:30, away 8:00-17:30
-
-  HouseholdConfig night_shift = day_worker;
+  HouseholdConfig night_shift = make_household_config("default", {});
   night_shift.wake_mean = 780.0;    // wakes ~13:00
   night_shift.leave_mean = 1260.0;  // leaves for the night shift ~21:00
   night_shift.back_mean = 1380.0;   // (returns after midnight; modeled as
   night_shift.sleep_mean = 1439.0;  //  active late and asleep into the day)
 
-  Simulator sim = make_household_simulator(day_worker, prices,
-                                           config.battery_capacity,
-                                           /*seed=*/31);
-  auto& household =
-      static_cast<HouseholdTraceSource&>(sim.source()).model();
+  auto& household = static_cast<HouseholdTraceSource&>(sim.source()).model();
 
   std::printf("Weekly saving ratio around a behaviour shift "
               "(night shift starts at day 43):\n\n");

@@ -9,13 +9,14 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/lowpass.h"
+#include "baselines/policy_registry.h"
 #include "battery/battery.h"
 #include "core/rlblh_policy.h"
 #include "meter/household.h"
+#include "meter/household_registry.h"
 #include "privacy/nalm.h"
 #include "privacy/occupancy_attack.h"
-#include "sim/experiment.h"
+#include "sim/scenario.h"
 
 namespace {
 
@@ -49,31 +50,34 @@ DayTrace meter_stream(BlhPolicy& policy, Battery& battery,
 int main() {
   using namespace rlblh;
 
-  const TouSchedule prices = TouSchedule::srp_plan();
   const double capacity = 5.0;
 
-  // Train RL-BLH online for two weeks first (heuristics on).
-  RlBlhConfig rl_config;
-  rl_config.battery_capacity = capacity;
-  rl_config.decision_interval = 10;
-  rl_config.seed = 3;
-  RlBlhPolicy rlblh(rl_config);
-  {
-    Simulator warmup = make_household_simulator(HouseholdConfig{}, prices,
-                                                capacity, /*seed=*/11);
-    warmup.run_days(rlblh, 14);
-  }
+  // Train RL-BLH online for two weeks first (heuristics on). The warm-up
+  // scenario owns the policy, so it stays in scope for the attack days.
+  ScenarioSpec rl_spec;
+  rl_spec.policy = "rlblh";
+  rl_spec.nd = 10;
+  rl_spec.battery_kwh = capacity;
+  rl_spec.seed = 3;
+  rl_spec.hseed = 11;
+  Scenario warmup = build_scenario(rl_spec);
+  const TouSchedule& prices = warmup.simulator.prices();
+  auto& rlblh = *warmup.policy_as<RlBlhPolicy>();
+  warmup.simulator.run_days(rlblh, 14);
 
-  LowPassConfig lp_config;
-  lp_config.battery_capacity = capacity;
-  LowPassPolicy lowpass(lp_config);
-  PassthroughPolicy raw;
+  SpecParams lp_params;
+  lp_params.set("battery", capacity);
+  const std::unique_ptr<BlhPolicy> lowpass_built =
+      make_policy("lowpass", lp_params);
+  BlhPolicy& lowpass = *lowpass_built;
+  const std::unique_ptr<BlhPolicy> raw_built = make_policy("none", {});
+  BlhPolicy& raw = *raw_built;
 
   Battery rl_battery(capacity, capacity / 2);
   Battery lp_battery(capacity, capacity / 2);
   Battery raw_battery(capacity, capacity / 2);
 
-  HouseholdModel household(HouseholdConfig{}, /*seed=*/99);
+  HouseholdModel household(make_household_config("default", {}), /*seed=*/99);
   const NalmConfig attack;
 
   NalmScore raw_score, lp_score, rl_score;

@@ -5,32 +5,32 @@
 // target uses the actual r_n at every interval. This example trains the same
 // controller under three tariffs — the SRP two-zone plan, a three-zone
 // off/semi/peak plan, and hourly real-time pricing — and reports the saving
-// ratio achieved under each.
+// ratio achieved under each. Tariffs are selected by pricing-registry name,
+// so switching plans changes one field of the scenario spec.
 #include <cstdio>
 #include <string>
 
-#include "core/rlblh_policy.h"
-#include "sim/experiment.h"
-#include "util/rng.h"
+#include "sim/scenario.h"
 
 namespace {
 
 using namespace rlblh;
 
-void run_plan(const std::string& label, const TouSchedule& prices) {
-  RlBlhConfig config;
-  config.battery_capacity = 5.0;
-  config.decision_interval = 15;
-  config.seed = 17;
-  RlBlhPolicy policy(config);
+void run_plan(const std::string& label, const std::string& plan,
+              const SpecParams& plan_params) {
+  ScenarioSpec spec;
+  spec.nd = 15;
+  spec.battery_kwh = 5.0;
+  spec.seed = 17;
+  spec.hseed = 23;
+  spec.train_days = 25;
+  spec.eval_days = 40;
+  spec.pricing = plan;
+  spec.pricing_params = plan_params;
 
-  Simulator sim = make_household_simulator(HouseholdConfig{}, prices,
-                                           config.battery_capacity,
-                                           /*seed=*/23);
-  EvaluationConfig eval;
-  eval.train_days = 25;
-  eval.eval_days = 40;
-  const EvaluationResult r = evaluate_policy(sim, policy, eval);
+  Scenario scenario = build_scenario(spec);
+  const TouSchedule& prices = scenario.simulator.prices();
+  const EvaluationResult r = run_scenario(scenario);
 
   std::printf("  %-12s rates %5.2f..%5.2f c/kWh | SR %5.1f %% | "
               "%6.2f cents/day | CC %7.4f\n",
@@ -46,13 +46,12 @@ int main() {
   std::printf("RL-BLH cost savings across tariff structures "
               "(5 kWh battery, n_D = 15):\n\n");
 
-  run_plan("two-zone", TouSchedule::srp_plan());
-  run_plan("three-zone",
-           TouSchedule::three_zone(kIntervalsPerDay, 420, 960, 6.0, 12.0, 24.0));
+  run_plan("two-zone", "srp", {});
+  run_plan("three-zone", "tou3", {});
 
-  Rng rng(5);
-  run_plan("hourly-rtp",
-           TouSchedule::hourly_rtp(kIntervalsPerDay, 60, 5.0, 25.0, rng));
+  SpecParams rtp;
+  rtp.set("seed", 5);
+  run_plan("hourly-rtp", "rtp", rtp);
 
   std::printf("\nThe same controller (no re-configuration) exploits "
               "whatever price spread the tariff offers.\n");

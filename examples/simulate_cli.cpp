@@ -1,11 +1,15 @@
 // simulate_cli — a command-line front end over the whole library.
 //
-// Runs any of the implemented battery policies against a synthetic
-// household (or a replayed CSV trace) under a chosen tariff, reports the
-// paper's three metrics, and can persist/restore learned RL-BLH weights.
+// Runs any registered battery policy against a registered household preset
+// (or a replayed CSV trace) under a registered tariff, reports the paper's
+// three metrics, and can persist/restore learned RL-BLH weights. A whole
+// run is one scenario-registry spec string; the legacy flags survive as
+// overrides applied on top of the spec.
 //
-//   simulate_cli [--policy rl-blh|low-pass|stepping|random|none]
-//                [--plan srp|flat|three-zone|rtp]
+//   simulate_cli [--scenario "policy=rlblh;household=weekday_heavy;..."]
+//                [--list]
+//                [--policy rl-blh|low-pass|stepping|random|mdp|none]
+//                [--plan srp|flat|three-zone|tou2|rtp]
 //                [--battery KWH] [--nd MINUTES] [--seed N]
 //                [--train DAYS] [--eval DAYS]
 //                [--trace-in usage.csv] [--trace-out day.csv]
@@ -14,27 +18,29 @@
 //
 // Examples:
 //   simulate_cli                                  # paper defaults
-//   simulate_cli --policy low-pass --battery 3
+//   simulate_cli --scenario "policy=lowpass;battery=3"
+//   simulate_cli --list                           # registered components
 //   simulate_cli --train 60 --save-weights w.txt  # learn, persist
 //   simulate_cli --train 0 --load-weights w.txt   # deploy learned weights
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include <iostream>
 
-#include "baselines/lowpass.h"
-#include "baselines/random_pulse.h"
-#include "baselines/stepping.h"
+#include "baselines/policy_registry.h"
 #include "core/rlblh_policy.h"
 #include "core/serialize.h"
+#include "meter/household_registry.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/metrics_dump.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
-#include "sim/experiment.h"
+#include "pricing/pricing_registry.h"
+#include "sim/scenario.h"
 #include "util/csv.h"
 
 namespace {
@@ -42,13 +48,15 @@ namespace {
 using namespace rlblh;
 
 struct Options {
-  std::string policy = "rl-blh";
-  std::string plan = "srp";
-  double battery = 5.0;
-  std::size_t nd = 15;
-  unsigned seed = 7;
-  std::size_t train = 30;
-  std::size_t eval = 30;
+  std::string scenario;
+  bool list = false;
+  std::optional<std::string> policy;
+  std::optional<std::string> plan;
+  std::optional<double> battery;
+  std::optional<std::size_t> nd;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> train;
+  std::optional<std::size_t> eval;
   std::string trace_in;
   std::string trace_out;
   std::string load_weights;
@@ -60,13 +68,19 @@ struct Options {
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--policy rl-blh|low-pass|stepping|random|none]\n"
-               "          [--plan srp|flat|three-zone|rtp] [--battery KWH]\n"
+               "usage: %s [--scenario SPEC] [--list]\n"
+               "          [--policy rl-blh|low-pass|stepping|random|mdp|none]\n"
+               "          [--plan srp|flat|three-zone|tou2|rtp]\n"
+               "          [--battery KWH]\n"
                "          [--nd MINUTES] [--seed N] [--train DAYS]\n"
                "          [--eval DAYS] [--trace-in usage.csv]\n"
                "          [--trace-out day.csv] [--load-weights w.txt]\n"
                "          [--save-weights w.txt] [--check-invariants]\n"
-               "          [--obs] [--obs-out run.json]\n",
+               "          [--obs] [--obs-out run.json]\n"
+               "SPEC is `key=value;...` — e.g. \"policy=rlblh;"
+               "household=weekday_heavy;pricing=tou2;battery=13.5\";\n"
+               "dotted keys (policy.alpha=0.01, pricing.rate=11, "
+               "household.scale=1.2) reach the component factories.\n",
                argv0);
   std::exit(2);
 }
@@ -79,7 +93,11 @@ Options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage_and_exit(argv[0]);
       return argv[++i];
     };
-    if (flag == "--policy") {
+    if (flag == "--scenario") {
+      options.scenario = value();
+    } else if (flag == "--list") {
+      options.list = true;
+    } else if (flag == "--policy") {
       options.policy = value();
     } else if (flag == "--plan") {
       options.plan = value();
@@ -88,7 +106,7 @@ Options parse(int argc, char** argv) {
     } else if (flag == "--nd") {
       options.nd = std::stoul(value());
     } else if (flag == "--seed") {
-      options.seed = static_cast<unsigned>(std::stoul(value()));
+      options.seed = std::stoull(value());
     } else if (flag == "--train") {
       options.train = std::stoul(value());
     } else if (flag == "--eval") {
@@ -115,50 +133,50 @@ Options parse(int argc, char** argv) {
   return options;
 }
 
-TouSchedule make_plan(const std::string& plan, unsigned seed) {
-  if (plan == "srp") return TouSchedule::srp_plan();
-  if (plan == "flat") return TouSchedule::flat(kIntervalsPerDay, 11.0);
-  if (plan == "three-zone") {
-    return TouSchedule::three_zone(kIntervalsPerDay, 420, 960, 6.0, 12.0,
-                                   24.0);
-  }
-  if (plan == "rtp") {
-    Rng rng(seed);
-    return TouSchedule::hourly_rtp(kIntervalsPerDay, 60, 5.0, 25.0, rng);
-  }
-  throw ConfigError("unknown plan '" + plan + "'");
+void print_component_list() {
+  const auto print = [](const char* family,
+                        const std::vector<std::string>& names) {
+    std::printf("%s:", family);
+    for (const auto& name : names) std::printf(" %s", name.c_str());
+    std::printf("\n");
+  };
+  print("policies", policy_names());
+  print("households", household_names());
+  print("pricing plans", pricing_names());
+  std::printf("\nspec grammar: key=value;key2=value2 with top-level keys\n"
+              "  policy household pricing battery nd seed hseed train eval "
+              "mi\nand dotted component parameters "
+              "(policy.alpha, household.scale, pricing.rate, ...).\n");
 }
 
-std::unique_ptr<BlhPolicy> make_policy(const Options& options) {
-  if (options.policy == "rl-blh" || options.policy == "random") {
-    RlBlhConfig config;
-    config.decision_interval = options.nd;
-    config.battery_capacity = options.battery;
-    config.seed = options.seed;
-    if (options.policy == "random") {
-      return std::make_unique<RandomPulsePolicy>(config);
-    }
-    auto policy = std::make_unique<RlBlhPolicy>(config);
-    if (!options.load_weights.empty()) {
-      policy->q() = load_weights_file(options.load_weights);
-      std::printf("loaded weights from %s\n", options.load_weights.c_str());
-    }
-    return policy;
+/// The effective spec: the --scenario string (or defaults), with any
+/// explicit legacy flags layered on top.
+ScenarioSpec resolve_spec(const Options& options) {
+  ScenarioSpec spec = options.scenario.empty()
+                          ? ScenarioSpec{}
+                          : ScenarioSpec::parse(options.scenario);
+  if (options.policy.has_value()) spec.policy = *options.policy;
+  if (options.plan.has_value()) spec.pricing = *options.plan;
+  if (options.battery.has_value()) spec.battery_kwh = *options.battery;
+  if (options.nd.has_value()) spec.nd = *options.nd;
+  if (options.seed.has_value()) spec.seed = *options.seed;
+  if (options.train.has_value()) spec.train_days = *options.train;
+  if (options.eval.has_value()) spec.eval_days = *options.eval;
+  if (!options.trace_in.empty()) {
+    spec.household = "csv";
+    spec.household_params.set("path", options.trace_in);
   }
-  if (options.policy == "low-pass") {
-    LowPassConfig config;
-    config.battery_capacity = options.battery;
-    return std::make_unique<LowPassPolicy>(config);
+  // The rtp plan has always drawn its block rates from the run seed unless
+  // told otherwise.
+  if (spec.pricing == "rtp" && !spec.pricing_params.has("seed")) {
+    spec.pricing_params.set("seed", spec.seed);
   }
-  if (options.policy == "stepping") {
-    SteppingConfig config;
-    config.battery_capacity = options.battery;
-    return std::make_unique<SteppingPolicy>(config);
-  }
-  if (options.policy == "none") {
-    return std::make_unique<PassthroughPolicy>();
-  }
-  throw ConfigError("unknown policy '" + options.policy + "'");
+  return spec;
+}
+
+bool pulse_shaped_policy(const std::string& name) {
+  return name == "rlblh" || name == "rl-blh" || name == "random_pulse" ||
+         name == "random-pulse" || name == "random";
 }
 
 }  // namespace
@@ -169,63 +187,70 @@ int main(int argc, char** argv) {
     if (env[0] != '\0') options.obs = true;
   }
   try {
+    if (options.list) {
+      print_component_list();
+      return 0;
+    }
     if (options.obs) {
       obs::registry().reset();
       obs::Tracer::instance().reset();
       obs::set_enabled(true);
     }
-    const TouSchedule prices = make_plan(options.plan, options.seed);
+    const ScenarioSpec spec = resolve_spec(options);
+    Scenario scenario = build_scenario(spec);
+    Simulator& sim = scenario.simulator;
+    const TouSchedule& prices = sim.prices();
+    BlhPolicy& policy = *scenario.policy;
 
-    std::unique_ptr<TraceSource> source;
-    if (options.trace_in.empty()) {
-      source = std::make_unique<HouseholdTraceSource>(HouseholdConfig{},
-                                                      options.seed + 1000);
-    } else {
-      source = std::make_unique<CsvTraceSource>(options.trace_in,
-                                                kIntervalsPerDay,
-                                                kDefaultUsageCap, true);
+    if (!options.trace_in.empty()) {
       std::printf("replaying %zu day(s) from %s\n",
-                  static_cast<CsvTraceSource&>(*source).day_count(),
+                  dynamic_cast<CsvTraceSource&>(sim.source()).day_count(),
                   options.trace_in.c_str());
     }
-    Simulator sim(std::move(source), prices,
-                  Battery(options.battery, options.battery / 2.0));
-
-    std::unique_ptr<BlhPolicy> policy = make_policy(options);
+    if (!options.load_weights.empty()) {
+      auto* rl = scenario.policy_as<RlBlhPolicy>();
+      if (rl == nullptr) {
+        std::fprintf(stderr, "--load-weights needs the rlblh policy\n");
+        return 2;
+      }
+      rl->q() = load_weights_file(options.load_weights);
+      std::printf("loaded weights from %s\n", options.load_weights.c_str());
+    }
     std::printf("policy %s | plan %s | battery %.1f kWh | n_D %zu\n",
-                std::string(policy->name()).c_str(), options.plan.c_str(),
-                options.battery, options.nd);
+                std::string(policy.name()).c_str(), spec.pricing.c_str(),
+                spec.battery_kwh, spec.nd);
 
     if (options.check_invariants) {
       // Pulse-shaped policies get the full Section II/III-B suite; the
       // non-pulse baselines (and passthrough) get the bound and accounting
       // checks only. The simulator then fails fast on the first bad day.
-      const bool pulse_shaped =
-          options.policy == "rl-blh" || options.policy == "random";
+      const bool pulse_shaped = pulse_shaped_policy(spec.policy);
       InvariantCheckConfig check;
-      check.battery_capacity = options.battery;
+      check.battery_capacity = spec.battery_kwh;
       check.usage_cap = pulse_shaped ? kDefaultUsageCap : 0.0;
-      check.decision_interval = pulse_shaped ? options.nd : 0;
+      check.decision_interval = pulse_shaped ? spec.nd : 0;
       check.expect_feasible = pulse_shaped;
       sim.enable_invariant_checks(check);
       std::printf("invariant checks: on (%s profile)\n",
                   pulse_shaped ? "pulse" : "bounds-only");
     }
 
-    if (options.train > 0) {
+    pretrain_if_needed(spec, prices, policy);
+    if (spec.train_days > 0) {
       RLBLH_OBS_SPAN("cli.train");
-      sim.run_days(*policy, options.train);
-      std::printf("trained %zu day(s)\n", options.train);
+      sim.run_days(policy, spec.train_days);
+      std::printf("trained %zu day(s)\n", spec.train_days);
     }
 
     EvaluationConfig eval;
     eval.train_days = 0;
-    eval.eval_days = options.eval;
+    eval.eval_days = spec.eval_days;
+    eval.mi_levels = spec.mi_levels;
     const EvaluationResult r = [&] {
       RLBLH_OBS_SPAN("cli.evaluate");
-      return evaluate_policy(sim, *policy, eval);
+      return evaluate_policy(sim, policy, eval);
     }();
-    std::printf("over %zu evaluation day(s):\n", options.eval);
+    std::printf("over %zu evaluation day(s):\n", spec.eval_days);
     std::printf("  saving ratio : %6.2f %%\n", 100.0 * r.saving_ratio);
     std::printf("  daily savings: %6.2f cents (bill %.1f of %.1f)\n",
                 r.mean_daily_savings_cents, r.mean_daily_bill_cents,
@@ -235,7 +260,7 @@ int main(int argc, char** argv) {
     std::printf("  violations   : %zu\n", r.battery_violations);
 
     if (!options.trace_out.empty()) {
-      const DayResult day = sim.run_day(*policy);
+      const DayResult day = sim.run_day(policy);
       CsvTable table;
       table.header = {"n", "rate", "usage_kwh", "reading_kwh", "battery_kwh"};
       for (std::size_t n = 0; n < day.usage.intervals(); ++n) {
@@ -249,9 +274,9 @@ int main(int argc, char** argv) {
     }
 
     if (!options.save_weights.empty()) {
-      auto* rl = dynamic_cast<RlBlhPolicy*>(policy.get());
+      auto* rl = scenario.policy_as<RlBlhPolicy>();
       if (rl == nullptr) {
-        std::fprintf(stderr, "--save-weights needs --policy rl-blh\n");
+        std::fprintf(stderr, "--save-weights needs the rlblh policy\n");
         return 2;
       }
       save_weights_file(options.save_weights, rl->q());
@@ -263,13 +288,15 @@ int main(int argc, char** argv) {
       info.name = "simulate_cli";
       info.command.assign(argv, argv + argc);
       info.config = {
-          {"policy", options.policy},
-          {"plan", options.plan},
-          {"battery_kwh", std::to_string(options.battery)},
-          {"nd", std::to_string(options.nd)},
-          {"seed", std::to_string(options.seed)},
-          {"train_days", std::to_string(options.train)},
-          {"eval_days", std::to_string(options.eval)},
+          {"policy", spec.policy},
+          {"household", spec.household},
+          {"plan", spec.pricing},
+          {"battery_kwh", std::to_string(spec.battery_kwh)},
+          {"nd", std::to_string(spec.nd)},
+          {"seed", std::to_string(spec.seed)},
+          {"train_days", std::to_string(spec.train_days)},
+          {"eval_days", std::to_string(spec.eval_days)},
+          {"scenario", spec.canonical()},
       };
       const std::string path = options.obs_out.empty()
                                    ? obs::default_manifest_path(info.name)

@@ -1,0 +1,174 @@
+#include "baselines/policy_registry.h"
+
+#include "baselines/lowpass.h"
+#include "baselines/mdp.h"
+#include "baselines/random_pulse.h"
+#include "baselines/stepping.h"
+#include "core/rlblh_policy.h"
+
+namespace rlblh {
+
+namespace {
+
+/// Geometry keys the scenario assembler merges into every policy bag.
+/// Factories that ignore some of them still accept the full set, so one
+/// spec can switch policy names without re-tailoring its parameters.
+const std::vector<std::string> kGeometryKeys = {"battery", "nd", "seed",
+                                                "intervals", "cap",
+                                                "actions"};
+
+std::vector<std::string> with_geometry(std::vector<std::string> extra) {
+  extra.insert(extra.end(), kGeometryKeys.begin(), kGeometryKeys.end());
+  return extra;
+}
+
+Registry<std::unique_ptr<BlhPolicy>> build_registry() {
+  Registry<std::unique_ptr<BlhPolicy>> registry;
+  registry.set_family("policy");
+
+  registry.add(
+      "rlblh",
+      [](const SpecParams& params) -> std::unique_ptr<BlhPolicy> {
+        return std::make_unique<RlBlhPolicy>(make_rlblh_config(params));
+      },
+      {"rl-blh"});
+
+  registry.add(
+      "random_pulse",
+      [](const SpecParams& params) -> std::unique_ptr<BlhPolicy> {
+        params.allow_only(kGeometryKeys, "policy 'random_pulse'");
+        return std::make_unique<RandomPulsePolicy>(make_rlblh_config(params));
+      },
+      {"random-pulse", "random"});
+
+  registry.add(
+      "lowpass",
+      [](const SpecParams& params) -> std::unique_ptr<BlhPolicy> {
+        params.allow_only(with_geometry({"smoothing", "target"}),
+                          "policy 'lowpass'");
+        LowPassConfig config;
+        config.intervals_per_day =
+            params.get_size("intervals", config.intervals_per_day);
+        config.usage_cap = params.get_double("cap", config.usage_cap);
+        config.battery_capacity =
+            params.get_double("battery", config.battery_capacity);
+        config.target_smoothing =
+            params.get_double("smoothing", config.target_smoothing);
+        config.initial_target =
+            params.get_double("target", config.initial_target);
+        return std::make_unique<LowPassPolicy>(config);
+      },
+      {"low-pass"});
+
+  registry.add("stepping",
+               [](const SpecParams& params) -> std::unique_ptr<BlhPolicy> {
+                 params.allow_only(with_geometry({"step", "margin"}),
+                                   "policy 'stepping'");
+                 SteppingConfig config;
+                 config.intervals_per_day =
+                     params.get_size("intervals", config.intervals_per_day);
+                 config.usage_cap = params.get_double("cap", config.usage_cap);
+                 config.battery_capacity =
+                     params.get_double("battery", config.battery_capacity);
+                 config.step = params.get_double("step", config.step);
+                 config.margin_fraction =
+                     params.get_double("margin", config.margin_fraction);
+                 return std::make_unique<SteppingPolicy>(config);
+               });
+
+  registry.add(
+      "mdp",
+      [](const SpecParams& params) -> std::unique_ptr<BlhPolicy> {
+        params.allow_only(with_geometry({"levels", "usage_levels"}),
+                          "policy 'mdp'");
+        MdpConfig config;
+        config.intervals_per_day =
+            params.get_size("intervals", config.intervals_per_day);
+        config.decision_interval =
+            params.get_size("nd", config.decision_interval);
+        config.usage_cap = params.get_double("cap", config.usage_cap);
+        config.battery_capacity =
+            params.get_double("battery", config.battery_capacity);
+        config.num_actions = params.get_size("actions", config.num_actions);
+        config.battery_levels =
+            params.get_size("levels", config.battery_levels);
+        config.usage_levels =
+            params.get_size("usage_levels", config.usage_levels);
+        return std::make_unique<MdpBlhPolicy>(config);
+      },
+      {"mdp-dp"});
+
+  registry.add(
+      "none",
+      [](const SpecParams& params) -> std::unique_ptr<BlhPolicy> {
+        params.allow_only(kGeometryKeys, "policy 'none'");
+        return std::make_unique<PassthroughPolicy>();
+      },
+      {"passthrough", "no-battery"});
+
+  return registry;
+}
+
+const Registry<std::unique_ptr<BlhPolicy>>& policy_registry() {
+  static const Registry<std::unique_ptr<BlhPolicy>> registry =
+      build_registry();
+  return registry;
+}
+
+}  // namespace
+
+RlBlhConfig make_rlblh_config(const SpecParams& params) {
+  params.allow_only(
+      with_geometry({"alpha", "epsilon", "decay", "decay_by_episodes",
+                     "alpha_floor", "epsilon_floor", "double_q",
+                     "replay_random_start", "reuse", "reuse_days",
+                     "reuse_repeats", "syn", "syn_period", "syn_last_day",
+                     "syn_repeats", "stats_bins", "stats_reservoir"}),
+      "policy 'rlblh'");
+  RlBlhConfig config;
+  config.intervals_per_day =
+      params.get_size("intervals", config.intervals_per_day);
+  config.decision_interval = params.get_size("nd", config.decision_interval);
+  config.usage_cap = params.get_double("cap", config.usage_cap);
+  config.battery_capacity =
+      params.get_double("battery", config.battery_capacity);
+  config.num_actions = params.get_size("actions", config.num_actions);
+  config.alpha = params.get_double("alpha", config.alpha);
+  config.epsilon = params.get_double("epsilon", config.epsilon);
+  config.decay_hyperparams = params.get_bool("decay", config.decay_hyperparams);
+  config.decay_by_episodes =
+      params.get_bool("decay_by_episodes", config.decay_by_episodes);
+  config.alpha_floor = params.get_double("alpha_floor", config.alpha_floor);
+  config.epsilon_floor =
+      params.get_double("epsilon_floor", config.epsilon_floor);
+  config.double_q = params.get_bool("double_q", config.double_q);
+  config.replay_random_start =
+      params.get_bool("replay_random_start", config.replay_random_start);
+  config.enable_reuse = params.get_bool("reuse", config.enable_reuse);
+  config.reuse_days = params.get_size("reuse_days", config.reuse_days);
+  config.reuse_repeats =
+      params.get_size("reuse_repeats", config.reuse_repeats);
+  config.enable_synthetic = params.get_bool("syn", config.enable_synthetic);
+  config.synthetic_period =
+      params.get_size("syn_period", config.synthetic_period);
+  config.synthetic_last_day =
+      params.get_size("syn_last_day", config.synthetic_last_day);
+  config.synthetic_repeats =
+      params.get_size("syn_repeats", config.synthetic_repeats);
+  config.stats_bins = params.get_size("stats_bins", config.stats_bins);
+  config.stats_reservoir =
+      params.get_size("stats_reservoir", config.stats_reservoir);
+  config.seed = params.get_u64("seed", config.seed);
+  return config;
+}
+
+std::unique_ptr<BlhPolicy> make_policy(const std::string& name,
+                                       const SpecParams& params) {
+  return policy_registry().create(name, params);
+}
+
+std::vector<std::string> policy_names() {
+  return policy_registry().names();
+}
+
+}  // namespace rlblh

@@ -1,0 +1,56 @@
+// Named battery-policy factory (the policy slice of the scenario registry).
+//
+// A scenario spec selects the controller by name (`policy=rlblh`) and tunes
+// it through `policy.*` parameters; the scenario assembler merges the
+// shared geometry (battery, nd, seed, intervals, cap) into the same bag, so
+// one parameter set describes the whole controller. Registered policies:
+//
+//   rlblh         — the paper's learned controller (alias: rl-blh).
+//                   Params: geometry + actions, alpha, epsilon, decay,
+//                   decay_by_episodes, alpha_floor, epsilon_floor, double_q,
+//                   replay_random_start, reuse, reuse_days, reuse_repeats,
+//                   syn, syn_period, syn_last_day, syn_repeats, stats_bins,
+//                   stats_reservoir.
+//   random_pulse  — feasible pulses, uniformly random (aliases:
+//                   random-pulse, random). Params: geometry + actions.
+//   lowpass       — constant-target flattening baseline (alias: low-pass).
+//                   Params: battery, intervals, cap, smoothing, target.
+//   stepping      — quantized hold-the-step baseline. Params: battery,
+//                   intervals, cap, step, margin.
+//   mdp           — quantized-state DP baseline (alias: mdp-dp); built
+//                   UNSOLVED — callers must feed observe_training_day and
+//                   solve() before running it (run_scenario does this).
+//                   Params: battery, nd, intervals, cap, actions, levels,
+//                   usage_levels.
+//   none          — no-battery passthrough reference (aliases: passthrough,
+//                   no-battery). No params.
+//
+// This table lives in rlblh_baselines because it is the lowest layer that
+// sees both the RL-BLH controller (rlblh_core) and the baseline schemes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/policy.h"
+#include "core/registry.h"
+
+namespace rlblh {
+
+/// Builds the named policy from its merged parameter bag. Unknown names or
+/// parameters raise ConfigError; invalid values fail the usual config
+/// validation of the underlying policy type.
+std::unique_ptr<BlhPolicy> make_policy(const std::string& name,
+                                       const SpecParams& params);
+
+/// The RlBlhConfig a given parameter bag describes (shared by the rlblh and
+/// random_pulse factories; exposed for benches that need the config itself,
+/// e.g. for decisions_per_day()).
+RlBlhConfig make_rlblh_config(const SpecParams& params);
+
+/// Registered primary policy names, sorted (for --list).
+std::vector<std::string> policy_names();
+
+}  // namespace rlblh

@@ -1,0 +1,125 @@
+#include "meter/household_registry.h"
+
+#include <algorithm>
+
+namespace rlblh {
+
+namespace {
+
+/// The override keys every synthetic preset accepts on top of its base.
+const std::vector<std::string> kHouseholdKeys = {
+    "scale",  "workday", "vacancy", "ev",   "ev_power", "hvac_setback",
+    "wake",   "leave",   "back",    "sleep", "intervals", "cap"};
+
+HouseholdConfig apply_overrides(HouseholdConfig config,
+                                const SpecParams& params,
+                                const std::string& context) {
+  params.allow_only(kHouseholdKeys, context);
+  config.intervals = params.get_size("intervals", config.intervals);
+  config.usage_cap = params.get_double("cap", config.usage_cap);
+  config.appliance_scale =
+      params.get_double("scale", config.appliance_scale);
+  config.workday_probability =
+      params.get_double("workday", config.workday_probability);
+  config.vacancy_probability =
+      params.get_double("vacancy", config.vacancy_probability);
+  config.ev_probability = params.get_double("ev", config.ev_probability);
+  config.ev_power = params.get_double("ev_power", config.ev_power);
+  config.hvac_setback =
+      params.get_double("hvac_setback", config.hvac_setback);
+  config.wake_mean = params.get_double("wake", config.wake_mean);
+  config.leave_mean = params.get_double("leave", config.leave_mean);
+  config.back_mean = params.get_double("back", config.back_mean);
+  config.sleep_mean = params.get_double("sleep", config.sleep_mean);
+  config.validate();
+  return config;
+}
+
+Registry<HouseholdConfig> build_registry() {
+  Registry<HouseholdConfig> registry;
+  registry.set_family("household preset");
+
+  registry.add("default", [](const SpecParams& params) {
+    return apply_overrides(HouseholdConfig{}, params,
+                           "household preset 'default'");
+  });
+
+  registry.add("weekday_heavy", [](const SpecParams& params) {
+    HouseholdConfig config;
+    config.workday_probability = 0.95;
+    config.appliance_scale = 1.35;
+    return apply_overrides(config, params,
+                           "household preset 'weekday_heavy'");
+  });
+
+  registry.add("night_owl", [](const SpecParams& params) {
+    HouseholdConfig config;
+    config.wake_mean = 600.0;    // ~10:00
+    config.leave_mean = 700.0;   // ~11:40
+    config.back_mean = 1200.0;   // ~20:00
+    config.sleep_mean = 1435.0;  // just before midnight wrap
+    config.workday_probability = 0.55;
+    return apply_overrides(config, params, "household preset 'night_owl'");
+  });
+
+  registry.add("ev_owner", [](const SpecParams& params) {
+    HouseholdConfig config;
+    config.ev_probability = 0.9;
+    return apply_overrides(config, params, "household preset 'ev_owner'");
+  });
+
+  registry.add("vacationer", [](const SpecParams& params) {
+    HouseholdConfig config;
+    config.vacancy_probability = 0.3;
+    config.workday_probability = 0.5;
+    return apply_overrides(config, params, "household preset 'vacationer'");
+  });
+
+  registry.add("apartment", [](const SpecParams& params) {
+    HouseholdConfig config;
+    config.appliance_scale = 0.55;
+    config.hvac_setback = 0.25;
+    return apply_overrides(config, params, "household preset 'apartment'");
+  });
+
+  return registry;
+}
+
+const Registry<HouseholdConfig>& household_registry() {
+  static const Registry<HouseholdConfig> registry = build_registry();
+  return registry;
+}
+
+}  // namespace
+
+HouseholdConfig make_household_config(const std::string& name,
+                                      const SpecParams& params) {
+  return household_registry().create(name, params);
+}
+
+std::unique_ptr<TraceSource> make_trace_source(const std::string& name,
+                                               const SpecParams& params,
+                                               std::uint64_t seed) {
+  if (name == "csv") {
+    params.allow_only({"path", "header", "intervals", "cap"},
+                      "trace source 'csv'");
+    const std::string path = params.get_string("path", "");
+    RLBLH_REQUIRE(!path.empty(),
+                  "trace source 'csv': parameter 'path' is required");
+    return std::make_unique<CsvTraceSource>(
+        path, params.get_size("intervals", kIntervalsPerDay),
+        params.get_double("cap", kDefaultUsageCap),
+        params.get_bool("header", true));
+  }
+  return std::make_unique<HouseholdTraceSource>(
+      make_household_config(name, params), seed);
+}
+
+std::vector<std::string> household_names() {
+  std::vector<std::string> names = household_registry().names();
+  names.push_back("csv");
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace rlblh

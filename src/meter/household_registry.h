@@ -1,0 +1,55 @@
+// Named household presets and trace-source factory (the household slice of
+// the scenario registry).
+//
+// A scenario spec selects a household by name (`household=weekday_heavy`)
+// and tunes it through `household.*` parameters. Every preset starts from
+// HouseholdConfig{} (the UMass "HomeC" substitute) and moves only the
+// behavioural knobs that define it, so `default` is bitwise identical to
+// the config the benches have always used. Registered presets:
+//
+//   default        — HouseholdConfig{} untouched.
+//   weekday_heavy  — reliable commuter with a heavier appliance fleet
+//                    (workday_probability 0.95, appliance_scale 1.35).
+//   night_owl      — late riser, late sleeper (wake ~10:00, sleep ~01:55).
+//   ev_owner       — overnight EV charging on most nights
+//                    (ev_probability 0.9).
+//   vacationer     — frequently empty house (vacancy_probability 0.3,
+//                    workday_probability 0.5).
+//   apartment      — small dwelling (appliance_scale 0.55, hvac_setback
+//                    0.25).
+//
+// Parameter overrides apply after the preset: scale, workday, vacancy, ev,
+// ev_power, hvac_setback, wake, leave, back, sleep (means, in minutes),
+// intervals, cap. The trace-source factory additionally accepts the
+// pseudo-household `csv` (params: path, header) replaying measured days.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "meter/household.h"
+#include "meter/trace.h"
+
+namespace rlblh {
+
+/// Builds the named preset and applies `household.*` overrides. Unknown
+/// names or parameters raise ConfigError. (`csv` is not a preset — it has
+/// no HouseholdConfig; use make_trace_source for it.)
+HouseholdConfig make_household_config(const std::string& name,
+                                      const SpecParams& params);
+
+/// Builds a trace source for the named household: a HouseholdTraceSource
+/// over the preset for synthetic presets, or a CsvTraceSource when
+/// name == "csv" (params: path [required], header [default 1], intervals,
+/// cap). `seed` drives the synthetic model and is ignored for csv replay.
+std::unique_ptr<TraceSource> make_trace_source(const std::string& name,
+                                               const SpecParams& params,
+                                               std::uint64_t seed);
+
+/// Registered preset names plus "csv", sorted (for --list).
+std::vector<std::string> household_names();
+
+}  // namespace rlblh

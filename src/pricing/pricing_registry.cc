@@ -1,0 +1,80 @@
+#include "pricing/pricing_registry.h"
+
+namespace rlblh {
+
+namespace {
+
+/// Day length default shared with meter/trace.h's kIntervalsPerDay (not
+/// included here: pricing must not depend on meter).
+constexpr std::size_t kDefaultIntervals = 1440;
+
+Registry<TouSchedule> build_registry() {
+  Registry<TouSchedule> registry;
+  registry.set_family("pricing plan");
+
+  registry.add("srp", [](const SpecParams& params) {
+    params.allow_only({"intervals"}, "pricing plan 'srp'");
+    return TouSchedule::srp_plan(
+        params.get_size("intervals", kDefaultIntervals));
+  });
+
+  registry.add("flat", [](const SpecParams& params) {
+    params.allow_only({"intervals", "rate"}, "pricing plan 'flat'");
+    return TouSchedule::flat(params.get_size("intervals", kDefaultIntervals),
+                             params.get_double("rate", 11.0));
+  });
+
+  registry.add(
+      "tou2",
+      [](const SpecParams& params) {
+        params.allow_only({"intervals", "low_until", "low", "high"},
+                          "pricing plan 'tou2'");
+        return TouSchedule::two_zone(
+            params.get_size("intervals", kDefaultIntervals),
+            params.get_size("low_until", 1020), params.get_double("low", 7.04),
+            params.get_double("high", 21.09));
+      },
+      {"two-zone"});
+
+  registry.add(
+      "tou3",
+      [](const SpecParams& params) {
+        params.allow_only({"intervals", "t1", "t2", "off", "semi", "peak"},
+                          "pricing plan 'tou3'");
+        return TouSchedule::three_zone(
+            params.get_size("intervals", kDefaultIntervals),
+            params.get_size("t1", 420), params.get_size("t2", 960),
+            params.get_double("off", 6.0), params.get_double("semi", 12.0),
+            params.get_double("peak", 24.0));
+      },
+      {"three-zone"});
+
+  registry.add("rtp", [](const SpecParams& params) {
+    params.allow_only({"intervals", "seed", "block", "min", "max"},
+                      "pricing plan 'rtp'");
+    Rng rng(params.get_u64("seed", 7));
+    return TouSchedule::hourly_rtp(
+        params.get_size("intervals", kDefaultIntervals),
+        params.get_size("block", 60), params.get_double("min", 5.0),
+        params.get_double("max", 25.0), rng);
+  });
+
+  return registry;
+}
+
+const Registry<TouSchedule>& pricing_registry() {
+  static const Registry<TouSchedule> registry = build_registry();
+  return registry;
+}
+
+}  // namespace
+
+TouSchedule make_pricing(const std::string& name, const SpecParams& params) {
+  return pricing_registry().create(name, params);
+}
+
+std::vector<std::string> pricing_names() {
+  return pricing_registry().names();
+}
+
+}  // namespace rlblh

@@ -1,0 +1,37 @@
+// Named pricing-plan factory (the pricing slice of the scenario registry).
+//
+// Plans are selected by name in a scenario spec (`pricing=tou2`) and tuned
+// through `pricing.*` parameters. Registered plans:
+//
+//   srp        — the paper's SRP residential two-zone plan (no parameters).
+//   flat       — single rate; params: rate (c/kWh, default 11).
+//   tou2       — two-zone; params: low_until (interval, default 1020),
+//                low (default 7.04), high (default 21.09).
+//                Alias: two-zone.
+//   tou3       — three-zone; params: t1 (default 420), t2 (default 960),
+//                off (default 6), semi (default 12), peak (default 24).
+//                Alias: three-zone.
+//   rtp        — hourly real-time pricing; params: seed (default 7),
+//                block (default 60), min (default 5), max (default 25).
+//
+// All plans cover `intervals` slots (param, default kIntervalsPerDay).
+// Schedules are immutable values; fleet scenarios sharing a plan can hold
+// one TouSchedule by const reference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "pricing/tou.h"
+
+namespace rlblh {
+
+/// Builds the named plan from its parameter slice. Unknown names or
+/// parameters raise ConfigError.
+TouSchedule make_pricing(const std::string& name, const SpecParams& params);
+
+/// Registered primary plan names, sorted (for --list and error messages).
+std::vector<std::string> pricing_names();
+
+}  // namespace rlblh

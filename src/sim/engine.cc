@@ -1,0 +1,92 @@
+#include "sim/engine.h"
+
+#include <chrono>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace rlblh {
+
+const DayResult& SimEngine::run_day(TraceSource& source,
+                                    const TouSchedule& prices,
+                                    Battery& battery, BlhPolicy& policy) {
+  const std::size_t n_m = source.intervals();
+  RLBLH_REQUIRE(prices.intervals() == n_m,
+                "SimEngine: price schedule length must match the day length");
+  // Reuse the scratch record's buffers: after the first day the loop below
+  // overwrites them in place instead of reallocating.
+  DayResult& result = scratch_;
+  result.usage = source.next_day();  // move-assigned, no copy
+  if (result.readings.intervals() != n_m) {
+    result.readings = DayTrace(n_m);
+  }
+  result.battery_levels.clear();
+  result.battery_levels.reserve(n_m);
+  result.savings_cents = 0.0;
+  result.bill_cents = 0.0;
+  result.usage_cost_cents = 0.0;
+
+  const DayTrace& usage = result.usage;
+  const std::size_t violations_before = battery.violation_count();
+
+  policy.begin_day(prices);
+  for (std::size_t n = 0; n < n_m; ++n) {
+    result.battery_levels.push_back(battery.level());
+    const double x = usage.at(n);
+    double effective_reading;
+    if (policy.passthrough()) {
+      // No-battery reference: the meter measures usage directly.
+      (void)policy.reading(n, battery.level());
+      effective_reading = x;
+    } else {
+      const double y = policy.reading(n, battery.level());
+      const BatteryStep step = battery.step(y, x);
+      // Energy the battery could not supply is drawn from the grid on top
+      // of the scheduled reading, so the meter sees y + shortfall.
+      effective_reading = y + step.grid_extra;
+    }
+    result.readings.set(n, effective_reading);
+    policy.observe_usage(n, x);
+
+    const double rate = prices.rate(n);
+    result.savings_cents += rate * (x - effective_reading);
+    result.bill_cents += rate * effective_reading;
+    result.usage_cost_cents += rate * x;
+  }
+  policy.end_day();
+
+  result.battery_violations = battery.violation_count() - violations_before;
+  if (invariant_config_.has_value()) {
+    RLBLH_OBS_NOW(check_start);
+    InvariantChecker(*invariant_config_)
+        .enforce_day(result, prices, battery.level());
+    RLBLH_OBS_COUNT_NS_SINCE("sim.invariant_check_ns", check_start);
+    RLBLH_OBS_COUNT("sim.invariant_checked_days", 1);
+  }
+  RLBLH_OBS_COUNT("sim.days", 1);
+  RLBLH_OBS_COUNT("sim.intervals", n_m);
+  RLBLH_OBS_COUNT("sim.battery_violations", result.battery_violations);
+  return result;
+}
+
+const DayResult& SimEngine::run_days(TraceSource& source,
+                                     const TouSchedule& prices,
+                                     Battery& battery, BlhPolicy& policy,
+                                     std::size_t days,
+                                     const DayCallback& on_day) {
+  RLBLH_REQUIRE(days >= 1, "SimEngine: days must be >= 1");
+  RLBLH_OBS_SPAN("sim.run_days");
+  for (std::size_t d = 0; d < days; ++d) {
+    const DayResult& day = run_day(source, prices, battery, policy);
+    if (on_day) on_day(d, day);
+  }
+  return scratch_;
+}
+
+void SimEngine::enable_invariant_checks(const InvariantCheckConfig& config) {
+  // Construct a checker up front so a bad config fails here, not mid-run.
+  InvariantChecker checker(config);
+  invariant_config_ = checker.config();
+}
+
+}  // namespace rlblh

@@ -1,0 +1,72 @@
+// SimEngine — the interval-stepping core of the day loop, separated from
+// household wiring.
+//
+// The engine owns the per-day loop state only: the reused scratch DayResult,
+// the optional invariant checker and the obs counters. It borrows the
+// household pieces (trace source, price schedule, battery, policy) per call,
+// so the same engine type serves every wiring layer — Simulator binds it to
+// one household, FleetSimulator runs one per fleet member — without any of
+// them re-implementing the measurement-interval loop of the paper's system
+// model (Section II): the policy picks y_n before seeing x_n, the battery
+// buffers the difference, and the meter records y_n plus any shortfall.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "battery/battery.h"
+#include "core/policy.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "sim/day_result.h"
+#include "sim/invariants.h"
+
+namespace rlblh {
+
+/// Runs days of the measurement-interval loop over borrowed household state.
+class SimEngine {
+ public:
+  /// Observer invoked after each completed day of a run_days() loop with
+  /// the 0-based day index and that day's record. The reference is to the
+  /// engine's reused scratch record: copy what must outlive the call.
+  using DayCallback = std::function<void(std::size_t day, const DayResult&)>;
+
+  /// Runs one full day: draws the day's usage from `source`, drives
+  /// `policy` against `prices` with `battery` buffering the difference, and
+  /// returns the day's record. The reference stays valid until the next
+  /// run_day/run_days call on this engine (all scratch buffers are reused
+  /// across days, so the steady-state day loop performs no per-day
+  /// allocation of its own). The price schedule length must match the
+  /// source's day length.
+  const DayResult& run_day(TraceSource& source, const TouSchedule& prices,
+                           Battery& battery, BlhPolicy& policy);
+
+  /// Runs `days` consecutive days, returning the last result (the cheap
+  /// path for long training phases). When `on_day` is set it observes every
+  /// day's record in order.
+  const DayResult& run_days(TraceSource& source, const TouSchedule& prices,
+                            Battery& battery, BlhPolicy& policy,
+                            std::size_t days,
+                            const DayCallback& on_day = nullptr);
+
+  /// Turns on per-day invariant enforcement: after every run_day the day's
+  /// record is verified against the given config and an
+  /// InvariantViolationError is thrown on the first violating day. Costs
+  /// one extra pass over the day's series and nothing when off.
+  void enable_invariant_checks(const InvariantCheckConfig& config);
+
+  /// Turns per-day invariant enforcement back off.
+  void disable_invariant_checks() { invariant_config_.reset(); }
+
+  /// True while enable_invariant_checks is in effect.
+  bool invariant_checks_enabled() const {
+    return invariant_config_.has_value();
+  }
+
+ private:
+  std::optional<InvariantCheckConfig> invariant_config_;
+  DayResult scratch_;  ///< day record reused across run_day calls
+};
+
+}  // namespace rlblh

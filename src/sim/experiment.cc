@@ -2,12 +2,41 @@
 
 #include <utility>
 
-#include "privacy/correlation.h"
-#include "privacy/metrics.h"
-#include "privacy/mutual_information.h"
+#include "meter/household_registry.h"
 #include "util/error.h"
 
 namespace rlblh {
+
+EvaluationAccumulator::EvaluationAccumulator(std::size_t intervals,
+                                             std::size_t mi_levels,
+                                             double usage_cap)
+    : mi_(intervals, mi_levels, usage_cap, usage_cap) {}
+
+void EvaluationAccumulator::observe_day(const DayResult& day,
+                                        const TouSchedule& prices) {
+  sr_.observe_day(day.usage, day.readings, prices);
+  cc_.observe_day(day.usage, day.readings);
+  mi_.observe_day(day.usage, day.readings);
+  battery_violations_ += day.battery_violations;
+  bill_cents_total_ += day.bill_cents;
+  usage_cost_cents_total_ += day.usage_cost_cents;
+  ++days_;
+}
+
+EvaluationResult EvaluationAccumulator::result() const {
+  RLBLH_REQUIRE(days_ >= 1,
+                "EvaluationAccumulator: need at least one observed day");
+  const auto days = static_cast<double>(days_);
+  EvaluationResult result;
+  result.saving_ratio = sr_.saving_ratio();
+  result.mean_cc = cc_.mean_cc();
+  result.normalized_mi = mi_.normalized_mi();
+  result.mean_daily_savings_cents = sr_.mean_daily_savings_cents();
+  result.mean_daily_bill_cents = bill_cents_total_ / days;
+  result.mean_daily_usage_cost_cents = usage_cost_cents_total_ / days;
+  result.battery_violations = battery_violations_;
+  return result;
+}
 
 EvaluationResult evaluate_policy(Simulator& simulator, BlhPolicy& policy,
                                  const EvaluationConfig& config) {
@@ -17,31 +46,14 @@ EvaluationResult evaluate_policy(Simulator& simulator, BlhPolicy& policy,
     simulator.run_days(policy, config.train_days);
   }
 
-  const std::size_t n_m = simulator.source().intervals();
-  const double x_cap = simulator.source().usage_cap();
-  SavingRatioAccumulator sr;
-  CorrelationAccumulator cc;
-  PairwiseMiEstimator mi(n_m, config.mi_levels, x_cap, x_cap);
-
-  EvaluationResult result;
-  simulator.run_days(
-      policy, config.eval_days,
-      [&](std::size_t, const DayResult& day) {
-        sr.observe_day(day.usage, day.readings, simulator.prices());
-        cc.observe_day(day.usage, day.readings);
-        mi.observe_day(day.usage, day.readings);
-        result.battery_violations += day.battery_violations;
-        result.mean_daily_bill_cents += day.bill_cents;
-        result.mean_daily_usage_cost_cents += day.usage_cost_cents;
-      });
-  const auto days = static_cast<double>(config.eval_days);
-  result.saving_ratio = sr.saving_ratio();
-  result.mean_cc = cc.mean_cc();
-  result.normalized_mi = mi.normalized_mi();
-  result.mean_daily_savings_cents = sr.mean_daily_savings_cents();
-  result.mean_daily_bill_cents /= days;
-  result.mean_daily_usage_cost_cents /= days;
-  return result;
+  EvaluationAccumulator accumulator(simulator.source().intervals(),
+                                    config.mi_levels,
+                                    simulator.source().usage_cap());
+  simulator.run_days(policy, config.eval_days,
+                     [&](std::size_t, const DayResult& day) {
+                       accumulator.observe_day(day, simulator.prices());
+                     });
+  return accumulator.result();
 }
 
 Simulator make_household_simulator(const HouseholdConfig& household,
@@ -49,6 +61,16 @@ Simulator make_household_simulator(const HouseholdConfig& household,
                                    double battery_capacity_kwh,
                                    std::uint64_t seed) {
   auto source = std::make_unique<HouseholdTraceSource>(household, seed);
+  Battery battery(battery_capacity_kwh, battery_capacity_kwh / 2.0);
+  return Simulator(std::move(source), std::move(prices), battery);
+}
+
+Simulator make_household_simulator(const std::string& household,
+                                   const SpecParams& params,
+                                   TouSchedule prices,
+                                   double battery_capacity_kwh,
+                                   std::uint64_t seed) {
+  auto source = make_trace_source(household, params, seed);
   Battery battery(battery_capacity_kwh, battery_capacity_kwh / 2.0);
   return Simulator(std::move(source), std::move(prices), battery);
 }

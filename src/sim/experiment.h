@@ -2,16 +2,24 @@
 //
 // Every evaluation in the paper follows the same shape: let the policy run
 // (and learn) for a training phase, then measure SR / CC / MI over an
-// evaluation window. ExperimentRunner packages that loop together with the
-// metric accumulators so each bench states only its parameters.
+// evaluation window. evaluate_policy packages that loop; the metric side
+// lives in EvaluationAccumulator so that any day-loop driver — the single
+// household path here, FleetSimulator's per-household cells, or a bench's
+// custom loop — folds days into identical statistics.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/policy.h"
+#include "core/registry.h"
 #include "meter/household.h"
+#include "privacy/correlation.h"
+#include "privacy/metrics.h"
+#include "privacy/mutual_information.h"
+#include "sim/day_result.h"
 #include "sim/simulator.h"
 
 namespace rlblh {
@@ -34,6 +42,37 @@ struct EvaluationResult {
   std::size_t battery_violations = 0;  ///< clipping events during evaluation
 };
 
+/// Folds evaluation days into the paper's metric set (SR, CC, MI, daily
+/// cost figures, violation count). One accumulator observes the evaluation
+/// window of one run; result() reports the same EvaluationResult whichever
+/// driver fed it, so the single-household path and the fleet path cannot
+/// drift apart metric-wise.
+class EvaluationAccumulator {
+ public:
+  /// `intervals` slots per day and `usage_cap` bound the MI quantizer (both
+  /// streams share the usage cap); `mi_levels` quantization levels.
+  EvaluationAccumulator(std::size_t intervals, std::size_t mi_levels,
+                        double usage_cap);
+
+  /// Folds in one evaluation day priced by `prices`.
+  void observe_day(const DayResult& day, const TouSchedule& prices);
+
+  /// Number of days folded in.
+  std::size_t days() const { return days_; }
+
+  /// Metrics over the observed days. Requires days() >= 1.
+  EvaluationResult result() const;
+
+ private:
+  SavingRatioAccumulator sr_;
+  CorrelationAccumulator cc_;
+  PairwiseMiEstimator mi_;
+  double bill_cents_total_ = 0.0;
+  double usage_cost_cents_total_ = 0.0;
+  std::size_t battery_violations_ = 0;
+  std::size_t days_ = 0;
+};
+
 /// Runs `config.train_days` days with the policy (learning as it goes), then
 /// `config.eval_days` days during which SR, CC and MI are accumulated.
 EvaluationResult evaluate_policy(Simulator& simulator, BlhPolicy& policy,
@@ -43,6 +82,14 @@ EvaluationResult evaluate_policy(Simulator& simulator, BlhPolicy& policy,
 /// given price schedule and battery capacity. The battery starts at half
 /// charge.
 Simulator make_household_simulator(const HouseholdConfig& household,
+                                   TouSchedule prices,
+                                   double battery_capacity_kwh,
+                                   std::uint64_t seed);
+
+/// Same, but resolving the household through the household registry (name
+/// plus its dotted parameter slice) instead of an explicit config.
+Simulator make_household_simulator(const std::string& household,
+                                   const SpecParams& params,
                                    TouSchedule prices,
                                    double battery_capacity_kwh,
                                    std::uint64_t seed);

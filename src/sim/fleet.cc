@@ -1,0 +1,118 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/obs.h"
+#include "sim/sweep.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+
+namespace {
+
+/// Key identifying a distinct price schedule: plan name plus its parameter
+/// slice. Households with equal keys share one immutable TouSchedule.
+std::string pricing_key(const ScenarioSpec& spec) {
+  return spec.pricing + "|" + spec.pricing_params.canonical();
+}
+
+MetricSummary summarize(const std::vector<EvaluationResult>& results,
+                        double EvaluationResult::*metric) {
+  std::vector<double> values;
+  values.reserve(results.size());
+  double sum = 0.0;
+  for (const auto& result : results) {
+    values.push_back(result.*metric);
+    sum += result.*metric;
+  }
+  MetricSummary summary;
+  summary.mean = sum / static_cast<double>(values.size());
+  summary.p50 = fleet_quantile(values, 0.50);
+  summary.p95 = fleet_quantile(values, 0.95);
+  return summary;
+}
+
+}  // namespace
+
+double fleet_quantile(std::vector<double> values, double q) {
+  RLBLH_REQUIRE(!values.empty(), "fleet_quantile: need at least one value");
+  RLBLH_REQUIRE(q >= 0.0 && q <= 1.0, "fleet_quantile: q must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = position - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+FleetSimulator::FleetSimulator(std::vector<ScenarioSpec> specs,
+                               FleetOptions options)
+    : specs_(std::move(specs)), options_(options) {
+  RLBLH_REQUIRE(!specs_.empty(),
+                "FleetSimulator: need at least one household spec");
+}
+
+ScenarioSpec FleetSimulator::resolved_spec(ScenarioSpec spec,
+                                           std::uint64_t fleet_seed,
+                                           std::size_t index) {
+  const std::uint64_t base = derive_stream_seed(fleet_seed, index);
+  spec.seed = derive_stream_seed(base, 0);
+  spec.hseed = derive_stream_seed(base, 1);
+  return spec;
+}
+
+FleetResult FleetSimulator::run(std::uint64_t fleet_seed) {
+  RLBLH_OBS_SPAN("fleet.run");
+  const std::size_t n = specs_.size();
+  RLBLH_OBS_GAUGE("fleet.size", n);
+
+  std::vector<ScenarioSpec> resolved;
+  resolved.reserve(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    resolved.push_back(resolved_spec(specs_[h], fleet_seed, h));
+  }
+
+  // One immutable schedule per distinct pricing slice, built serially
+  // before the fan-out; cells only read them. std::map nodes are stable,
+  // so the pointers survive later insertions.
+  std::map<std::string, TouSchedule> plans;
+  std::vector<const TouSchedule*> plan_of(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    const std::string key = pricing_key(resolved[h]);
+    auto it = plans.find(key);
+    if (it == plans.end()) {
+      it = plans.emplace(key, make_scenario_pricing(resolved[h])).first;
+    }
+    plan_of[h] = &it->second;
+  }
+  RLBLH_OBS_GAUGE("fleet.distinct_plans", plans.size());
+
+  SweepRunner runner(SweepOptions{options_.threads});
+  FleetResult result;
+  result.households = runner.run(n, [&](std::size_t h) {
+    RLBLH_OBS_SPAN("fleet.household");
+    EvaluationResult evaluation = run_spec(resolved[h], *plan_of[h]);
+    RLBLH_OBS_COUNT("fleet.households", 1);
+    RLBLH_OBS_COUNT("fleet.days",
+                    resolved[h].train_days + resolved[h].eval_days);
+    return evaluation;
+  });
+  runner.shutdown();  // make worker-side counters visible to snapshots
+
+  result.saving_ratio =
+      summarize(result.households, &EvaluationResult::saving_ratio);
+  result.mean_cc = summarize(result.households, &EvaluationResult::mean_cc);
+  result.normalized_mi =
+      summarize(result.households, &EvaluationResult::normalized_mi);
+  for (const auto& household : result.households) {
+    result.battery_violations += household.battery_violations;
+  }
+  return result;
+}
+
+}  // namespace rlblh

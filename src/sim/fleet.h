@@ -1,0 +1,89 @@
+// Fleet-scale simulation: N heterogeneous households batched over threads.
+//
+// A fleet is a vector of ScenarioSpecs — one per household, freely mixing
+// policies, household presets and pricing plans. FleetSimulator runs every
+// household's full train/eval schedule as one cell of a SweepRunner grid
+// and reports per-household EvaluationResults plus fleet aggregates
+// (mean / p50 / p95 of SR, CC and MI).
+//
+// Determinism contract (same as SweepRunner's): results are bitwise
+// identical across thread counts. Each household cell is a pure function of
+// (its resolved spec, the shared price schedule): it constructs its own
+// trace source, battery, policy and SimEngine, and its RNG streams are
+// splitmix-derived from (fleet_seed, household index) — adjacent households
+// and adjacent fleet seeds get unrelated streams (util/rng.h,
+// derive_stream_seed). Price schedules are built once per distinct pricing
+// slice before the fan-out and shared immutably by reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace rlblh {
+
+/// Execution knobs for a fleet run.
+struct FleetOptions {
+  /// Worker count; 0 resolves to ThreadPool::default_thread_count().
+  std::size_t threads = 0;
+};
+
+/// Mean and percentiles of one metric over the fleet's households.
+struct MetricSummary {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Outcome of one fleet run.
+struct FleetResult {
+  /// Per-household evaluation, index-aligned with the fleet's specs.
+  std::vector<EvaluationResult> households;
+  MetricSummary saving_ratio;
+  MetricSummary mean_cc;
+  MetricSummary normalized_mi;
+  /// Total battery clipping events over all households' eval windows.
+  std::size_t battery_violations = 0;
+};
+
+/// Linear-interpolation quantile of `values` at q in [0, 1] (sorts a copy;
+/// the deterministic definition the fleet aggregates use). Requires a
+/// nonempty input.
+double fleet_quantile(std::vector<double> values, double q);
+
+/// Runs a heterogeneous batch of scenarios with per-household RNG streams.
+class FleetSimulator {
+ public:
+  /// Takes the household specs by value. The specs' own seed fields are
+  /// treated as placeholders: run() re-seeds every household from
+  /// (fleet_seed, index) so fleets are reproducible from one number.
+  explicit FleetSimulator(std::vector<ScenarioSpec> specs,
+                          FleetOptions options = {});
+
+  /// Household specs as given (seeds unresolved).
+  const std::vector<ScenarioSpec>& specs() const { return specs_; }
+
+  /// Number of households.
+  std::size_t size() const { return specs_.size(); }
+
+  /// The spec household `index` actually runs under `fleet_seed`: the given
+  /// spec with its policy seed and household seed replaced by the derived
+  /// per-household streams. Exposed so tests can reproduce any single
+  /// household through the plain Simulator path.
+  static ScenarioSpec resolved_spec(ScenarioSpec spec,
+                                    std::uint64_t fleet_seed,
+                                    std::size_t index);
+
+  /// Runs every household's full schedule and aggregates. Bitwise
+  /// deterministic in (specs, fleet_seed) regardless of thread count.
+  FleetResult run(std::uint64_t fleet_seed);
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+  FleetOptions options_;
+};
+
+}  // namespace rlblh

@@ -1,0 +1,175 @@
+#include "sim/scenario.h"
+
+#include <utility>
+#include <vector>
+
+#include "baselines/mdp.h"
+#include "baselines/policy_registry.h"
+#include "meter/household_registry.h"
+#include "pricing/pricing_registry.h"
+#include "sim/engine.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+
+namespace {
+
+const std::vector<std::string> kTopLevelKeys = {
+    "policy", "household", "pricing", "battery", "nd",
+    "seed",   "hseed",     "train",   "eval",    "mi"};
+
+/// Copies every key of `from` into `into`, replacing existing keys — the
+/// merge that lets dotted spec params override the shared geometry.
+void merge_params(SpecParams& into, const SpecParams& from) {
+  for (const auto& key : from.keys()) {
+    into.set(key, from.get_string(key, ""));
+  }
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::parse(const std::string& spec) {
+  const SpecParams params = parse_spec(spec);
+  ScenarioSpec out;
+  for (const auto& key : params.keys()) {
+    const std::size_t dot = key.find('.');
+    if (dot == std::string::npos) continue;
+    const std::string prefix = key.substr(0, dot);
+    const std::string subkey = key.substr(dot + 1);
+    if (subkey.empty()) {
+      throw ConfigError("spec key '" + key + "' has an empty component key");
+    }
+    const std::string value = params.get_string(key, "");
+    if (prefix == "policy") {
+      out.policy_params.set(subkey, value);
+    } else if (prefix == "household") {
+      out.household_params.set(subkey, value);
+    } else if (prefix == "pricing") {
+      out.pricing_params.set(subkey, value);
+    } else {
+      throw ConfigError("spec key '" + key +
+                        "': unknown component prefix '" + prefix +
+                        "' (use policy.*, household.* or pricing.*)");
+    }
+  }
+  // Validate the remaining (top-level) keys in one pass; dotted keys were
+  // consumed above, so strip them before the check.
+  SpecParams top;
+  for (const auto& key : params.keys()) {
+    if (key.find('.') == std::string::npos) {
+      top.set(key, params.get_string(key, ""));
+    }
+  }
+  top.allow_only(kTopLevelKeys, "scenario spec");
+  out.policy = top.get_string("policy", out.policy);
+  out.household = top.get_string("household", out.household);
+  out.pricing = top.get_string("pricing", out.pricing);
+  out.battery_kwh = top.get_double("battery", out.battery_kwh);
+  out.nd = top.get_size("nd", out.nd);
+  out.seed = top.get_u64("seed", out.seed);
+  if (top.has("hseed")) out.hseed = top.get_u64("hseed", 0);
+  out.train_days = top.get_size("train", out.train_days);
+  out.eval_days = top.get_size("eval", out.eval_days);
+  out.mi_levels = top.get_size("mi", out.mi_levels);
+  return out;
+}
+
+std::string ScenarioSpec::canonical() const {
+  SpecParams params;
+  params.set("policy", policy);
+  params.set("household", household);
+  params.set("pricing", pricing);
+  params.set("battery", battery_kwh);
+  params.set("nd", nd);
+  params.set("seed", seed);
+  if (hseed.has_value()) params.set("hseed", *hseed);
+  params.set("train", train_days);
+  params.set("eval", eval_days);
+  params.set("mi", mi_levels);
+  for (const auto& key : policy_params.keys()) {
+    params.set("policy." + key, policy_params.get_string(key, ""));
+  }
+  for (const auto& key : household_params.keys()) {
+    params.set("household." + key, household_params.get_string(key, ""));
+  }
+  for (const auto& key : pricing_params.keys()) {
+    params.set("pricing." + key, pricing_params.get_string(key, ""));
+  }
+  return params.canonical();
+}
+
+TouSchedule make_scenario_pricing(const ScenarioSpec& spec) {
+  return make_pricing(spec.pricing, spec.pricing_params);
+}
+
+std::unique_ptr<TraceSource> make_scenario_source(const ScenarioSpec& spec) {
+  return make_trace_source(spec.household, spec.household_params,
+                           spec.household_seed());
+}
+
+std::unique_ptr<BlhPolicy> make_scenario_policy(const ScenarioSpec& spec) {
+  SpecParams bag;
+  bag.set("battery", spec.battery_kwh);
+  bag.set("nd", spec.nd);
+  bag.set("seed", spec.seed);
+  merge_params(bag, spec.policy_params);
+  return make_policy(spec.policy, bag);
+}
+
+void pretrain_if_needed(const ScenarioSpec& spec, const TouSchedule& prices,
+                        BlhPolicy& policy) {
+  auto* mdp = dynamic_cast<MdpBlhPolicy*>(&policy);
+  if (mdp == nullptr || mdp->solved()) return;
+  const std::size_t days = spec.train_days > 0 ? spec.train_days : 1;
+  auto trainer = make_trace_source(
+      spec.household, spec.household_params,
+      derive_stream_seed(spec.household_seed(), 1));
+  for (std::size_t d = 0; d < days; ++d) {
+    mdp->observe_training_day(trainer->next_day(), prices);
+  }
+  mdp->solve();
+}
+
+Scenario build_scenario(const ScenarioSpec& spec) {
+  TouSchedule prices = make_scenario_pricing(spec);
+  auto source = make_scenario_source(spec);
+  Battery battery(spec.battery_kwh, spec.battery_kwh / 2.0);
+  auto policy = make_scenario_policy(spec);
+  Simulator simulator(std::move(source), std::move(prices), battery);
+  return Scenario{spec, std::move(policy), std::move(simulator)};
+}
+
+EvaluationResult run_scenario(Scenario& scenario) {
+  const ScenarioSpec& spec = scenario.spec;
+  pretrain_if_needed(spec, scenario.simulator.prices(), *scenario.policy);
+  EvaluationConfig config;
+  config.train_days = spec.train_days;
+  config.eval_days = spec.eval_days;
+  config.mi_levels = spec.mi_levels;
+  return evaluate_policy(scenario.simulator, *scenario.policy, config);
+}
+
+EvaluationResult run_spec(const ScenarioSpec& spec,
+                          const TouSchedule& prices) {
+  RLBLH_REQUIRE(spec.eval_days >= 1,
+                "run_spec: need at least one evaluation day");
+  auto source = make_scenario_source(spec);
+  Battery battery(spec.battery_kwh, spec.battery_kwh / 2.0);
+  auto policy = make_scenario_policy(spec);
+  pretrain_if_needed(spec, prices, *policy);
+
+  SimEngine engine;
+  if (spec.train_days > 0) {
+    engine.run_days(*source, prices, battery, *policy, spec.train_days);
+  }
+  EvaluationAccumulator accumulator(source->intervals(), spec.mi_levels,
+                                    source->usage_cap());
+  engine.run_days(*source, prices, battery, *policy, spec.eval_days,
+                  [&](std::size_t, const DayResult& day) {
+                    accumulator.observe_day(day, prices);
+                  });
+  return accumulator.result();
+}
+
+}  // namespace rlblh

@@ -1,0 +1,118 @@
+// Scenario assembly: from a spec string to a runnable experiment.
+//
+// A ScenarioSpec is the complete, serializable description of one run —
+// which policy, household and pricing plan (by registry name), the shared
+// geometry (battery, nd), the RNG seeds and the train/eval schedule:
+//
+//   policy=rlblh;household=weekday_heavy;pricing=tou2;battery=13.5;seed=7
+//
+// Dotted keys (`policy.alpha=0.01`, `household.scale=1.2`,
+// `pricing.rate=11`) are routed to the named component's factory; every
+// other key must be one of the top-level keys below. The spec round-trips
+// through canonical(): parse(s.canonical()) describes the same run.
+//
+// Component construction goes through the per-family registries
+// (policy_registry, household_registry, pricing_registry), so this is the
+// single place that decides how the geometry is shared between them:
+// the policy's parameter bag receives battery/nd/seed before the dotted
+// `policy.*` overrides, the trace source is seeded with the household seed
+// (hseed, default seed + 1000 — the convention simulate_cli has always
+// used), and the battery starts at half charge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/policy.h"
+#include "core/registry.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+
+namespace rlblh {
+
+/// Parsed scenario description. Field defaults mirror simulate_cli's
+/// historical defaults, so an empty spec is the paper's small smoke run.
+struct ScenarioSpec {
+  std::string policy = "rlblh";       ///< policy registry name
+  std::string household = "default";  ///< household registry name (or csv)
+  std::string pricing = "srp";        ///< pricing registry name
+  double battery_kwh = 5.0;           ///< b_M; battery starts at b_M / 2
+  std::size_t nd = 15;                ///< n_D, minutes per decision interval
+  std::uint64_t seed = 7;             ///< policy/exploration seed
+  std::optional<std::uint64_t> hseed; ///< household seed; default seed + 1000
+  std::size_t train_days = 30;        ///< days run before measurement
+  std::size_t eval_days = 30;         ///< days over which metrics accumulate
+  std::size_t mi_levels = 8;          ///< MI quantization levels
+
+  SpecParams policy_params;     ///< dotted `policy.*` slice
+  SpecParams household_params;  ///< dotted `household.*` slice
+  SpecParams pricing_params;    ///< dotted `pricing.*` slice
+
+  /// Effective household/trace seed.
+  std::uint64_t household_seed() const { return hseed.value_or(seed + 1000); }
+
+  /// Parses the `k=v;k2=v2` grammar. Unknown top-level keys and unknown
+  /// dotted prefixes raise ConfigError.
+  static ScenarioSpec parse(const std::string& spec);
+
+  /// Canonical spec string: parse(canonical()) describes the same run.
+  /// hseed is printed only when it was set explicitly, preserving the
+  /// seed + 1000 coupling under seed changes.
+  std::string canonical() const;
+};
+
+/// The spec's price schedule, via the pricing registry.
+TouSchedule make_scenario_pricing(const ScenarioSpec& spec);
+
+/// The spec's trace source, via the household registry, seeded with the
+/// household seed.
+std::unique_ptr<TraceSource> make_scenario_source(const ScenarioSpec& spec);
+
+/// The spec's policy, via the policy registry, with the shared geometry
+/// (battery, nd, seed) merged into the parameter bag before the dotted
+/// `policy.*` overrides (so `policy.seed=...` wins over the top-level seed).
+std::unique_ptr<BlhPolicy> make_scenario_policy(const ScenarioSpec& spec);
+
+/// Pre-trains policies that need an offline usage model before they can act
+/// (the mdp baseline): feeds max(train_days, 1) days drawn from an
+/// independent trainer stream — derive_stream_seed(household_seed(), 1), so
+/// the model never consumes the evaluation household's own days — then
+/// solves. No-op for every online policy.
+void pretrain_if_needed(const ScenarioSpec& spec, const TouSchedule& prices,
+                        BlhPolicy& policy);
+
+/// A fully assembled scenario: the spec plus its live components. Movable;
+/// the policy outlives the simulator runs that borrow it.
+struct Scenario {
+  ScenarioSpec spec;
+  std::unique_ptr<BlhPolicy> policy;
+  Simulator simulator;
+
+  /// The policy downcast to a concrete type (nullptr when it is not one),
+  /// for callers needing policy-specific hooks (weights I/O, day stats).
+  template <typename T>
+  T* policy_as() {
+    return dynamic_cast<T*>(policy.get());
+  }
+};
+
+/// Builds the scenario's components through the registries.
+Scenario build_scenario(const ScenarioSpec& spec);
+
+/// Runs the spec's full schedule on an assembled scenario: offline
+/// pre-training when needed, train_days of (online-learning) days, then
+/// eval_days accumulated into the paper's metrics.
+EvaluationResult run_scenario(Scenario& scenario);
+
+/// As run_scenario, but constructs every per-run component itself and
+/// borrows the price schedule — the fleet path, where one immutable
+/// TouSchedule is shared by every household on the same plan. Bitwise
+/// equivalent to build_scenario + run_scenario for the same spec.
+EvaluationResult run_spec(const ScenarioSpec& spec, const TouSchedule& prices);
+
+}  // namespace rlblh

@@ -1,9 +1,7 @@
 #include "sim/simulator.h"
 
-#include <chrono>
 #include <utility>
 
-#include "obs/obs.h"
 #include "util/error.h"
 
 namespace rlblh {
@@ -15,81 +13,6 @@ Simulator::Simulator(std::unique_ptr<TraceSource> source, TouSchedule prices,
   RLBLH_REQUIRE(source_ != nullptr, "Simulator: trace source must not be null");
   RLBLH_REQUIRE(prices_.intervals() == source_->intervals(),
                 "Simulator: price schedule length must match the day length");
-}
-
-const DayResult& Simulator::run_day(BlhPolicy& policy) {
-  const std::size_t n_m = source_->intervals();
-  // Reuse the scratch record's buffers: after the first day the loop below
-  // overwrites them in place instead of reallocating.
-  DayResult& result = scratch_;
-  result.usage = source_->next_day();  // move-assigned, no copy
-  if (result.readings.intervals() != n_m) {
-    result.readings = DayTrace(n_m);
-  }
-  result.battery_levels.clear();
-  result.battery_levels.reserve(n_m);
-  result.savings_cents = 0.0;
-  result.bill_cents = 0.0;
-  result.usage_cost_cents = 0.0;
-
-  const DayTrace& usage = result.usage;
-  const std::size_t violations_before = battery_.violation_count();
-
-  policy.begin_day(prices_);
-  for (std::size_t n = 0; n < n_m; ++n) {
-    result.battery_levels.push_back(battery_.level());
-    const double x = usage.at(n);
-    double effective_reading;
-    if (policy.passthrough()) {
-      // No-battery reference: the meter measures usage directly.
-      (void)policy.reading(n, battery_.level());
-      effective_reading = x;
-    } else {
-      const double y = policy.reading(n, battery_.level());
-      const BatteryStep step = battery_.step(y, x);
-      // Energy the battery could not supply is drawn from the grid on top
-      // of the scheduled reading, so the meter sees y + shortfall.
-      effective_reading = y + step.grid_extra;
-    }
-    result.readings.set(n, effective_reading);
-    policy.observe_usage(n, x);
-
-    const double rate = prices_.rate(n);
-    result.savings_cents += rate * (x - effective_reading);
-    result.bill_cents += rate * effective_reading;
-    result.usage_cost_cents += rate * x;
-  }
-  policy.end_day();
-
-  result.battery_violations = battery_.violation_count() - violations_before;
-  if (invariant_config_.has_value()) {
-    RLBLH_OBS_NOW(check_start);
-    InvariantChecker(*invariant_config_)
-        .enforce_day(result, prices_, battery_.level());
-    RLBLH_OBS_COUNT_NS_SINCE("sim.invariant_check_ns", check_start);
-    RLBLH_OBS_COUNT("sim.invariant_checked_days", 1);
-  }
-  RLBLH_OBS_COUNT("sim.days", 1);
-  RLBLH_OBS_COUNT("sim.intervals", n_m);
-  RLBLH_OBS_COUNT("sim.battery_violations", result.battery_violations);
-  return result;
-}
-
-void Simulator::enable_invariant_checks(const InvariantCheckConfig& config) {
-  // Construct a checker up front so a bad config fails here, not mid-run.
-  InvariantChecker checker(config);
-  invariant_config_ = checker.config();
-}
-
-const DayResult& Simulator::run_days(BlhPolicy& policy, std::size_t days,
-                                     const DayCallback& on_day) {
-  RLBLH_REQUIRE(days >= 1, "Simulator: days must be >= 1");
-  RLBLH_OBS_SPAN("sim.run_days");
-  for (std::size_t d = 0; d < days; ++d) {
-    const DayResult& day = run_day(policy);
-    if (on_day) on_day(d, day);
-  }
-  return scratch_;
 }
 
 void Simulator::set_prices(TouSchedule prices) {

@@ -1,23 +1,24 @@
-// Day-loop simulation engine (paper Figure 1's closed loop).
+// Day-loop simulation harness (paper Figure 1's closed loop).
 //
 // The simulator wires together a trace source (the household), a price
 // schedule, a battery and a BlhPolicy, and executes the measurement-interval
 // loop of the system model: the policy picks y_n before seeing x_n, the
 // battery buffers the difference, and the meter records what was actually
 // drawn from the grid (y_n plus any shortfall the battery could not cover).
+// The loop itself lives in SimEngine; Simulator binds one household's state
+// to it and owns that state across days.
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
-#include <optional>
-#include <vector>
+#include <utility>
 
 #include "battery/battery.h"
 #include "core/policy.h"
 #include "meter/trace.h"
 #include "pricing/tou.h"
 #include "sim/day_result.h"
+#include "sim/engine.h"
 #include "sim/invariants.h"
 
 namespace rlblh {
@@ -34,21 +35,25 @@ class Simulator {
 
   /// Observer invoked after each completed day of a run_days() loop with
   /// the 0-based day index and that day's record. The reference is to the
-  /// simulator's reused scratch record: copy what must outlive the call.
-  using DayCallback = std::function<void(std::size_t day, const DayResult&)>;
+  /// engine's reused scratch record: copy what must outlive the call.
+  using DayCallback = SimEngine::DayCallback;
 
   /// Runs one full day with the given policy and returns the day's record.
   /// The reference stays valid until the next run_day/run_days call; copy
   /// it to keep it (all scratch buffers are reused across days, so the
   /// steady-state day loop performs no per-day allocation of its own).
-  const DayResult& run_day(BlhPolicy& policy);
+  const DayResult& run_day(BlhPolicy& policy) {
+    return engine_.run_day(*source_, prices_, battery_, policy);
+  }
 
   /// Runs `days` consecutive days, returning the last result (the cheap
   /// path for long training phases). When `on_day` is set it observes every
   /// day's record in order, so callers needing intermediate days no longer
   /// re-implement the day loop.
   const DayResult& run_days(BlhPolicy& policy, std::size_t days,
-                            const DayCallback& on_day = nullptr);
+                            const DayCallback& on_day = nullptr) {
+    return engine_.run_days(*source_, prices_, battery_, policy, days, on_day);
+  }
 
   /// Replaces the price schedule from the next day on (length must match).
   void set_prices(TouSchedule prices);
@@ -70,22 +75,23 @@ class Simulator {
   /// InvariantViolationError is thrown on the first violating day. This is
   /// the debug switch behind tests and `simulate_cli --check-invariants`;
   /// it costs one extra pass over the day's series and nothing when off.
-  void enable_invariant_checks(const InvariantCheckConfig& config);
+  void enable_invariant_checks(const InvariantCheckConfig& config) {
+    engine_.enable_invariant_checks(config);
+  }
 
   /// Turns per-day invariant enforcement back off.
-  void disable_invariant_checks() { invariant_config_.reset(); }
+  void disable_invariant_checks() { engine_.disable_invariant_checks(); }
 
   /// True while enable_invariant_checks is in effect.
   bool invariant_checks_enabled() const {
-    return invariant_config_.has_value();
+    return engine_.invariant_checks_enabled();
   }
 
  private:
   std::unique_ptr<TraceSource> source_;
   TouSchedule prices_;
   Battery battery_;
-  std::optional<InvariantCheckConfig> invariant_config_;
-  DayResult scratch_;  ///< day record reused across run_day calls
+  SimEngine engine_;
 };
 
 }  // namespace rlblh

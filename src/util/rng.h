@@ -12,6 +12,27 @@
 
 namespace rlblh {
 
+/// SplitMix64 output function (Steele, Lea & Flood): a bijective 64-bit
+/// finalizer whose outputs pass BigCrush even on sequential inputs. Used to
+/// whiten structured seed material before it reaches an engine.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of an independent per-entity RNG stream from a base
+/// seed and an entity index (e.g. a fleet household). Two splitmix rounds
+/// decorrelate both axes: adjacent base seeds and adjacent indices land in
+/// unrelated regions of the 64-bit space, so a 10k-household fleet seeded
+/// {base, 0..9999} shares no streams with the fleet at base+1. Pure
+/// function — the same (base, index) always names the same stream.
+constexpr std::uint64_t derive_stream_seed(std::uint64_t base,
+                                           std::uint64_t index) {
+  return splitmix64(splitmix64(base) ^ (index + 0xD1B54A32D192ED03ULL));
+}
+
 /// A seedable pseudo-random source wrapping std::mt19937_64 with the handful
 /// of draw shapes the simulators need. Copyable; copies evolve independently.
 class Rng {

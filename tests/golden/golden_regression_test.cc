@@ -24,6 +24,7 @@
 #include "core/rlblh_policy.h"
 #include "meter/household.h"
 #include "sim/experiment.h"
+#include "sim/fleet.h"
 
 namespace rlblh {
 namespace {
@@ -228,6 +229,41 @@ TEST(GoldenRegression, Fig9BatteryCapacity) {
     series.emplace_back(key.str(), r.saving_ratio);
   }
   expect_matches_golden("fig9_battery_capacity", series);
+}
+
+TEST(GoldenRegression, FleetAggregates) {
+  // A small heterogeneous fleet: pins the per-household stream derivation
+  // and the mean/p50/p95 aggregation, on top of the per-policy scenarios
+  // the figure goldens above already cover.
+  const char* const specs[] = {
+      "policy=rlblh;household=default;pricing=srp;battery=4;train=2;eval=2",
+      "policy=lowpass;household=weekday_heavy;pricing=tou2;battery=3;"
+      "train=1;eval=2",
+      "policy=stepping;household=night_owl;pricing=tou3;battery=5;"
+      "train=1;eval=2",
+      "policy=none;household=apartment;pricing=flat;train=0;eval=2",
+      "policy=rlblh;household=ev_owner;pricing=srp;battery=5;train=2;eval=2",
+  };
+  std::vector<ScenarioSpec> fleet;
+  for (const char* spec : specs) fleet.push_back(ScenarioSpec::parse(spec));
+  FleetSimulator simulator(std::move(fleet), FleetOptions{/*threads=*/2});
+  const FleetResult result = simulator.run(/*fleet_seed=*/2026);
+
+  Series series;
+  series.emplace_back("sr_mean", result.saving_ratio.mean);
+  series.emplace_back("sr_p50", result.saving_ratio.p50);
+  series.emplace_back("sr_p95", result.saving_ratio.p95);
+  series.emplace_back("cc_mean", result.mean_cc.mean);
+  series.emplace_back("cc_p95", result.mean_cc.p95);
+  series.emplace_back("mi_mean", result.normalized_mi.mean);
+  series.emplace_back("mi_p95", result.normalized_mi.p95);
+  for (std::size_t i = 0; i < result.households.size(); ++i) {
+    series.emplace_back("household" + std::to_string(i) + "_sr",
+                        result.households[i].saving_ratio);
+  }
+  series.emplace_back("violations",
+                      static_cast<double>(result.battery_violations));
+  expect_matches_golden("fleet_aggregates", series);
 }
 
 }  // namespace

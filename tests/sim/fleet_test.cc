@@ -1,0 +1,160 @@
+// FleetSimulator's contracts: per-household RNG streams are reproducible
+// and collision-free, a 1-household fleet is the plain Simulator path, and
+// fleet results are bitwise identical across thread counts.
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace rlblh {
+namespace {
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  static_assert(sizeof(out) == sizeof(value));
+  std::memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+void expect_bitwise_equal(const EvaluationResult& a,
+                          const EvaluationResult& b) {
+  EXPECT_EQ(bits(a.saving_ratio), bits(b.saving_ratio));
+  EXPECT_EQ(bits(a.mean_cc), bits(b.mean_cc));
+  EXPECT_EQ(bits(a.normalized_mi), bits(b.normalized_mi));
+  EXPECT_EQ(bits(a.mean_daily_savings_cents), bits(b.mean_daily_savings_cents));
+  EXPECT_EQ(bits(a.mean_daily_bill_cents), bits(b.mean_daily_bill_cents));
+  EXPECT_EQ(bits(a.mean_daily_usage_cost_cents),
+            bits(b.mean_daily_usage_cost_cents));
+  EXPECT_EQ(a.battery_violations, b.battery_violations);
+}
+
+void expect_bitwise_equal(const MetricSummary& a, const MetricSummary& b) {
+  EXPECT_EQ(bits(a.mean), bits(b.mean));
+  EXPECT_EQ(bits(a.p50), bits(b.p50));
+  EXPECT_EQ(bits(a.p95), bits(b.p95));
+}
+
+/// Eight quick heterogeneous households: every policy family, several
+/// presets and tariffs, tiny train/eval windows.
+std::vector<ScenarioSpec> mixed_fleet() {
+  const char* const specs[] = {
+      "policy=rlblh;household=default;pricing=srp;battery=4;train=2;eval=2",
+      "policy=lowpass;household=weekday_heavy;pricing=tou2;battery=3;"
+      "train=1;eval=2",
+      "policy=stepping;household=night_owl;pricing=tou3;battery=5;"
+      "train=1;eval=2",
+      "policy=none;household=apartment;pricing=flat;train=0;eval=2",
+      "policy=random_pulse;household=ev_owner;pricing=srp;battery=4;"
+      "train=1;eval=2",
+      "policy=mdp;household=default;pricing=srp;battery=3;train=1;eval=2;"
+      "policy.levels=16;policy.usage_levels=8",
+      "policy=rlblh;household=vacationer;pricing=rtp;battery=5;train=2;"
+      "eval=2;pricing.seed=5",
+      "policy=lowpass;household=default;pricing=srp;battery=2;train=1;eval=2",
+  };
+  std::vector<ScenarioSpec> fleet;
+  for (const char* spec : specs) fleet.push_back(ScenarioSpec::parse(spec));
+  return fleet;
+}
+
+TEST(FleetRngStreams, DerivationIsReproducible) {
+  const ScenarioSpec base;
+  const ScenarioSpec a = FleetSimulator::resolved_spec(base, 42, 17);
+  const ScenarioSpec b = FleetSimulator::resolved_spec(base, 42, 17);
+  EXPECT_EQ(a.seed, b.seed);
+  ASSERT_TRUE(a.hseed.has_value());
+  ASSERT_TRUE(b.hseed.has_value());
+  EXPECT_EQ(*a.hseed, *b.hseed);
+  // A different fleet seed or index moves both streams.
+  const ScenarioSpec c = FleetSimulator::resolved_spec(base, 43, 17);
+  const ScenarioSpec d = FleetSimulator::resolved_spec(base, 42, 18);
+  EXPECT_NE(a.seed, c.seed);
+  EXPECT_NE(*a.hseed, *c.hseed);
+  EXPECT_NE(a.seed, d.seed);
+  EXPECT_NE(*a.hseed, *d.hseed);
+}
+
+TEST(FleetRngStreams, NoCollisionsAcrossTenThousandHouseholds) {
+  const ScenarioSpec base;
+  std::unordered_set<std::uint64_t> streams;
+  const std::size_t kHouseholds = 10000;
+  for (std::size_t index = 0; index < kHouseholds; ++index) {
+    const ScenarioSpec spec =
+        FleetSimulator::resolved_spec(base, /*fleet_seed=*/42, index);
+    streams.insert(spec.seed);
+    streams.insert(*spec.hseed);
+  }
+  // Every policy seed and every household seed is distinct from all others.
+  EXPECT_EQ(streams.size(), 2 * kHouseholds);
+}
+
+TEST(FleetQuantile, LinearInterpolationDefinition) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 2.0};  // unsorted input
+  EXPECT_EQ(fleet_quantile(values, 0.0), 1.0);
+  EXPECT_EQ(fleet_quantile(values, 1.0), 4.0);
+  EXPECT_EQ(fleet_quantile(values, 0.5), 2.5);
+  EXPECT_EQ(fleet_quantile({7.5}, 0.95), 7.5);
+}
+
+TEST(FleetDeterminism, OneHouseholdFleetMatchesSimulatorPath) {
+  ScenarioSpec spec = ScenarioSpec::parse(
+      "policy=rlblh;household=weekday_heavy;pricing=tou2;battery=4;"
+      "train=2;eval=2");
+  const std::uint64_t fleet_seed = 99;
+
+  FleetSimulator fleet({spec}, FleetOptions{/*threads=*/1});
+  const FleetResult result = fleet.run(fleet_seed);
+  ASSERT_EQ(result.households.size(), 1u);
+
+  // The same household through the plain build_scenario/run_scenario path,
+  // seeded the way the fleet resolves index 0.
+  Scenario scenario =
+      build_scenario(FleetSimulator::resolved_spec(spec, fleet_seed, 0));
+  const EvaluationResult single = run_scenario(scenario);
+
+  expect_bitwise_equal(result.households[0], single);
+  // With one household every aggregate collapses onto that household.
+  EXPECT_EQ(bits(result.saving_ratio.mean), bits(single.saving_ratio));
+  EXPECT_EQ(bits(result.saving_ratio.p50), bits(single.saving_ratio));
+  EXPECT_EQ(bits(result.mean_cc.p95), bits(single.mean_cc));
+  EXPECT_EQ(result.battery_violations, single.battery_violations);
+}
+
+TEST(FleetDeterminism, ThreadCountDoesNotChangeResultsBitwise) {
+  const std::vector<ScenarioSpec> specs = mixed_fleet();
+  const std::uint64_t fleet_seed = 7;
+
+  FleetSimulator serial(specs, FleetOptions{/*threads=*/1});
+  FleetSimulator wide(specs, FleetOptions{/*threads=*/8});
+  const FleetResult a = serial.run(fleet_seed);
+  const FleetResult b = wide.run(fleet_seed);
+
+  ASSERT_EQ(a.households.size(), specs.size());
+  ASSERT_EQ(b.households.size(), specs.size());
+  for (std::size_t index = 0; index < specs.size(); ++index) {
+    expect_bitwise_equal(a.households[index], b.households[index]);
+  }
+  expect_bitwise_equal(a.saving_ratio, b.saving_ratio);
+  expect_bitwise_equal(a.mean_cc, b.mean_cc);
+  expect_bitwise_equal(a.normalized_mi, b.normalized_mi);
+  EXPECT_EQ(a.battery_violations, b.battery_violations);
+}
+
+TEST(FleetDeterminism, RunIsRepeatableOnTheSameSimulator) {
+  FleetSimulator fleet(mixed_fleet(), FleetOptions{/*threads=*/2});
+  const FleetResult first = fleet.run(11);
+  const FleetResult second = fleet.run(11);
+  ASSERT_EQ(first.households.size(), second.households.size());
+  for (std::size_t index = 0; index < first.households.size(); ++index) {
+    expect_bitwise_equal(first.households[index], second.households[index]);
+  }
+}
+
+}  // namespace
+}  // namespace rlblh
