@@ -44,11 +44,20 @@ from pathlib import Path
 TIMING_METRIC = re.compile(r"(^|_)(ns|us|ms|sec|seconds)(_|$)")
 
 
-def load_records(directory: Path) -> dict:
+def load_records(directory: Path, problems: list) -> dict:
+    """Loads every BENCH_*.json in `directory`; unreadable or malformed
+    files become failure strings in `problems` instead of tracebacks."""
     records = {}
     for path in sorted(directory.glob("BENCH_*.json")):
-        with open(path) as handle:
-            record = json.load(handle)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            problems.append(f"{path}: unreadable BENCH record ({error})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{path}: BENCH record is not a JSON object")
+            continue
         records[record.get("bench", path.stem)] = record
     return records
 
@@ -109,11 +118,23 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    baselines = load_records(args.baseline_dir)
-    currents = load_records(args.current_dir)
+    failures = []
+    baselines = load_records(args.baseline_dir, failures)
+    currents = load_records(args.current_dir, failures)
     if not baselines:
         print(f"error: no BENCH_*.json baselines in {args.baseline_dir}")
         return 2
+
+    # A current record with no committed counterpart cannot be gated, which
+    # silently exempts exactly the benches most likely to regress (the new
+    # ones). Fail loudly instead, with the command that creates the baseline.
+    unbaselined = sorted(set(currents) - set(baselines))
+    for name in unbaselined:
+        failures.append(
+            f"{name}: missing baseline — run the bench and commit "
+            f"{args.baseline_dir}/BENCH_{name}.json (e.g. copy it from "
+            f"this run's bench-json artifact)"
+        )
 
     # Wall-clock comparisons are meaningful only when the current machine is
     # at least as fast as the one that produced the baselines. Estimate the
@@ -131,8 +152,9 @@ def main() -> int:
     ratios.sort()
     machine_speedup = ratios[len(ratios) // 2] if ratios else 1.0
 
-    failures = []
     rows = []
+    for name in unbaselined:
+        rows.append((name, "NO BASELINE", "-", "-"))
     for name, base in sorted(baselines.items()):
         cur = currents.get(name)
         if cur is None:
@@ -193,6 +215,16 @@ def main() -> int:
             summary.write("|" + "---|" * 4 + "\n")
             for row in rows:
                 summary.write("| " + " | ".join(str(c) for c in row) + " |\n")
+            if unbaselined:
+                summary.write(
+                    "\n**Benches skipped by the gate (no committed "
+                    "baseline)**\n\n"
+                )
+                for name in unbaselined:
+                    summary.write(
+                        f"- `{name}` — commit "
+                        f"`{args.baseline_dir}/BENCH_{name}.json`\n"
+                    )
             if failures:
                 summary.write("\n**Failures**\n\n")
                 for failure in failures:

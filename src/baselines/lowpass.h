@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
+#include <span>
 #include <string_view>
 
 #include "core/policy.h"
@@ -59,6 +61,18 @@ class PassthroughPolicy final : public BlhPolicy {
   void observe_usage(std::size_t /*n*/, double /*usage*/) override {}
   std::string_view name() const override { return "no-battery"; }
   bool passthrough() const override { return true; }
+
+  // Pulse-block fast path: there is no decision to make, so the whole day
+  // is one block (the engine clamps the width to the day length).
+  std::size_t pulse_width() const override {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  double fill_block(std::size_t /*n0*/, std::size_t /*width*/,
+                    double /*battery_level*/) override {
+    return 0.0;  // ignored: the simulator substitutes x_n for passthrough
+  }
+  void observe_block(std::size_t /*n0*/,
+                     std::span<const double> /*usage*/) override {}
 };
 
 }  // namespace rlblh

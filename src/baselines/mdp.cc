@@ -47,6 +47,10 @@ MdpBlhPolicy::MdpBlhPolicy(MdpConfig config)
   for (std::size_t k = 0; k < config_.decisions_per_day(); ++k) {
     usage_sum_hist_.emplace_back(config_.usage_levels, 0.0, z_max);
   }
+  actions_all_.resize(config_.num_actions);
+  for (std::size_t a = 0; a < actions_all_.size(); ++a) actions_all_[a] = a;
+  actions_zero_only_ = {0};
+  actions_max_only_ = {config_.num_actions - 1};
 }
 
 void MdpBlhPolicy::observe_training_day(const DayTrace& usage,
@@ -75,15 +79,20 @@ void MdpBlhPolicy::observe_training_day(const DayTrace& usage,
   ++training_days_;
 }
 
-std::vector<std::size_t> MdpBlhPolicy::allowed_actions(
+const std::vector<std::size_t>& MdpBlhPolicy::feasible(
     double battery_level) const {
   const double guard =
       config_.usage_cap * static_cast<double>(config_.decision_interval);
-  if (battery_level > config_.battery_capacity - guard) return {0};
-  if (battery_level < guard) return {config_.num_actions - 1};
-  std::vector<std::size_t> all(config_.num_actions);
-  for (std::size_t a = 0; a < all.size(); ++a) all[a] = a;
-  return all;
+  if (battery_level > config_.battery_capacity - guard) {
+    return actions_zero_only_;
+  }
+  if (battery_level < guard) return actions_max_only_;
+  return actions_all_;
+}
+
+std::vector<std::size_t> MdpBlhPolicy::allowed_actions(
+    double battery_level) const {
+  return feasible(battery_level);
 }
 
 void MdpBlhPolicy::solve() {
@@ -102,7 +111,7 @@ void MdpBlhPolicy::solve() {
     const Histogram& dist = usage_sum_hist_[k];
     for (std::size_t li = 0; li < levels; ++li) {
       const double level = battery_q_.value(li);
-      const auto allowed = allowed_actions(level);
+      const auto& allowed = feasible(level);
       double best = -std::numeric_limits<double>::infinity();
       std::size_t best_action = allowed.front();
       for (const std::size_t a : allowed) {
@@ -164,7 +173,7 @@ double MdpBlhPolicy::reading(std::size_t n, double battery_level) {
     const std::size_t k = n / config_.decision_interval;
     // The stored greedy action may be infeasible at the *exact* (continuous)
     // level because the table was built on quantized levels; re-check.
-    const auto allowed = allowed_actions(battery_level);
+    const auto& allowed = feasible(battery_level);
     const std::size_t table_action =
         policy_[state_index(k, battery_q_.index(std::clamp(
                                    battery_level, 0.0,
@@ -179,11 +188,47 @@ double MdpBlhPolicy::reading(std::size_t n, double battery_level) {
          static_cast<double>(config_.num_actions - 1);
 }
 
+double MdpBlhPolicy::fill_block(std::size_t n0, std::size_t width,
+                                double battery_level) {
+  RLBLH_REQUIRE(day_open_, "MdpBlhPolicy: fill_block() before begin_day()");
+  RLBLH_REQUIRE(n0 < config_.intervals_per_day &&
+                    n0 + width <= config_.intervals_per_day,
+                "MdpBlhPolicy: block out of range");
+  RLBLH_REQUIRE(n0 % config_.decision_interval == 0,
+                "MdpBlhPolicy: block must start on a decision boundary");
+  const std::size_t k = n0 / config_.decision_interval;
+  // Same table lookup + feasibility re-check as the boundary branch of
+  // reading(), made once per block.
+  const auto& allowed = feasible(battery_level);
+  const std::size_t table_action =
+      policy_[state_index(k, battery_q_.index(std::clamp(
+                                 battery_level, 0.0,
+                                 config_.battery_capacity)))];
+  current_action_ = table_action;
+  if (std::find(allowed.begin(), allowed.end(), table_action) ==
+      allowed.end()) {
+    current_action_ = allowed.front();
+  }
+  return static_cast<double>(current_action_) * config_.usage_cap /
+         static_cast<double>(config_.num_actions - 1);
+}
+
 void MdpBlhPolicy::observe_usage(std::size_t n, double usage) {
   RLBLH_REQUIRE(day_open_, "MdpBlhPolicy: observe before begin_day()");
   RLBLH_REQUIRE(n < config_.intervals_per_day && usage >= 0.0,
                 "MdpBlhPolicy: bad observation");
   if (n + 1 == config_.intervals_per_day) day_open_ = false;
+}
+
+void MdpBlhPolicy::observe_block(std::size_t n0,
+                                 std::span<const double> usage) {
+  RLBLH_REQUIRE(day_open_, "MdpBlhPolicy: observe before begin_day()");
+  RLBLH_REQUIRE(n0 + usage.size() <= config_.intervals_per_day,
+                "MdpBlhPolicy: block out of range");
+  for (const double x : usage) {
+    RLBLH_REQUIRE(x >= 0.0, "MdpBlhPolicy: bad observation");
+  }
+  if (n0 + usage.size() == config_.intervals_per_day) day_open_ = false;
 }
 
 }  // namespace rlblh

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -75,6 +76,14 @@ class MdpBlhPolicy final : public BlhPolicy {
   void observe_usage(std::size_t n, double usage) override;
   std::string_view name() const override { return "mdp-dp"; }
 
+  // Pulse-block fast path: one table lookup per n_D-wide block.
+  std::size_t pulse_width() const override {
+    return config_.decision_interval;
+  }
+  double fill_block(std::size_t n0, std::size_t width,
+                    double battery_level) override;
+  void observe_block(std::size_t n0, std::span<const double> usage) override;
+
   /// Configuration in effect.
   const MdpConfig& config() const { return config_; }
 
@@ -82,6 +91,10 @@ class MdpBlhPolicy final : public BlhPolicy {
   /// Feasible pulse magnitudes at a battery level (same guard rule as
   /// RL-BLH so the comparison isolates the decision machinery).
   std::vector<std::size_t> allowed_actions(double battery_level) const;
+
+  /// Reference to one of the three precomputed feasible sets; the acting
+  /// hot path and the solver's inner loop use this to avoid allocating.
+  const std::vector<std::size_t>& feasible(double battery_level) const;
 
   /// Flat index into the value/policy tables.
   std::size_t state_index(std::size_t k, std::size_t level_idx) const {
@@ -98,6 +111,11 @@ class MdpBlhPolicy final : public BlhPolicy {
   std::vector<double> priced_usage_sum_;   // running mean per k
   std::vector<double> rate_sum_;           // sum of rates within k (last day)
   std::size_t training_days_ = 0;
+
+  // Precomputed feasible-action sets (see feasible()).
+  std::vector<std::size_t> actions_all_;
+  std::vector<std::size_t> actions_zero_only_;
+  std::vector<std::size_t> actions_max_only_;
 
   // Solved artifacts.
   bool solved_ = false;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -31,13 +32,31 @@ class RandomPulsePolicy final : public BlhPolicy {
   void observe_usage(std::size_t n, double usage) override;
   std::string_view name() const override { return "random-pulse"; }
 
+  // Pulse-block fast path: one uniform draw per block, the same draw the
+  // per-interval path makes at each decision boundary.
+  std::size_t pulse_width() const override {
+    return config_.decision_interval;
+  }
+  double fill_block(std::size_t n0, std::size_t width,
+                    double battery_level) override;
+  void observe_block(std::size_t n0, std::span<const double> usage) override;
+
   /// Same feasibility rule as RL-BLH (Section III-B).
   std::vector<std::size_t> allowed_actions(double battery_level) const;
 
  private:
+  /// Reference to one of the three precomputed feasible sets; the hot path
+  /// calls this once per decision, so it must not allocate.
+  const std::vector<std::size_t>& feasible(double battery_level) const;
+
   RlBlhConfig config_;
   Rng rng_;
   std::size_t current_action_ = 0;
+
+  // Precomputed feasible-action sets (see feasible()).
+  std::vector<std::size_t> actions_all_;
+  std::vector<std::size_t> actions_zero_only_;
+  std::vector<std::size_t> actions_max_only_;
 };
 
 }  // namespace rlblh

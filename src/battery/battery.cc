@@ -1,7 +1,5 @@
 #include "battery/battery.h"
 
-#include <algorithm>
-
 namespace rlblh {
 
 Battery::Battery(double capacity_kwh, double initial_level_kwh,
@@ -15,36 +13,6 @@ Battery::Battery(double capacity_kwh, double initial_level_kwh,
                 "Battery: charge efficiency must be in (0, 1]");
   RLBLH_REQUIRE(discharge_efficiency > 0.0 && discharge_efficiency <= 1.0,
                 "Battery: discharge efficiency must be in (0, 1]");
-}
-
-BatteryStep Battery::step(double reading, double usage) {
-  RLBLH_REQUIRE(reading >= 0.0, "Battery::step: reading must be >= 0");
-  RLBLH_REQUIRE(usage >= 0.0, "Battery::step: usage must be >= 0");
-
-  BatteryStep out;
-  // Net transfer for the interval; charging and discharging happen
-  // concurrently within a one-minute interval, so only the net flow matters.
-  const double delta = charge_eff_ * reading - usage / discharge_eff_;
-  double next = level_ + delta;
-  if (next > capacity_) {
-    out.wasted_charge = next - capacity_;
-    next = capacity_;
-    out.violated = true;
-  } else if (next < 0.0) {
-    // The battery cannot supply this much: the shortfall (in delivered
-    // energy) comes straight from the grid.
-    out.grid_extra = -next * discharge_eff_;
-    next = 0.0;
-    out.violated = true;
-  }
-  level_ = next;
-  out.level_after = level_;
-  if (out.violated) {
-    ++violations_;
-    wasted_ += out.wasted_charge;
-    grid_extra_ += out.grid_extra;
-  }
-  return out;
 }
 
 void Battery::reset(double level_kwh) {

@@ -41,8 +41,38 @@ class Battery {
 
   /// Applies one measurement interval: grid draw `reading` charges the
   /// battery, appliance usage `usage` discharges it. Both must be >= 0.
-  /// Returns the step outcome (including any clipping).
-  BatteryStep step(double reading, double usage);
+  /// Returns the step outcome (including any clipping). Defined inline:
+  /// this is the innermost call of the simulation hot loop.
+  BatteryStep step(double reading, double usage) {
+    RLBLH_REQUIRE(reading >= 0.0, "Battery::step: reading must be >= 0");
+    RLBLH_REQUIRE(usage >= 0.0, "Battery::step: usage must be >= 0");
+
+    BatteryStep out;
+    // Net transfer for the interval; charging and discharging happen
+    // concurrently within a one-minute interval, so only the net flow
+    // matters.
+    const double delta = charge_eff_ * reading - usage / discharge_eff_;
+    double next = level_ + delta;
+    if (next > capacity_) {
+      out.wasted_charge = next - capacity_;
+      next = capacity_;
+      out.violated = true;
+    } else if (next < 0.0) {
+      // The battery cannot supply this much: the shortfall (in delivered
+      // energy) comes straight from the grid.
+      out.grid_extra = -next * discharge_eff_;
+      next = 0.0;
+      out.violated = true;
+    }
+    level_ = next;
+    out.level_after = level_;
+    if (out.violated) {
+      ++violations_;
+      wasted_ += out.wasted_charge;
+      grid_extra_ += out.grid_extra;
+    }
+    return out;
+  }
 
   /// Current state of charge in kWh; always within [0, capacity()].
   double level() const { return level_; }

@@ -11,9 +11,27 @@
 //         battery.step(y, x_n);
 //         policy.observe_usage(n, x_n);
 //     policy.end_day();
+//
+// Pulse-block fast path: RL-BLH readings are rectangular pulses — y_n is
+// constant across each decision interval of n_D measurement intervals — so
+// a policy may additionally advertise pulse_width() > 0 and serve whole
+// blocks through fill_block()/observe_block(). The engine then pays one
+// virtual call per block instead of two per interval and runs a tight
+// non-virtual scalar loop in between. A driver must use one protocol per
+// day, never mix them: either the per-interval pair above, or
+//
+//     policy.begin_day(prices);
+//     for each block [n0, n0 + width):          // width = min(W, n_M - n0)
+//         y = policy.fill_block(n0, width, battery.level());
+//         for n in block: battery.step(y, x_n);
+//         policy.observe_block(n0, {x_n0 .. x_n0+width-1});
+//     policy.end_day();
+//
+// with W = pulse_width() and blocks tiling [0, n_M) in order.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string_view>
 
 #include "pricing/tou.h"
@@ -42,6 +60,34 @@ class BlhPolicy {
 
   /// Ends the day (learning policies run their outer-loop work here).
   virtual void end_day() {}
+
+  /// Width of the rectangular pulse this policy emits, in measurement
+  /// intervals: the engine may drive the policy block-wise (see the header
+  /// comment) with blocks of this width tiling the day in order, the last
+  /// one truncated. 0 (the default) means no block support — the engine
+  /// must use the per-interval protocol. Must stay constant within a day.
+  virtual std::size_t pulse_width() const { return 0; }
+
+  /// Returns the constant grid draw y for the whole block [n0, n0 + width),
+  /// given the battery level at the start of the block. Only called when
+  /// pulse_width() > 0, with n0 a multiple of pulse_width() and
+  /// width = min(pulse_width(), n_M - n0). The default forwards to
+  /// reading(n0, ...), which is correct for any policy whose reading is
+  /// constant across the block and samples state only at block boundaries.
+  virtual double fill_block(std::size_t n0, std::size_t width,
+                            double battery_level) {
+    (void)width;
+    return reading(n0, battery_level);
+  }
+
+  /// Reports the realized usage of the whole block [n0, n0 + usage.size())
+  /// after it completed. The default forwards to observe_usage() per
+  /// interval; overrides must be observably identical to that loop.
+  virtual void observe_block(std::size_t n0, std::span<const double> usage) {
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+      observe_usage(n0 + i, usage[i]);
+    }
+  }
 
   /// Short stable identifier, e.g. "rl-blh" or "low-pass".
   virtual std::string_view name() const = 0;

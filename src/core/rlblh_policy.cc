@@ -186,6 +186,37 @@ double RlBlhPolicy::reading(std::size_t n, double battery_level) {
   return config_.action_magnitude(pending_action_);
 }
 
+double RlBlhPolicy::fill_block(std::size_t n0, std::size_t width,
+                               double battery_level) {
+  // One decision boundary per block: replicates the n % n_D == 0 branch of
+  // reading() exactly (same RNG draw order: the finalize's bernoulli under
+  // double-Q, then the epsilon-greedy draw), then advances the interval
+  // cursor past the whole block in one step.
+  RLBLH_REQUIRE(day_open_, "RlBlhPolicy: fill_block() before begin_day()");
+  RLBLH_REQUIRE(n0 == next_reading_n_ && n0 == next_observe_n_,
+                "RlBlhPolicy: blocks must be requested in interval order");
+  RLBLH_REQUIRE(n0 % config_.decision_interval == 0,
+                "RlBlhPolicy: block must start on a decision boundary");
+  const std::size_t k = n0 / config_.decision_interval;
+  RLBLH_REQUIRE(width == config_.decision_width(k),
+                "RlBlhPolicy: block width must match the decision width");
+
+  if (n0 == 0) initial_level_today_ = battery_level;
+  const double alpha_now = current_alpha();
+  if (pending_active_) {
+    finalize_pending(k, battery_level, /*terminal=*/false, alpha_now);
+  }
+  const double epsilon_now = exploration_ ? current_epsilon() : 0.0;
+  const std::size_t action = choose_action(k, battery_level, epsilon_now);
+  pending_active_ = true;
+  pending_k_ = k;
+  pending_action_ = action;
+  pending_savings_ = 0.0;
+  pending_features_ = basis_.at(k, battery_level);
+  next_reading_n_ = n0 + width;
+  return config_.action_magnitude(pending_action_);
+}
+
 void RlBlhPolicy::observe_usage(std::size_t n, double usage) {
   RLBLH_REQUIRE(day_open_, "RlBlhPolicy: observe_usage() before begin_day()");
   RLBLH_REQUIRE(n == next_observe_n_ && n + 1 == next_reading_n_,
@@ -197,6 +228,30 @@ void RlBlhPolicy::observe_usage(std::size_t n, double usage) {
       prices_->rate(n) *
       (usage - config_.action_magnitude(pending_action_));
   next_observe_n_ = n + 1;
+}
+
+void RlBlhPolicy::observe_block(std::size_t n0,
+                                std::span<const double> usage) {
+  RLBLH_REQUIRE(day_open_, "RlBlhPolicy: observe_block() before begin_day()");
+  RLBLH_REQUIRE(n0 == next_observe_n_ &&
+                    n0 + usage.size() == next_reading_n_,
+                "RlBlhPolicy: block must be observed right after "
+                "fill_block()");
+  today_usage_.insert(today_usage_.end(), usage.begin(), usage.end());
+  // S_k(a) accumulation (paper Eq. 7): the same expression and the same
+  // per-interval += order as observe_usage(), with the loop-invariant rate
+  // lookup and pulse magnitude hoisted (identical values, identical FP op
+  // sequence, so the accumulated sum is bitwise equal).
+  const double magnitude = config_.action_magnitude(pending_action_);
+  const double* const rates = prices_->rates().data();
+  double pending = pending_savings_;
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    const double x = usage[i];
+    RLBLH_REQUIRE(x >= 0.0, "RlBlhPolicy: usage must be >= 0");
+    pending += rates[n0 + i] * (x - magnitude);
+  }
+  pending_savings_ = pending;
+  next_observe_n_ = n0 + usage.size();
 }
 
 void RlBlhPolicy::end_day() {

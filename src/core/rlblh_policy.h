@@ -49,6 +49,15 @@ class RlBlhPolicy final : public BlhPolicy {
   void end_day() override;
   std::string_view name() const override { return "rl-blh"; }
 
+  // Pulse-block fast path: one decision per n_D-wide block, bitwise
+  // identical to driving reading()/observe_usage() per interval.
+  std::size_t pulse_width() const override {
+    return config_.decision_interval;
+  }
+  double fill_block(std::size_t n0, std::size_t width,
+                    double battery_level) override;
+  void observe_block(std::size_t n0, std::span<const double> usage) override;
+
   // --- control ----------------------------------------------------------
   /// Enables/disables weight updates (on by default). With learning off the
   /// policy acts greedily on its current weights and skips the heuristics.

@@ -1,8 +1,11 @@
 #include "meter/appliances.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numbers>
+#include <span>
+#include <utility>
 
 #include "util/error.h"
 
@@ -33,9 +36,7 @@ void Appliance::emit_run(std::size_t start, std::size_t duration, double power,
                          std::vector<ApplianceEvent>* events) const {
   if (duration == 0 || start >= trace.intervals()) return;
   const std::size_t end = std::min(start + duration, trace.intervals());
-  for (std::size_t n = start; n < end; ++n) {
-    trace.add_clamped(n, power, cap);
-  }
+  trace.add_clamped_run(start, end, power, cap);
   if (events != nullptr) {
     events->push_back({name(), start, end - start, power});
   }
@@ -88,13 +89,20 @@ void Hvac::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
   // Thermostat cycling: choose a cycle period, set the on-fraction from the
   // diurnal duty curve at the cycle start.
   const std::size_t day = trace.intervals();
+  if (diurnal_.size() != day) {
+    // Peak demand mid-afternoon (phase ~ 0.65), trough pre-dawn. Pure
+    // function of (n, day), so it is tabulated once and reused every day:
+    // identical inputs and expression, hence identical doubles.
+    diurnal_.resize(day);
+    for (std::size_t i = 0; i < day; ++i) {
+      const double phase = static_cast<double>(i) / static_cast<double>(day);
+      diurnal_[i] =
+          0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * (phase - 0.15)));
+    }
+  }
   std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 19));
   while (n < day) {
-    const double phase = static_cast<double>(n) / static_cast<double>(day);
-    // Peak demand mid-afternoon (phase ~ 0.65), trough pre-dawn.
-    const double diurnal =
-        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * (phase - 0.15)));
-    double duty = base_duty_ + (peak_duty_ - base_duty_) * diurnal;
+    double duty = base_duty_ + (peak_duty_ - base_duty_) * diurnal_[n];
     if (!occ.home(n)) duty *= setback_;
     duty = std::clamp(duty * rng.uniform(0.85, 1.15), 0.0, 1.0);
     const std::size_t period = jitter_len(30, 0.2, rng);
@@ -144,27 +152,61 @@ void Lighting::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
                         std::vector<ApplianceEvent>* events) const {
   // Continuous low load whenever occupants are active in dark hours, with
   // per-interval dimming noise; recorded as runs for NALM ground truth.
-  std::size_t run_start = 0;
-  bool in_run = false;
-  for (std::size_t n = 0; n < trace.intervals(); ++n) {
-    const bool dark = n < dawn_ || n >= dusk_;
-    const bool lit = dark && occ.active(n);
-    if (lit) {
-      trace.add_clamped(n, power_ * rng.uniform(0.7, 1.3), cap);
-      if (!in_run) {
-        in_run = true;
-        run_start = n;
-      }
-    } else if (in_run) {
-      if (events != nullptr) {
-        events->push_back({name(), run_start, n - run_start, power_});
-      }
-      in_run = false;
+  //
+  // The lit set — dark hours intersected with active occupancy — is a union
+  // of at most four ordered runs, so instead of scanning all 1440 intervals
+  // the runs are enumerated directly and the dimming noise is drawn in one
+  // batch per run. Draws still happen for exactly the lit intervals in
+  // interval order, so the RNG stream (and every value) matches the scan
+  // this replaces.
+  const std::size_t day = trace.intervals();
+  // Active occupancy = [wake, sleep) intersected with the home set (the
+  // whole day, or [0, leave) plus [back, day) on work days).
+  std::array<std::pair<std::size_t, std::size_t>, 2> active{};
+  std::size_t actives = 0;
+  if (!occ.away_all_day) {
+    if (!occ.works_away) {
+      active[actives++] = {occ.wake, occ.sleep};
+    } else {
+      active[actives++] = {occ.wake, std::min(occ.leave, occ.sleep)};
+      active[actives++] = {std::max(occ.back, occ.wake), occ.sleep};
     }
   }
-  if (in_run && events != nullptr) {
-    events->push_back(
-        {name(), run_start, trace.intervals() - run_start, power_});
+  // Merge touching/overlapping ranges (possible only for occupancy structs
+  // built directly without the wake < leave < back < sleep ordering).
+  if (actives == 2 && active[1].first <= active[0].second) {
+    active[0].second = std::max(active[0].second, active[1].second);
+    actives = 1;
+  }
+  // Split each active range at the dark-hours boundary (dawn < dusk), so
+  // the resulting lit runs are maximal, disjoint and ordered.
+  std::array<std::pair<std::size_t, std::size_t>, 4> lit{};
+  std::size_t runs = 0;
+  for (std::size_t i = 0; i < actives; ++i) {
+    const std::size_t a = active[i].first;
+    const std::size_t b = std::min(active[i].second, day);
+    if (a >= b) continue;
+    const std::size_t morning_end = std::min(b, dawn_);
+    if (a < morning_end) lit[runs++] = {a, morning_end};
+    const std::size_t evening_start = std::max(a, dusk_);
+    if (evening_start < b) lit[runs++] = {evening_start, b};
+  }
+  double* const values = trace.mutable_data();
+  for (std::size_t i = 0; i < runs; ++i) {
+    const std::size_t start = lit[i].first;
+    const std::size_t len = lit[i].second - start;
+    draws_.resize(len);
+    rng.fill_uniform(0.7, 1.3, std::span<double>(draws_.data(), len));
+    // Same per-interval arithmetic as add_clamped(); writes stay finite and
+    // >= 0 as mutable_data() requires.
+    for (std::size_t j = 0; j < len; ++j) {
+      double next = values[start + j] + power_ * draws_[j];
+      if (cap > 0.0) next = std::min(next, cap);
+      values[start + j] = next;
+    }
+    if (events != nullptr) {
+      events->push_back({name(), start, len, power_});
+    }
   }
 }
 
@@ -265,9 +307,7 @@ void Electronics::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
                            double cap,
                            std::vector<ApplianceEvent>* events) const {
   // Standby floor across the whole day (not an "event" — no edge signature).
-  for (std::size_t n = 0; n < trace.intervals(); ++n) {
-    trace.add_clamped(n, standby_power_, cap);
-  }
+  trace.add_clamped_run(0, trace.intervals(), standby_power_, cap);
   // Evening entertainment block while active.
   if (occ.away_all_day) return;
   const std::size_t evening_base = occ.works_away ? occ.back + 15 : 1080;

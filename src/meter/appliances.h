@@ -115,6 +115,10 @@ class Hvac final : public Appliance {
   double base_duty_;
   double peak_duty_;
   double setback_;
+  // Per-interval diurnal duty curve, a pure function of (n, day length).
+  // Cached across days so the per-cycle cos() disappears from the per-day
+  // cost; rebuilt only when the day length changes.
+  mutable std::vector<double> diurnal_;
 };
 
 /// Electric water heater: high-power recovery runs after morning and evening
@@ -141,6 +145,8 @@ class Lighting final : public Appliance {
   double power_;
   std::size_t dawn_;
   std::size_t dusk_;
+  // Scratch for batched dimming draws, reused across days.
+  mutable std::vector<double> draws_;
 };
 
 /// Cooking: short high-power bursts around breakfast and dinner when home.

@@ -81,13 +81,20 @@ Occupancy HouseholdModel::sample_occupancy() {
 
 DayTrace HouseholdModel::generate_day(std::vector<ApplianceEvent>* events,
                                       Occupancy* occupancy) {
+  DayTrace trace(config_.intervals);
+  generate_day_into(trace, events, occupancy);
+  return trace;
+}
+
+void HouseholdModel::generate_day_into(DayTrace& out,
+                                       std::vector<ApplianceEvent>* events,
+                                       Occupancy* occupancy) {
   const Occupancy occ = sample_occupancy();
   if (occupancy != nullptr) *occupancy = occ;
-  DayTrace trace(config_.intervals);
+  out.assign_zero(config_.intervals);
   for (const auto& appliance : appliances_) {
-    appliance->generate(occ, rng_, trace, config_.usage_cap, events);
+    appliance->generate(occ, rng_, out, config_.usage_cap, events);
   }
-  return trace;
 }
 
 void HouseholdModel::set_config(const HouseholdConfig& config) {

@@ -61,6 +61,13 @@ class HouseholdModel {
   DayTrace generate_day(std::vector<ApplianceEvent>* events = nullptr,
                         Occupancy* occupancy = nullptr);
 
+  /// Samples the next day's profile into `out`, reusing its buffer so a
+  /// steady-state day loop allocates nothing. Identical draws and values to
+  /// generate_day().
+  void generate_day_into(DayTrace& out,
+                         std::vector<ApplianceEvent>* events = nullptr,
+                         Occupancy* occupancy = nullptr);
+
   /// Samples just an occupancy pattern (exposed for tests).
   Occupancy sample_occupancy();
 
@@ -86,6 +93,9 @@ class HouseholdTraceSource final : public TraceSource {
       : model_(std::move(config), seed) {}
 
   DayTrace next_day() override { return model_.generate_day(); }
+  void next_day_into(DayTrace& out) override {
+    model_.generate_day_into(out);
+  }
   std::size_t intervals() const override { return model_.config().intervals; }
   double usage_cap() const override { return model_.config().usage_cap; }
 

@@ -41,6 +41,24 @@ void DayTrace::add_clamped(std::size_t n, double value, double cap) {
   values_[n] = next;
 }
 
+void DayTrace::add_clamped_run(std::size_t start, std::size_t end,
+                               double value, double cap) {
+  RLBLH_REQUIRE(start <= end && end <= values_.size(),
+                "DayTrace: run out of range");
+  RLBLH_REQUIRE(value >= 0.0, "DayTrace: added value must be >= 0");
+  double* values = values_.data();
+  for (std::size_t n = start; n < end; ++n) {
+    double next = values[n] + value;
+    if (cap > 0.0) next = std::min(next, cap);
+    values[n] = next;
+  }
+}
+
+void DayTrace::assign_zero(std::size_t intervals) {
+  RLBLH_REQUIRE(intervals >= 1, "DayTrace: need at least one interval");
+  values_.assign(intervals, 0.0);
+}
+
 double DayTrace::total() const {
   return std::accumulate(values_.begin(), values_.end(), 0.0);
 }

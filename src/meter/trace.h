@@ -43,6 +43,18 @@ class DayTrace {
   /// cap > 0. Used by appliance composition under the x_M bound.
   void add_clamped(std::size_t n, double value, double cap);
 
+  /// Adds a constant `value` (>= 0) to every interval of [start, end),
+  /// clamping each sum at `cap` when cap > 0. Identical per-interval math
+  /// to add_clamped, validated once for the whole run. Requires
+  /// start <= end <= intervals().
+  void add_clamped_run(std::size_t start, std::size_t end, double value,
+                       double cap);
+
+  /// Resizes to `intervals` slots (>= 1) and zeroes every value, reusing
+  /// the existing buffer when the length already matches. The in-place
+  /// counterpart of constructing a fresh all-zero trace.
+  void assign_zero(std::size_t intervals);
+
   /// Total energy of the day in kWh.
   double total() const;
 
@@ -55,6 +67,12 @@ class DayTrace {
   /// Read-only access to the raw series.
   const std::vector<double>& values() const { return values_; }
 
+  /// Raw mutable access for trusted hot-path writers (the engine's reading
+  /// fill, batched generators). Callers take over the class invariant:
+  /// every value written must be finite and >= 0 — the checked set() path
+  /// enforces the same contract one interval at a time.
+  double* mutable_data() { return values_.data(); }
+
  private:
   std::vector<double> values_;
 };
@@ -66,6 +84,12 @@ class TraceSource {
 
   /// Produces the next day's usage profile.
   virtual DayTrace next_day() = 0;
+
+  /// Produces the next day's profile into `out`, reusing its buffer when
+  /// possible so a steady-state day loop allocates nothing. Semantically
+  /// identical to `out = next_day()`; sources able to generate in place
+  /// override this.
+  virtual void next_day_into(DayTrace& out) { out = next_day(); }
 
   /// Number of intervals per produced day.
   virtual std::size_t intervals() const = 0;

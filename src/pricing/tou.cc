@@ -14,6 +14,15 @@ TouSchedule::TouSchedule(std::vector<double> rates) : rates_(std::move(rates)) {
   for (const double r : rates_) {
     RLBLH_REQUIRE(r >= 0.0, "TouSchedule: rates must be >= 0");
   }
+  // Collapse the per-interval rates into maximal constant-rate runs (the
+  // bitwise == keeps segment rates identical to the rates they replace).
+  std::size_t begin = 0;
+  for (std::size_t n = 1; n <= rates_.size(); ++n) {
+    if (n == rates_.size() || rates_[n] != rates_[begin]) {
+      segments_.push_back({begin, n, rates_[begin]});
+      begin = n;
+    }
+  }
 }
 
 TouSchedule TouSchedule::from_zones(std::size_t intervals,

@@ -81,8 +81,16 @@ class TouSchedule {
   /// Read-only access to all rates.
   const std::vector<double>& rates() const { return rates_; }
 
+  /// The schedule as maximal contiguous constant-rate segments, in order,
+  /// tiling [0, intervals()) exactly. TOU plans have a handful of segments
+  /// per day, so per-interval rate lookups in hot loops become per-segment
+  /// constants. Precomputed at construction; segment rates are bitwise
+  /// equal to the per-interval rates they cover.
+  const std::vector<PriceZone>& segments() const { return segments_; }
+
  private:
   std::vector<double> rates_;
+  std::vector<PriceZone> segments_;
 };
 
 /// The paper's theoretical savings ceiling for a two-zone plan:

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 
 #include "util/error.h"
 
@@ -47,6 +48,17 @@ class Rng {
   double uniform(double lo, double hi) {
     RLBLH_REQUIRE(lo <= hi, "Rng::uniform: lo must be <= hi");
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Fills `out` with uniform reals in [lo, hi). Requires lo <= hi. Each
+  /// element is produced by a distribution constructed per draw, exactly as
+  /// a sequence of uniform(lo, hi) calls would, so batched and one-at-a-time
+  /// consumption of the stream yield bitwise-identical values.
+  void fill_uniform(double lo, double hi, std::span<double> out) {
+    RLBLH_REQUIRE(lo <= hi, "Rng::fill_uniform: lo must be <= hi");
+    for (double& v : out) {
+      v = std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
   }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.

@@ -168,6 +168,12 @@ TEST(SweepDeterminismTest, ObservabilityOnMatchesOffBitwise) {
   // its days (4 cells x 5 days x 2 runs) and the sweep timed its cells.
   EXPECT_EQ(obs::registry().counter("sim.days").value(), 2 * 4 * 5);
   EXPECT_EQ(obs::registry().counter("sweep.cells").value(), 2 * 4);
+  // The cells run RL-BLH with n_D = 15 over 1440-interval days, so every
+  // day went through the pulse-blocked hot path (96 blocks per day) — the
+  // bitwise on==off comparison above covered the blocked loop, not the
+  // per-interval fallback.
+  EXPECT_EQ(obs::registry().counter("sim.blocks").value(), 2 * 4 * 5 * 96);
+  EXPECT_GT(obs::registry().counter("sim.block_ns").value(), 0u);
 #endif
   obs::registry().reset();
   obs::Tracer::instance().reset();
