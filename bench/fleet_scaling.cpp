@@ -1,11 +1,14 @@
-// Fleet-scaling benchmark: throughput of FleetSimulator as the worker
-// count grows, over a heterogeneous household mix.
+// Fleet-scaling benchmark: throughput of the chunked FleetSimulator as the
+// fleet size and worker count grow, over a heterogeneous household mix.
 //
-// Times the same fleet at 1 worker and at 8 workers and reports simulated
-// days per second for each (timing metrics, exempt from the drift gate),
-// plus the fleet's aggregate SR/CC/MI (deterministic, drift-gated — the
-// same numbers whichever thread count produced them, per FleetSimulator's
-// bitwise-determinism contract, which this bench also asserts).
+// Sweeps fleet sizes (1k/10k in quick mode, plus 100k full) and times each
+// at 1 worker and at 8 workers, reporting simulated days per second and
+// days per second per core (timing metrics, exempt from the drift gate;
+// the per-core figure is what bench_compare.py's scaling gate watches).
+// The fleet aggregates SR/CC/MI are deterministic and drift-gated — the
+// same numbers whichever thread count or chunk size produced them, per
+// FleetSimulator's bitwise-determinism contract, which this bench also
+// asserts at every size.
 #include "bench_main.h"
 
 #include <chrono>
@@ -57,61 +60,76 @@ std::vector<ScenarioSpec> build_fleet(std::size_t size, std::size_t train_days,
 }  // namespace
 
 void bench_body(BenchContext& ctx) {
-  print_header("Fleet scaling: heterogeneous households over worker threads");
+  print_header(
+      "Fleet scaling: heterogeneous households over size x worker threads");
 
-  const std::size_t kHouseholds = static_cast<std::size_t>(ctx.days(48, 8));
-  const std::size_t kTrainDays = static_cast<std::size_t>(ctx.days(20, 2));
-  const std::size_t kEvalDays = static_cast<std::size_t>(ctx.days(20, 2));
+  const std::size_t kTrainDays = static_cast<std::size_t>(ctx.days(2, 1));
+  const std::size_t kEvalDays = static_cast<std::size_t>(ctx.days(2, 1));
   const std::uint64_t kFleetSeed = 7;
-  const std::vector<ScenarioSpec> specs =
-      build_fleet(kHouseholds, kTrainDays, kEvalDays);
-  const std::size_t days_per_run = kHouseholds * (kTrainDays + kEvalDays);
+  std::vector<std::size_t> sizes = {1000, 10000};
+  if (!ctx.quick()) sizes.push_back(100000);
 
-  TablePrinter table({"threads", "seconds", "days/sec", "SR mean %",
-                      "SR p95 %", "CC mean", "MI mean"});
-  FleetResult reference;
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
-    FleetSimulator fleet(specs, FleetOptions{threads});
-    const auto start = std::chrono::steady_clock::now();
-    FleetResult result = fleet.run(kFleetSeed);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    const double days_per_sec =
-        seconds > 0.0 ? static_cast<double>(days_per_run) / seconds : 0.0;
-    ctx.count_cells(kHouseholds);
-    ctx.count_days(days_per_run);
-    table.add_row({std::to_string(threads), TablePrinter::num(seconds, 3),
-                   TablePrinter::num(days_per_sec, 1),
-                   TablePrinter::num(100.0 * result.saving_ratio.mean, 1),
-                   TablePrinter::num(100.0 * result.saving_ratio.p95, 1),
-                   TablePrinter::num(result.mean_cc.mean, 4),
-                   TablePrinter::num(result.normalized_mi.mean, 4)});
-    ctx.metric("days_per_sec_t" + std::to_string(threads), days_per_sec);
-    if (threads == 1) {
-      reference = std::move(result);
-    } else if (result.saving_ratio.mean != reference.saving_ratio.mean ||
-               result.mean_cc.mean != reference.mean_cc.mean ||
-               result.normalized_mi.mean != reference.normalized_mi.mean) {
-      std::fprintf(stderr,
-                   "fleet determinism violated: %zu-thread aggregates "
-                   "differ from the 1-thread run\n",
-                   threads);
-      std::exit(1);
+  TablePrinter table({"households", "threads", "seconds", "days/sec",
+                      "days/sec/core", "SR mean %", "CC mean", "MI mean"});
+  for (const std::size_t households : sizes) {
+    const std::vector<ScenarioSpec> specs =
+        build_fleet(households, kTrainDays, kEvalDays);
+    const std::size_t days_per_run = households * (kTrainDays + kEvalDays);
+    const std::string suffix = "_h" + std::to_string(households);
+
+    FleetResult reference;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      FleetOptions options;
+      options.threads = threads;
+      options.keep_households = false;  // aggregates only: O(1) result memory
+      FleetSimulator fleet(specs, options);
+      const auto start = std::chrono::steady_clock::now();
+      FleetResult result = fleet.run(kFleetSeed);
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      const double days_per_sec =
+          seconds > 0.0 ? static_cast<double>(days_per_run) / seconds : 0.0;
+      const double per_core = days_per_sec / static_cast<double>(threads);
+      ctx.count_cells(households);
+      ctx.count_days(days_per_run);
+      table.add_row({std::to_string(households), std::to_string(threads),
+                     TablePrinter::num(seconds, 3),
+                     TablePrinter::num(days_per_sec, 1),
+                     TablePrinter::num(per_core, 1),
+                     TablePrinter::num(100.0 * result.saving_ratio.mean, 1),
+                     TablePrinter::num(result.mean_cc.mean, 4),
+                     TablePrinter::num(result.normalized_mi.mean, 4)});
+      const std::string t = "_t" + std::to_string(threads);
+      ctx.metric("days_per_sec" + t + suffix, days_per_sec);
+      ctx.metric("days_per_sec_per_core" + t + suffix, per_core);
+      if (threads == 1) {
+        reference = std::move(result);
+      } else if (result.saving_ratio.mean != reference.saving_ratio.mean ||
+                 result.saving_ratio.p95 != reference.saving_ratio.p95 ||
+                 result.mean_cc.mean != reference.mean_cc.mean ||
+                 result.normalized_mi.mean != reference.normalized_mi.mean ||
+                 result.battery_violations != reference.battery_violations) {
+        std::fprintf(stderr,
+                     "fleet determinism violated: %zu households, %zu-thread "
+                     "aggregates differ from the 1-thread run\n",
+                     households, threads);
+        std::exit(1);
+      }
     }
+
+    // Aggregates are thread-count independent; gate them once per size.
+    ctx.metric("sr_mean" + suffix, reference.saving_ratio.mean);
+    ctx.metric("sr_p95" + suffix, reference.saving_ratio.p95);
+    ctx.metric("cc_mean" + suffix, reference.mean_cc.mean);
+    ctx.metric("mi_mean" + suffix, reference.normalized_mi.mean);
   }
   table.print(std::cout);
 
-  // Aggregates are thread-count independent; gate them once.
-  ctx.metric("sr_mean", reference.saving_ratio.mean);
-  ctx.metric("sr_p95", reference.saving_ratio.p95);
-  ctx.metric("cc_mean", reference.mean_cc.mean);
-  ctx.metric("mi_mean", reference.normalized_mi.mean);
-
-  std::printf("\n%zu households, %zu simulated days per run; identical "
+  std::printf("\n%zu train + %zu eval days per household; identical "
               "aggregates at every thread count (bitwise determinism "
-              "contract, asserted above).\n",
-              kHouseholds, days_per_run);
+              "contract, asserted above at every fleet size).\n",
+              kTrainDays, kEvalDays);
 }
 
 }  // namespace rlblh::bench

@@ -10,7 +10,12 @@ current run must provide a matching BENCH_<name>.json whose
   * "wall_seconds" has not regressed by more than the allowed fraction
     (default 25%). Wall time is only compared when the current machine is
     not slower overall than the baseline machine, which is estimated from
-    the records themselves (see --wall-tolerance / --no-wall below).
+    the records themselves (see --wall-tolerance / --no-wall below), and
+  * for benches that emit days_per_sec_per_core_t<N>_<workload> families,
+    the tN/t1 per-core throughput ratio (parallel efficiency, a
+    machine-relative quantity) has not dropped more than the allowed
+    fraction below the baseline's ratio (see --scaling-tolerance /
+    --no-scaling below).
 
 Exit status is non-zero on any failure. A summary table is printed to
 stdout and, when the GITHUB_STEP_SUMMARY environment variable points at a
@@ -27,6 +32,7 @@ Refreshing baselines after an intentional change:
 Usage:
   bench_compare.py BASELINE_DIR CURRENT_DIR [--wall-tolerance F]
                    [--metric-rtol F] [--no-wall]
+                   [--scaling-tolerance F] [--no-scaling]
 """
 
 import argparse
@@ -42,6 +48,71 @@ from pathlib import Path
 # are exempt from the strict drift check and only gated — like wall time —
 # by the machine-ratio-scaled budget in main().
 TIMING_METRIC = re.compile(r"(^|_)(ns|us|ms|sec|seconds)(_|$)")
+
+# Per-core throughput metrics emitted by the scaling benches
+# (days_per_sec_per_core_t8_h10000). Absolute values move with the machine,
+# but the RATIO between the tN and t1 figure of the same workload is a
+# machine-relative measure of parallel efficiency — comparing that ratio
+# against the baseline's catches scaling regressions (lock contention,
+# false sharing, serialization) without pinning absolute speed.
+PER_CORE_METRIC = re.compile(r"^days_per_sec_per_core_t(\d+)_(.+)$")
+
+
+def per_core_scales(metrics: dict) -> dict:
+    """Maps workload suffix -> {threads: per-core throughput ratio vs t1}
+    for every days_per_sec_per_core_t<N>_<suffix> family with a t1 anchor."""
+    families = {}
+    for key, value in metrics.items():
+        match = PER_CORE_METRIC.match(key)
+        if match:
+            families.setdefault(match.group(2), {})[int(match.group(1))] = (
+                float(value)
+            )
+    scales = {}
+    for suffix, by_threads in families.items():
+        anchor = by_threads.get(1, 0.0)
+        if anchor <= 0.0:
+            continue
+        scales[suffix] = {
+            threads: value / anchor
+            for threads, value in by_threads.items()
+            if threads != 1 and value > 0.0
+        }
+    return scales
+
+
+def compare_scaling(name: str, base: dict, cur: dict, tolerance: float):
+    """Gates parallel efficiency: the current tN/t1 per-core ratio must not
+    fall more than `tolerance` below the baseline's ratio for the same
+    workload. Returns (failures, info_lines)."""
+    failures, info = [], []
+    base_scales = per_core_scales(base.get("metrics", {}))
+    cur_scales = per_core_scales(cur.get("metrics", {}))
+    for suffix in sorted(base_scales):
+        for threads in sorted(base_scales[suffix]):
+            base_scale = base_scales[suffix][threads]
+            cur_scale = cur_scales.get(suffix, {}).get(threads)
+            if cur_scale is None:
+                failures.append(
+                    f"{name}: scaling ratio t{threads}/t1 for '{suffix}' "
+                    f"missing from current run"
+                )
+                continue
+            floor = base_scale * (1.0 - tolerance)
+            status = "ok" if cur_scale >= floor else "FAIL"
+            info.append(
+                f"{name} {suffix}: t{threads}/t1 per-core scale "
+                f"{cur_scale:.2f} (baseline {base_scale:.2f}, floor "
+                f"{floor:.2f}) {status}"
+            )
+            if cur_scale < floor:
+                failures.append(
+                    f"{name}: parallel efficiency regressed for '{suffix}': "
+                    f"t{threads}/t1 per-core scale {cur_scale:.2f} vs "
+                    f"baseline {base_scale:.2f} (floor {floor:.2f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return failures, info
 
 
 def load_records(directory: Path, problems: list) -> dict:
@@ -116,6 +187,18 @@ def main() -> int:
         action="store_true",
         help="skip the wall-clock comparison (metrics only)",
     )
+    parser.add_argument(
+        "--scaling-tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional drop in tN/t1 per-core throughput ratio "
+        "vs the baseline's ratio (default 0.35)",
+    )
+    parser.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="skip the parallel-efficiency comparison",
+    )
     args = parser.parse_args()
 
     failures = []
@@ -153,6 +236,7 @@ def main() -> int:
     machine_speedup = ratios[len(ratios) // 2] if ratios else 1.0
 
     rows = []
+    scaling_lines = []
     for name in unbaselined:
         rows.append((name, "NO BASELINE", "-", "-"))
     for name, base in sorted(baselines.items()):
@@ -163,6 +247,12 @@ def main() -> int:
             continue
 
         failures.extend(compare_metrics(name, base, cur, args.metric_rtol))
+        if not args.no_scaling:
+            scaling_failures, info = compare_scaling(
+                name, base, cur, args.scaling_tolerance
+            )
+            failures.extend(scaling_failures)
+            scaling_lines.extend(info)
 
         base_wall = float(base.get("wall_seconds", 0.0))
         cur_wall = float(cur.get("wall_seconds", 0.0))
@@ -184,10 +274,13 @@ def main() -> int:
         metrics_ok = not any(f.startswith(f"{name}: metric") or
                              f.startswith(f"{name}: new metric")
                              for f in failures)
+        scaling_ok = not any(f.startswith(f"{name}: parallel efficiency") or
+                             f.startswith(f"{name}: scaling ratio")
+                             for f in failures)
         rows.append(
             (
                 name,
-                "ok" if (wall_ok and metrics_ok) else "FAIL",
+                "ok" if (wall_ok and metrics_ok and scaling_ok) else "FAIL",
                 f"{base_wall:.3f}s -> {cur_wall:.3f}s",
                 "ok" if metrics_ok else "drift",
             )
@@ -201,6 +294,10 @@ def main() -> int:
           f"(current vs baseline)")
     for row in [header] + rows:
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    if scaling_lines:
+        print("\nparallel efficiency (tN/t1 per-core throughput ratios):")
+        for line in scaling_lines:
+            print(f"  {line}")
 
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
@@ -215,6 +312,13 @@ def main() -> int:
             summary.write("|" + "---|" * 4 + "\n")
             for row in rows:
                 summary.write("| " + " | ".join(str(c) for c in row) + " |\n")
+            if scaling_lines:
+                summary.write(
+                    "\n**Parallel efficiency** (tN/t1 per-core ratio, "
+                    f"tolerance {args.scaling_tolerance:.0%})\n\n"
+                )
+                for line in scaling_lines:
+                    summary.write(f"- {line}\n")
             if unbaselined:
                 summary.write(
                     "\n**Benches skipped by the gate (no committed "

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
 #include <span>
 #include <utility>
@@ -10,6 +12,28 @@
 #include "util/error.h"
 
 namespace rlblh {
+
+std::shared_ptr<const std::vector<double>> hvac_diurnal_curve(
+    std::size_t intervals) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::shared_ptr<const std::vector<double>>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(intervals);
+  if (it != cache.end()) return it->second;
+  // Peak demand mid-afternoon (phase ~ 0.65), trough pre-dawn. Pure
+  // function of (n, intervals): identical inputs and expression, hence
+  // identical doubles whichever model triggered the tabulation.
+  auto curve = std::make_shared<std::vector<double>>(intervals);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(intervals);
+    (*curve)[i] =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * (phase - 0.15)));
+  }
+  it = cache.emplace(intervals, std::move(curve)).first;
+  return it->second;
+}
 
 namespace {
 
@@ -89,20 +113,13 @@ void Hvac::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
   // Thermostat cycling: choose a cycle period, set the on-fraction from the
   // diurnal duty curve at the cycle start.
   const std::size_t day = trace.intervals();
-  if (diurnal_.size() != day) {
-    // Peak demand mid-afternoon (phase ~ 0.65), trough pre-dawn. Pure
-    // function of (n, day), so it is tabulated once and reused every day:
-    // identical inputs and expression, hence identical doubles.
-    diurnal_.resize(day);
-    for (std::size_t i = 0; i < day; ++i) {
-      const double phase = static_cast<double>(i) / static_cast<double>(day);
-      diurnal_[i] =
-          0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * (phase - 0.15)));
-    }
+  if (diurnal_ == nullptr || diurnal_->size() != day) {
+    diurnal_ = hvac_diurnal_curve(day);
   }
+  const std::vector<double>& diurnal = *diurnal_;
   std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 19));
   while (n < day) {
-    double duty = base_duty_ + (peak_duty_ - base_duty_) * diurnal_[n];
+    double duty = base_duty_ + (peak_duty_ - base_duty_) * diurnal[n];
     if (!occ.home(n)) duty *= setback_;
     duty = std::clamp(duty * rng.uniform(0.85, 1.15), 0.0, 1.0);
     const std::size_t period = jitter_len(30, 0.2, rng);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,14 @@
 #include "util/rng.h"
 
 namespace rlblh {
+
+/// The HVAC diurnal duty curve for a day of `intervals` slots: a pure
+/// function of (n, intervals), tabulated once per distinct day length in a
+/// process-wide cache and shared immutably. Fleet runs construct thousands
+/// of household models with the same day geometry; sharing the table makes
+/// that construction O(1) instead of 1440 cos() calls per model. Thread-safe.
+std::shared_ptr<const std::vector<double>> hvac_diurnal_curve(
+    std::size_t intervals);
 
 /// One day's realized occupancy pattern, in measurement intervals (minutes).
 struct Occupancy {
@@ -115,10 +124,9 @@ class Hvac final : public Appliance {
   double base_duty_;
   double peak_duty_;
   double setback_;
-  // Per-interval diurnal duty curve, a pure function of (n, day length).
-  // Cached across days so the per-cycle cos() disappears from the per-day
-  // cost; rebuilt only when the day length changes.
-  mutable std::vector<double> diurnal_;
+  // Per-interval diurnal duty curve from the process-wide cache
+  // (hvac_diurnal_curve); re-fetched only when the day length changes.
+  mutable std::shared_ptr<const std::vector<double>> diurnal_;
 };
 
 /// Electric water heater: high-power recovery runs after morning and evening

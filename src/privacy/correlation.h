@@ -40,6 +40,9 @@ class CorrelationAccumulator {
   /// Number of days folded in.
   std::size_t days() const { return stats_.count(); }
 
+  /// Forgets all observed days (fresh-accumulator state, no reallocation).
+  void reset() { stats_.reset(); }
+
  private:
   RunningStats stats_;
 };

@@ -37,6 +37,12 @@ class SavingRatioAccumulator {
   /// Number of days folded in.
   std::size_t days() const { return ratio_stats_.count(); }
 
+  /// Forgets all observed days (fresh-accumulator state, no reallocation).
+  void reset() {
+    ratio_stats_.reset();
+    savings_stats_.reset();
+  }
+
  private:
   RunningStats ratio_stats_;
   RunningStats savings_stats_;

@@ -17,11 +17,30 @@ struct EntropyEstimate {
   std::size_t occupied = 0;
 };
 
-EntropyEstimate entropy_bits(const std::vector<std::uint32_t>& counts,
+EntropyEstimate entropy_bits(const std::uint32_t* counts, std::size_t cells,
                              double total) {
   EntropyEstimate out;
   if (total <= 0.0) return out;
-  for (const std::uint32_t c : counts) {
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::uint32_t c = counts[i];
+    if (c == 0) continue;
+    ++out.occupied;
+    const double p = static_cast<double>(c) / total;
+    out.bits -= p * std::log2(p);
+  }
+  return out;
+}
+
+/// Entropy over the occupied cells named by `cells` (ascending, unique) of
+/// `counts`. Visits the same nonzero counts in the same order as a dense
+/// scan that skips zeros, so the accumulated sum is bitwise identical.
+EntropyEstimate entropy_bits_sparse(const std::uint32_t* counts,
+                                    const std::vector<std::uint32_t>& cells,
+                                    double total) {
+  EntropyEstimate out;
+  if (total <= 0.0) return out;
+  for (const std::uint32_t cell : cells) {
+    const std::uint32_t c = counts[cell];
     if (c == 0) continue;
     ++out.occupied;
     const double p = static_cast<double>(c) / total;
@@ -44,15 +63,14 @@ double miller_madow(const EntropyEstimate& e, double samples) {
 PairwiseMiEstimator::PairwiseMiEstimator(std::size_t intervals,
                                          std::size_t levels, double x_cap,
                                          double y_cap)
-    : intervals_(intervals), levels_(levels), qx_(levels, 0.0, x_cap),
+    : intervals_(intervals), levels_(levels), pair_cells_(levels * levels),
+      joint_cells_(pair_cells_ * pair_cells_), qx_(levels, 0.0, x_cap),
       qy_(levels, 0.0, y_cap) {
   RLBLH_REQUIRE(intervals >= 2, "PairwiseMiEstimator: need >= 2 intervals");
   RLBLH_REQUIRE(levels >= 2, "PairwiseMiEstimator: need >= 2 levels");
-  const std::size_t pair_cells = levels * levels;
-  x_counts_.assign(intervals - 1,
-                   std::vector<std::uint32_t>(pair_cells, 0));
-  joint_counts_.assign(intervals - 1,
-                       std::vector<std::uint32_t>(pair_cells * pair_cells, 0));
+  x_counts_.assign((intervals - 1) * pair_cells_, 0);
+  joint_counts_.assign((intervals - 1) * joint_cells_, 0);
+  joint_touched_.resize(intervals - 1);
 }
 
 void PairwiseMiEstimator::observe_day(const DayTrace& usage,
@@ -65,10 +83,27 @@ void PairwiseMiEstimator::observe_day(const DayTrace& usage,
                                       qx_.index(usage.at(n + 1)));
     const std::size_t yi = pair_index(qy_.index(readings.at(n)),
                                       qy_.index(readings.at(n + 1)));
-    ++x_counts_[n][xi];
-    ++joint_counts_[n][xi * levels_ * levels_ + yi];
+    ++x_counts_[n * pair_cells_ + xi];
+    const std::size_t cell = xi * pair_cells_ + yi;
+    std::uint32_t& joint = joint_counts_[n * joint_cells_ + cell];
+    if (joint == 0) {
+      joint_touched_[n].push_back(static_cast<std::uint32_t>(cell));
+    }
+    ++joint;
   }
   ++days_;
+}
+
+void PairwiseMiEstimator::reset() {
+  std::fill(x_counts_.begin(), x_counts_.end(), 0);
+  for (std::size_t n = 0; n + 1 < intervals_; ++n) {
+    std::uint32_t* const joint_row = joint_counts_.data() + n * joint_cells_;
+    for (const std::uint32_t cell : joint_touched_[n]) {
+      joint_row[cell] = 0;
+    }
+    joint_touched_[n].clear();
+  }
+  days_ = 0;
 }
 
 double PairwiseMiEstimator::normalized_mi_at(std::size_t n) const {
@@ -76,18 +111,24 @@ double PairwiseMiEstimator::normalized_mi_at(std::size_t n) const {
                 "PairwiseMiEstimator: interval out of range");
   if (days_ == 0) return 0.0;
   const auto total = static_cast<double>(days_);
-  const EntropyEstimate ex = entropy_bits(x_counts_[n], total);
+  const EntropyEstimate ex =
+      entropy_bits(x_counts_.data() + n * pair_cells_, pair_cells_, total);
   if (ex.bits <= 0.0) return 0.0;  // deterministic usage pair: nothing leaks
-  const std::size_t pair_cells = levels_ * levels_;
-  // Marginalize the joint over the X-pair to get Y-pair counts.
-  std::vector<std::uint32_t> y_counts(pair_cells, 0);
-  for (std::size_t xi = 0; xi < pair_cells; ++xi) {
-    for (std::size_t yi = 0; yi < pair_cells; ++yi) {
-      y_counts[yi] += joint_counts_[n][xi * pair_cells + yi];
-    }
+  const std::uint32_t* const joint_row = joint_counts_.data() + n * joint_cells_;
+  // The first-touch list is exactly the occupied joint set; sorting makes
+  // the sparse entropy walk visit cells in the dense scan's ascending order
+  // (idempotent, so re-sorting after later observe_day calls is fine).
+  std::vector<std::uint32_t>& touched = joint_touched_[n];
+  std::sort(touched.begin(), touched.end());
+  // Marginalize the joint over the X-pair to get Y-pair counts (integer
+  // additions, so visiting only occupied cells changes nothing).
+  std::vector<std::uint32_t> y_counts(pair_cells_, 0);
+  for (const std::uint32_t cell : touched) {
+    y_counts[cell % pair_cells_] += joint_row[cell];
   }
-  const EntropyEstimate ey = entropy_bits(y_counts, total);
-  const EntropyEstimate exy = entropy_bits(joint_counts_[n], total);
+  const EntropyEstimate ey =
+      entropy_bits(y_counts.data(), pair_cells_, total);
+  const EntropyEstimate exy = entropy_bits_sparse(joint_row, touched, total);
   double hx = ex.bits;
   double h_x_given_y = exy.bits - ey.bits;
   if (bias_correction_) {
@@ -116,7 +157,9 @@ double PairwiseMiEstimator::normalized_mi() const {
 double PairwiseMiEstimator::usage_entropy_at(std::size_t n) const {
   RLBLH_REQUIRE(n + 1 < intervals_,
                 "PairwiseMiEstimator: interval out of range");
-  return entropy_bits(x_counts_[n], static_cast<double>(days_)).bits;
+  return entropy_bits(x_counts_.data() + n * pair_cells_, pair_cells_,
+                      static_cast<double>(days_))
+      .bits;
 }
 
 }  // namespace rlblh

@@ -11,6 +11,17 @@
 // never quantizes). Intervals where H(X_n) = 0 — the usage pair is
 // deterministic, so there is nothing to leak — contribute 0 and are
 // documented as such.
+//
+// Storage is sized for reuse: both count tables are single flat allocations
+// (interval-major), and every joint cell that becomes nonzero is remembered
+// in a per-interval first-touch list. reset() therefore zeroes only the
+// cells an evaluation actually touched (days x intervals writes, not the
+// levels^4 x intervals table), and the entropy evaluation walks exactly the
+// occupied joint cells in ascending index order — the same nonzero-cell
+// sequence a dense scan visits, so every floating-point sum is bitwise
+// identical to the dense implementation this replaces. Fleet workers lean
+// on both properties to amortize one estimator across thousands of
+// households.
 #pragma once
 
 #include <cstddef>
@@ -54,6 +65,12 @@ class PairwiseMiEstimator {
   /// leading (K-1)/(2N ln 2) term of each entropy estimate.
   void set_bias_correction(bool enabled) { bias_correction_ = enabled; }
 
+  /// Returns the estimator to its freshly-constructed state (same geometry
+  /// and caps) without releasing its buffers: touched joint cells are
+  /// zeroed via the first-touch lists, so the cost scales with the days
+  /// observed, not with the levels^4 table size.
+  void reset();
+
  private:
   /// Flat index of a quantized pair (i, j), each in [0, levels).
   std::size_t pair_index(std::size_t i, std::size_t j) const {
@@ -62,14 +79,20 @@ class PairwiseMiEstimator {
 
   std::size_t intervals_;
   std::size_t levels_;
+  std::size_t pair_cells_;   ///< levels^2, one X-pair (or Y-pair) alphabet
+  std::size_t joint_cells_;  ///< levels^4, the (X-pair, Y-pair) alphabet
   Quantizer qx_;
   Quantizer qy_;
   std::size_t days_ = 0;
   bool bias_correction_ = true;
-  // Per interval n: counts over X-pair (levels^2 cells) and over the joint
-  // (X-pair, Y-pair) ((levels^2)^2 cells).
-  std::vector<std::vector<std::uint32_t>> x_counts_;
-  std::vector<std::vector<std::uint32_t>> joint_counts_;
+  // Interval-major flat tables: interval n's X-pair counts live at
+  // [n * pair_cells_, (n+1) * pair_cells_), its joint counts at
+  // [n * joint_cells_, (n+1) * joint_cells_).
+  std::vector<std::uint32_t> x_counts_;
+  std::vector<std::uint32_t> joint_counts_;
+  // Per interval: joint cells that went 0 -> nonzero, in touch order
+  // (exactly the occupied set; sorted on demand by the entropy walk).
+  mutable std::vector<std::vector<std::uint32_t>> joint_touched_;
 };
 
 }  // namespace rlblh

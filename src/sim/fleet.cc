@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -21,15 +23,61 @@ std::string pricing_key(const ScenarioSpec& spec) {
   return spec.pricing + "|" + spec.pricing_params.canonical();
 }
 
-MetricSummary summarize(const std::vector<EvaluationResult>& results,
-                        double EvaluationResult::*metric) {
-  std::vector<double> values;
-  values.reserve(results.size());
-  double sum = 0.0;
-  for (const auto& result : results) {
-    values.push_back(result.*metric);
-    sum += result.*metric;
+/// Key identifying a distinct spec blueprint: the canonical spec text with
+/// the seed fields normalized away. run() overwrites both seeds per
+/// household anyway, so specs equal up to seeds share one blueprint (a
+/// pinned `policy.seed=` override lives in policy_params and survives the
+/// normalization, as it must).
+std::string blueprint_key(ScenarioSpec spec) {
+  spec.seed = 0;
+  spec.hseed.reset();
+  return spec.canonical();
+}
+
+/// Lends RunArenas to chunk cells. Arenas persist across chunks — at most
+/// one per concurrently running cell ever exists — and which arena a chunk
+/// receives is scheduling-dependent, which is safe precisely because
+/// RunArena reuse is semantically invisible (see fleet.h).
+class ArenaPool {
+ public:
+  std::unique_ptr<RunArena> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<RunArena> arena = std::move(free_.back());
+        free_.pop_back();
+        return arena;
+      }
+    }
+    return std::make_unique<RunArena>();
   }
+
+  void release(std::unique_ptr<RunArena> arena) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(arena));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<RunArena>> free_;
+};
+
+/// Households per chunk. Explicit requests are honored (clamped to the
+/// fleet); auto mode targets ~16 chunks per worker so slow chunks rebalance
+/// across the pool, capped so one cell's result vector stays modest.
+std::size_t resolve_chunk(std::size_t requested, std::size_t n,
+                          std::size_t threads) {
+  constexpr std::size_t kMaxChunk = 4096;
+  if (requested != 0) return std::min(requested, n);
+  if (threads <= 1) return std::min(n, kMaxChunk);
+  const std::size_t slots = threads * 16;
+  const std::size_t target = (n + slots - 1) / slots;
+  return std::clamp(target, std::size_t{1}, kMaxChunk);
+}
+
+MetricSummary summarize(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (const double value : values) sum += value;
   MetricSummary summary;
   summary.mean = sum / static_cast<double>(values.size());
   summary.p50 = fleet_quantile(values, 0.50);
@@ -42,6 +90,13 @@ MetricSummary summarize(const std::vector<EvaluationResult>& results,
 double fleet_quantile(std::vector<double> values, double q) {
   RLBLH_REQUIRE(!values.empty(), "fleet_quantile: need at least one value");
   RLBLH_REQUIRE(q >= 0.0 && q <= 1.0, "fleet_quantile: q must be in [0,1]");
+  for (const double value : values) {
+    RLBLH_REQUIRE(std::isfinite(value),
+                  "fleet_quantile: values must be finite");
+  }
+  // One value is every quantile of itself (the single-household fleet:
+  // p50 == p95 == mean == the value).
+  if (values.size() == 1) return values.front();
   std::sort(values.begin(), values.end());
   const double position = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(position);
@@ -71,47 +126,90 @@ FleetResult FleetSimulator::run(std::uint64_t fleet_seed) {
   const std::size_t n = specs_.size();
   RLBLH_OBS_GAUGE("fleet.size", n);
 
-  std::vector<ScenarioSpec> resolved;
-  resolved.reserve(n);
-  for (std::size_t h = 0; h < n; ++h) {
-    resolved.push_back(resolved_spec(specs_[h], fleet_seed, h));
-  }
-
-  // One immutable schedule per distinct pricing slice, built serially
-  // before the fan-out; cells only read them. std::map nodes are stable,
-  // so the pointers survive later insertions.
+  // One immutable schedule per distinct pricing slice and one blueprint per
+  // distinct spec (up to seeds), both built serially before the fan-out;
+  // cells only read them. std::map nodes are stable, so the pointers
+  // survive later insertions. Seeds never reach the pricing factory, so
+  // keying on the unresolved specs is exact.
   std::map<std::string, TouSchedule> plans;
   std::vector<const TouSchedule*> plan_of(n);
+  std::map<std::string, ScenarioBlueprint> blueprints;
+  std::vector<const ScenarioBlueprint*> blueprint_of(n);
   for (std::size_t h = 0; h < n; ++h) {
-    const std::string key = pricing_key(resolved[h]);
-    auto it = plans.find(key);
-    if (it == plans.end()) {
-      it = plans.emplace(key, make_scenario_pricing(resolved[h])).first;
+    const std::string plan_key = pricing_key(specs_[h]);
+    auto plan_it = plans.find(plan_key);
+    if (plan_it == plans.end()) {
+      plan_it = plans.emplace(plan_key, make_scenario_pricing(specs_[h])).first;
     }
-    plan_of[h] = &it->second;
+    plan_of[h] = &plan_it->second;
+
+    const std::string bp_key = blueprint_key(specs_[h]);
+    auto bp_it = blueprints.find(bp_key);
+    if (bp_it == blueprints.end()) {
+      bp_it =
+          blueprints.emplace(bp_key, make_scenario_blueprint(specs_[h])).first;
+    }
+    blueprint_of[h] = &bp_it->second;
   }
   RLBLH_OBS_GAUGE("fleet.distinct_plans", plans.size());
+  RLBLH_OBS_GAUGE("fleet.distinct_blueprints", blueprints.size());
 
   SweepRunner runner(SweepOptions{options_.threads});
-  FleetResult result;
-  result.households = runner.run(n, [&](std::size_t h) {
-    RLBLH_OBS_SPAN("fleet.household");
-    EvaluationResult evaluation = run_spec(resolved[h], *plan_of[h]);
-    RLBLH_OBS_COUNT("fleet.households", 1);
-    RLBLH_OBS_COUNT("fleet.days",
-                    resolved[h].train_days + resolved[h].eval_days);
-    return evaluation;
-  });
+  const std::size_t chunk = resolve_chunk(options_.chunk, n, runner.threads());
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  RLBLH_OBS_GAUGE("fleet.chunk_size", chunk);
+  RLBLH_OBS_GAUGE("fleet.chunks", chunks);
+
+  ArenaPool arenas;
+  std::vector<std::vector<EvaluationResult>> chunk_results =
+      runner.run(chunks, [&](std::size_t c) {
+        RLBLH_OBS_SPAN("fleet.chunk");
+        const std::size_t first = c * chunk;
+        const std::size_t last = std::min(first + chunk, n);
+        std::unique_ptr<RunArena> arena = arenas.acquire();
+        std::vector<EvaluationResult> results;
+        results.reserve(last - first);
+        std::size_t days = 0;
+        for (std::size_t h = first; h < last; ++h) {
+          const std::uint64_t base = derive_stream_seed(fleet_seed, h);
+          results.push_back(run_blueprint(
+              specs_[h], *blueprint_of[h], *plan_of[h],
+              /*policy_seed=*/derive_stream_seed(base, 0),
+              /*household_seed=*/derive_stream_seed(base, 1), *arena));
+          days += specs_[h].train_days + specs_[h].eval_days;
+        }
+        arenas.release(std::move(arena));
+        RLBLH_OBS_COUNT("fleet.households", last - first);
+        RLBLH_OBS_COUNT("fleet.days", days);
+        return results;
+      });
   runner.shutdown();  // make worker-side counters visible to snapshots
 
-  result.saving_ratio =
-      summarize(result.households, &EvaluationResult::saving_ratio);
-  result.mean_cc = summarize(result.households, &EvaluationResult::mean_cc);
-  result.normalized_mi =
-      summarize(result.households, &EvaluationResult::normalized_mi);
-  for (const auto& household : result.households) {
-    result.battery_violations += household.battery_violations;
+  // Fold in grid order: chunk-major, household-ascending inside each chunk
+  // — exactly household order, so the aggregates match the per-household
+  // formulation bit for bit.
+  FleetResult result;
+  std::vector<double> sr;
+  std::vector<double> cc;
+  std::vector<double> mi;
+  sr.reserve(n);
+  cc.reserve(n);
+  mi.reserve(n);
+  if (options_.keep_households) result.households.reserve(n);
+  for (std::vector<EvaluationResult>& chunk_result : chunk_results) {
+    for (EvaluationResult& household : chunk_result) {
+      sr.push_back(household.saving_ratio);
+      cc.push_back(household.mean_cc);
+      mi.push_back(household.normalized_mi);
+      result.battery_violations += household.battery_violations;
+      if (options_.keep_households) result.households.push_back(household);
+    }
+    chunk_result.clear();
+    chunk_result.shrink_to_fit();  // stream, don't hold two copies of O(N)
   }
+  result.saving_ratio = summarize(sr);
+  result.mean_cc = summarize(cc);
+  result.normalized_mi = summarize(mi);
   return result;
 }
 

@@ -1,19 +1,29 @@
 // Fleet-scale simulation: N heterogeneous households batched over threads.
 //
 // A fleet is a vector of ScenarioSpecs — one per household, freely mixing
-// policies, household presets and pricing plans. FleetSimulator runs every
-// household's full train/eval schedule as one cell of a SweepRunner grid
-// and reports per-household EvaluationResults plus fleet aggregates
-// (mean / p50 / p95 of SR, CC and MI).
+// policies, household presets and pricing plans. FleetSimulator batches
+// households into chunks of K (one SweepRunner cell per chunk, not per
+// household), runs every household's full train/eval schedule, and reports
+// per-household EvaluationResults plus fleet aggregates (mean / p50 / p95
+// of SR, CC and MI).
 //
-// Determinism contract (same as SweepRunner's): results are bitwise
-// identical across thread counts. Each household cell is a pure function of
-// (its resolved spec, the shared price schedule): it constructs its own
-// trace source, battery, policy and SimEngine, and its RNG streams are
-// splitmix-derived from (fleet_seed, household index) — adjacent households
-// and adjacent fleet seeds get unrelated streams (util/rng.h,
-// derive_stream_seed). Price schedules are built once per distinct pricing
-// slice before the fan-out and shared immutably by reference.
+// Chunked execution exists because per-household fixed cost used to drown
+// the day loop at fleet scale: each cell leases a RunArena whose SimEngine
+// day buffers and EvaluationAccumulator (with its levels^4 MI tables) are
+// reused across the chunk's households, and the seed-independent parts of
+// each distinct spec — the resolved household preset and the policy
+// parameter bag (ScenarioBlueprint), plus the price schedule — are resolved
+// once before the fan-out and shared read-only by every cell.
+//
+// Determinism contract (same as SweepRunner's, extended to chunking):
+// results are bitwise identical across thread counts AND chunk sizes. Each
+// household is a pure function of (its spec blueprint, the shared price
+// schedule, its RNG streams): streams are splitmix-derived from
+// (fleet_seed, household index) — never from chunk geometry — and arena
+// reuse is invisible because every leased buffer is either fully rewritten
+// per day (engine scratch) or reset to fresh-constructed state per
+// household (accumulator). Chunk results are collected and folded in grid
+// order on the calling thread.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +39,14 @@ namespace rlblh {
 struct FleetOptions {
   /// Worker count; 0 resolves to ThreadPool::default_thread_count().
   std::size_t threads = 0;
+  /// Households per work unit; 0 picks a size targeting ~16 chunks per
+  /// worker (capped at 4096) so stragglers rebalance. Any value produces
+  /// bitwise-identical results — chunking is an execution detail.
+  std::size_t chunk = 0;
+  /// When false, FleetResult::households stays empty and only the
+  /// aggregates are produced — the memory-lean mode for very large fleets
+  /// (no O(N) result vector survives the run).
+  bool keep_households = true;
 };
 
 /// Mean and percentiles of one metric over the fleet's households.
@@ -41,6 +59,7 @@ struct MetricSummary {
 /// Outcome of one fleet run.
 struct FleetResult {
   /// Per-household evaluation, index-aligned with the fleet's specs.
+  /// Empty when FleetOptions::keep_households is false.
   std::vector<EvaluationResult> households;
   MetricSummary saving_ratio;
   MetricSummary mean_cc;
@@ -51,7 +70,8 @@ struct FleetResult {
 
 /// Linear-interpolation quantile of `values` at q in [0, 1] (sorts a copy;
 /// the deterministic definition the fleet aggregates use). Requires a
-/// nonempty input.
+/// nonempty input of finite values; a single value is every quantile of
+/// itself.
 double fleet_quantile(std::vector<double> values, double q);
 
 /// Runs a heterogeneous batch of scenarios with per-household RNG streams.
@@ -78,7 +98,8 @@ class FleetSimulator {
                                     std::size_t index);
 
   /// Runs every household's full schedule and aggregates. Bitwise
-  /// deterministic in (specs, fleet_seed) regardless of thread count.
+  /// deterministic in (specs, fleet_seed) regardless of thread count or
+  /// chunk size.
   FleetResult run(std::uint64_t fleet_seed);
 
  private:

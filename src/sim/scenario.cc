@@ -152,24 +152,96 @@ EvaluationResult run_scenario(Scenario& scenario) {
 
 EvaluationResult run_spec(const ScenarioSpec& spec,
                           const TouSchedule& prices) {
-  RLBLH_REQUIRE(spec.eval_days >= 1,
-                "run_spec: need at least one evaluation day");
-  auto source = make_scenario_source(spec);
-  Battery battery(spec.battery_kwh, spec.battery_kwh / 2.0);
-  auto policy = make_scenario_policy(spec);
-  pretrain_if_needed(spec, prices, *policy);
+  RunArena arena;
+  return run_spec(spec, prices, arena);
+}
 
-  SimEngine engine;
+ScenarioBlueprint make_scenario_blueprint(const ScenarioSpec& spec) {
+  ScenarioBlueprint bp;
+  if (spec.household != "csv") {
+    bp.household =
+        make_household_config(spec.household, spec.household_params);
+  }
+  // Mirror make_scenario_policy's bag exactly: shared geometry first, then
+  // the dotted overrides (so a pinned policy.seed lands on top and stays).
+  bp.policy_bag.set("battery", spec.battery_kwh);
+  bp.policy_bag.set("nd", spec.nd);
+  bp.policy_bag.set("seed", spec.seed);
+  merge_params(bp.policy_bag, spec.policy_params);
+  bp.policy_seed_pinned = spec.policy_params.has("seed");
+  return bp;
+}
+
+std::unique_ptr<TraceSource> make_blueprint_source(const ScenarioSpec& spec,
+                                                   const ScenarioBlueprint& bp,
+                                                   std::uint64_t hseed) {
+  if (!bp.household.has_value()) {
+    // csv replay (or any future config-less source): the registry factory
+    // is the source of truth and the seed is ignored there.
+    return make_trace_source(spec.household, spec.household_params, hseed);
+  }
+  return std::make_unique<HouseholdTraceSource>(*bp.household, hseed);
+}
+
+EvaluationAccumulator& RunArena::accumulator(std::size_t intervals,
+                                             std::size_t mi_levels,
+                                             double usage_cap) {
+  if (accumulator_.has_value()) {
+    accumulator_->reset(intervals, mi_levels, usage_cap);
+  } else {
+    accumulator_.emplace(intervals, mi_levels, usage_cap);
+  }
+  return *accumulator_;
+}
+
+EvaluationResult run_blueprint(const ScenarioSpec& spec,
+                               const ScenarioBlueprint& bp,
+                               const TouSchedule& prices,
+                               std::uint64_t policy_seed,
+                               std::uint64_t household_seed, RunArena& arena) {
+  RLBLH_REQUIRE(spec.eval_days >= 1,
+                "run_blueprint: need at least one evaluation day");
+  auto source = make_blueprint_source(spec, bp, household_seed);
+  Battery battery(spec.battery_kwh, spec.battery_kwh / 2.0);
+  std::unique_ptr<BlhPolicy> policy;
+  if (bp.policy_seed_pinned) {
+    policy = make_policy(spec.policy, bp.policy_bag);
+  } else {
+    SpecParams bag = bp.policy_bag;
+    bag.set("seed", policy_seed);
+    policy = make_policy(spec.policy, bag);
+  }
+  // Blueprint-aware pretrain_if_needed: same trainer stream derivation,
+  // but the trainer source comes from the cached household config.
+  if (auto* mdp = dynamic_cast<MdpBlhPolicy*>(policy.get());
+      mdp != nullptr && !mdp->solved()) {
+    const std::size_t days = spec.train_days > 0 ? spec.train_days : 1;
+    auto trainer = make_blueprint_source(
+        spec, bp, derive_stream_seed(household_seed, 1));
+    for (std::size_t d = 0; d < days; ++d) {
+      mdp->observe_training_day(trainer->next_day(), prices);
+    }
+    mdp->solve();
+  }
+
+  SimEngine& engine = arena.engine();
   if (spec.train_days > 0) {
     engine.run_days(*source, prices, battery, *policy, spec.train_days);
   }
-  EvaluationAccumulator accumulator(source->intervals(), spec.mi_levels,
-                                    source->usage_cap());
+  EvaluationAccumulator& accumulator = arena.accumulator(
+      source->intervals(), spec.mi_levels, source->usage_cap());
   engine.run_days(*source, prices, battery, *policy, spec.eval_days,
                   [&](std::size_t, const DayResult& day) {
                     accumulator.observe_day(day, prices);
                   });
   return accumulator.result();
+}
+
+EvaluationResult run_spec(const ScenarioSpec& spec, const TouSchedule& prices,
+                          RunArena& arena) {
+  const ScenarioBlueprint bp = make_scenario_blueprint(spec);
+  return run_blueprint(spec, bp, prices, spec.seed, spec.household_seed(),
+                       arena);
 }
 
 }  // namespace rlblh

@@ -28,8 +28,10 @@
 
 #include "core/policy.h"
 #include "core/registry.h"
+#include "meter/household.h"
 #include "meter/trace.h"
 #include "pricing/tou.h"
+#include "sim/engine.h"
 #include "sim/experiment.h"
 #include "sim/simulator.h"
 
@@ -114,5 +116,73 @@ EvaluationResult run_scenario(Scenario& scenario);
 /// TouSchedule is shared by every household on the same plan. Bitwise
 /// equivalent to build_scenario + run_scenario for the same spec.
 EvaluationResult run_spec(const ScenarioSpec& spec, const TouSchedule& prices);
+
+/// The seed-independent part of a spec, resolved once and shared by every
+/// household that runs the same spec text (fleets repeat a handful of spec
+/// blueprints across thousands of households, so registry lookup, preset
+/// construction and geometry merging must not be per-household work).
+struct ScenarioBlueprint {
+  /// Resolved household preset with `household.*` overrides applied;
+  /// nullopt for csv replay, which has no synthetic config (csv runs fall
+  /// back to the registry factory, which ignores the seed anyway).
+  std::optional<HouseholdConfig> household;
+  /// Policy parameter bag with the shared geometry (battery, nd) and the
+  /// dotted `policy.*` overrides merged. The `seed` entry is a placeholder
+  /// unless the spec pinned it via `policy.seed=...`.
+  SpecParams policy_bag;
+  /// True when `policy.seed` was given explicitly — the per-household
+  /// policy seed must NOT overwrite it (matching make_scenario_policy's
+  /// merge order, where dotted overrides win over the top-level seed).
+  bool policy_seed_pinned = false;
+};
+
+/// Resolves the spec's seed-independent state. Pure function of the spec's
+/// non-seed fields: two specs differing only in seed/hseed share one
+/// blueprint.
+ScenarioBlueprint make_scenario_blueprint(const ScenarioSpec& spec);
+
+/// The blueprint's trace source for one household seed. Bitwise equivalent
+/// to make_trace_source(spec.household, spec.household_params, hseed).
+std::unique_ptr<TraceSource> make_blueprint_source(const ScenarioSpec& spec,
+                                                   const ScenarioBlueprint& bp,
+                                                   std::uint64_t hseed);
+
+/// Reusable per-worker scratch for repeated run_spec/run_blueprint calls:
+/// the SimEngine (whose day buffers persist across households) and the
+/// EvaluationAccumulator (whose MI tables are sparse-reset between
+/// households). One arena serves one worker thread; runs borrow it
+/// sequentially. Every buffer handed out is either fully overwritten per
+/// day (engine scratch) or reset to fresh-constructed state per run
+/// (accumulator), so reuse cannot leak state between households — the
+/// chunking-invariance proptests pin this.
+class RunArena {
+ public:
+  /// The arena's engine. Day buffers are reused across calls; SimEngine's
+  /// contract is that every slot is rewritten each day.
+  SimEngine& engine() { return engine_; }
+
+  /// An accumulator reset for the given geometry: fresh state, buffers
+  /// reused when the geometry matches the previous run's.
+  EvaluationAccumulator& accumulator(std::size_t intervals,
+                                     std::size_t mi_levels, double usage_cap);
+
+ private:
+  SimEngine engine_;
+  std::optional<EvaluationAccumulator> accumulator_;
+};
+
+/// Runs one household from a resolved blueprint: the blueprint supplies the
+/// spec-shared state, `policy_seed`/`household_seed` the per-household RNG
+/// streams, and `arena` the reusable scratch. Bitwise equivalent to
+/// run_spec on the spec with seed = policy_seed and hseed = household_seed.
+EvaluationResult run_blueprint(const ScenarioSpec& spec,
+                               const ScenarioBlueprint& bp,
+                               const TouSchedule& prices,
+                               std::uint64_t policy_seed,
+                               std::uint64_t household_seed, RunArena& arena);
+
+/// run_spec reusing a caller-owned arena instead of per-call scratch.
+EvaluationResult run_spec(const ScenarioSpec& spec, const TouSchedule& prices,
+                          RunArena& arena);
 
 }  // namespace rlblh

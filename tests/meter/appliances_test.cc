@@ -93,6 +93,22 @@ TEST(Hvac, RejectsBadDutyCycle) {
   EXPECT_THROW(Hvac(0.03, 0.1, 0.4, 1.5), ConfigError);
 }
 
+TEST(Hvac, DiurnalCurveIsSharedProcessWide) {
+  // Fleet runs build thousands of Hvac models with the same day geometry;
+  // the tabulated diurnal curve must come from one shared cache entry per
+  // day length, not a per-model rebuild.
+  const auto a = hvac_diurnal_curve(1440);
+  const auto b = hvac_diurnal_curve(1440);
+  EXPECT_EQ(a.get(), b.get());  // pointer identity: one table per length
+  const auto other = hvac_diurnal_curve(96);
+  EXPECT_NE(a.get(), other.get());
+  ASSERT_EQ(a->size(), 1440u);
+  ASSERT_EQ(other->size(), 96u);
+  // Spot-check the curve shape: trough pre-dawn, peak mid-afternoon.
+  EXPECT_LT((*a)[216], 0.01);    // phase 0.15: cos argument 0, the trough
+  EXPECT_GT((*a)[936], 0.99);    // phase 0.65: half a period on, the peak
+}
+
 TEST(WaterHeater, MorningRecoveryFollowsWake) {
   WaterHeater wh;
   Rng rng(4);

@@ -146,6 +146,40 @@ TEST(PairwiseMi, BiasCorrectionReducesIndependentStreamLeakage) {
   EXPECT_GT(identical.normalized_mi(), 0.9);
 }
 
+TEST(PairwiseMiEstimator, ResetMatchesFreshConstruction) {
+  // The sparse reset (zero only touched joint cells) must be semantically
+  // complete: after reset, re-observing a stream yields bitwise the same
+  // estimate a freshly constructed estimator produces — the property the
+  // fleet's arena-recycled accumulators stand on.
+  PairwiseMiEstimator recycled(30, 8, 1.0, 1.0);
+  Rng warmup(21);
+  for (int d = 0; d < 25; ++d) {
+    recycled.observe_day(random_day(30, 1.0, warmup),
+                         random_day(30, 1.0, warmup));
+  }
+  recycled.reset();
+  EXPECT_EQ(recycled.days(), 0u);
+  EXPECT_EQ(recycled.normalized_mi(), 0.0);
+
+  PairwiseMiEstimator fresh(30, 8, 1.0, 1.0);
+  Rng a(22);
+  Rng b(22);
+  for (int d = 0; d < 25; ++d) {
+    const DayTrace xa = random_day(30, 1.0, a);
+    const DayTrace ya = random_day(30, 1.0, a);
+    recycled.observe_day(xa, ya);
+    const DayTrace xb = random_day(30, 1.0, b);
+    const DayTrace yb = random_day(30, 1.0, b);
+    fresh.observe_day(xb, yb);
+  }
+  EXPECT_EQ(recycled.days(), fresh.days());
+  EXPECT_EQ(recycled.normalized_mi(), fresh.normalized_mi());
+  for (std::size_t n = 0; n + 1 < 30; ++n) {
+    EXPECT_EQ(recycled.normalized_mi_at(n), fresh.normalized_mi_at(n)) << n;
+    EXPECT_EQ(recycled.usage_entropy_at(n), fresh.usage_entropy_at(n)) << n;
+  }
+}
+
 class MiLevelsParam : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(MiLevelsParam, NormalizedMiStaysInUnitInterval) {

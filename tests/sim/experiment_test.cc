@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "baselines/lowpass.h"
 #include "core/rlblh_policy.h"
 #include "util/error.h"
@@ -84,6 +86,55 @@ TEST(Experiment, TrainPhaseRunsThePolicy) {
   eval.eval_days = 2;
   evaluate_policy(sim, policy, eval);
   EXPECT_EQ(policy.days_completed(), 5u);
+}
+
+TEST(Experiment, AccumulatorResetMatchesFreshConstruction) {
+  // The fleet's worker arenas recycle one accumulator across households;
+  // reset() must reproduce fresh-constructed results bitwise, both when
+  // the geometry repeats and when it changes between runs.
+  Simulator sim = make_household_simulator(small_household(),
+                                           TouSchedule::srp_plan(), 5.0, 9);
+  LowPassConfig lp;
+  lp.battery_capacity = 5.0;
+  LowPassPolicy policy(lp);
+
+  std::vector<DayResult> days;
+  for (int d = 0; d < 4; ++d) days.push_back(sim.run_day(policy));
+
+  const auto observe_all = [&](EvaluationAccumulator& accumulator) {
+    for (const DayResult& day : days) {
+      accumulator.observe_day(day, sim.prices());
+    }
+    return accumulator.result();
+  };
+
+  EvaluationAccumulator fresh(kIntervalsPerDay, 8, sim.source().usage_cap());
+  const EvaluationResult expected = observe_all(fresh);
+
+  EvaluationAccumulator recycled(kIntervalsPerDay, 8,
+                                 sim.source().usage_cap());
+  observe_all(recycled);
+  // Same geometry: the MI tables are sparsely zeroed, not reallocated.
+  recycled.reset(kIntervalsPerDay, 8, sim.source().usage_cap());
+  EXPECT_EQ(recycled.days(), 0u);
+  const EvaluationResult same_geometry = observe_all(recycled);
+  // Different geometry: the estimator is rebuilt; a second reset returns.
+  recycled.reset(kIntervalsPerDay, 4, sim.source().usage_cap());
+  observe_all(recycled);
+  recycled.reset(kIntervalsPerDay, 8, sim.source().usage_cap());
+  const EvaluationResult regeometried = observe_all(recycled);
+
+  for (const EvaluationResult& actual : {same_geometry, regeometried}) {
+    EXPECT_EQ(actual.saving_ratio, expected.saving_ratio);
+    EXPECT_EQ(actual.mean_cc, expected.mean_cc);
+    EXPECT_EQ(actual.normalized_mi, expected.normalized_mi);
+    EXPECT_EQ(actual.mean_daily_savings_cents,
+              expected.mean_daily_savings_cents);
+    EXPECT_EQ(actual.mean_daily_bill_cents, expected.mean_daily_bill_cents);
+    EXPECT_EQ(actual.mean_daily_usage_cost_cents,
+              expected.mean_daily_usage_cost_cents);
+    EXPECT_EQ(actual.battery_violations, expected.battery_violations);
+  }
 }
 
 }  // namespace

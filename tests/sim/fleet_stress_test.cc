@@ -1,0 +1,139 @@
+// Fleet stress wall: the determinism contract at deployment scale.
+//
+// Runs a heterogeneous 10k-household fleet (every policy family, several
+// presets and tariffs) once serial and once at 8 workers and asserts the
+// FleetResults are bitwise identical — per household and in aggregate —
+// with every aggregate finite and the violation count consistent with the
+// per-household sum. This is the scaled-up version of the fleet_test
+// determinism cases: small fleets cannot catch chunk-boundary or
+// arena-recycling bugs that only appear when thousands of households share
+// workers, chunks and cached blueprints.
+//
+// Labeled `stress` in CTest so sanitizer jobs can include it at a reduced
+// size: RLBLH_STRESS_HOUSEHOLDS overrides the fleet size (default 10000).
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace rlblh {
+namespace {
+
+std::uint64_t bits(double value) {
+  std::uint64_t out = 0;
+  static_assert(sizeof(out) == sizeof(value));
+  std::memcpy(&out, &value, sizeof(out));
+  return out;
+}
+
+std::size_t stress_households() {
+  const char* const env = std::getenv("RLBLH_STRESS_HOUSEHOLDS");
+  if (env != nullptr && *env != '\0') {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return 10000;
+}
+
+/// The bench's heterogeneous rotation: every policy family, mixed presets
+/// and tariffs, one simulated day per household (the stress is the fleet
+/// machinery, not the day loop).
+std::vector<ScenarioSpec> stress_fleet(std::size_t size) {
+  const char* const mixes[] = {
+      "policy=rlblh;household=default;pricing=srp;battery=5",
+      "policy=lowpass;household=weekday_heavy;pricing=tou2;battery=3",
+      "policy=stepping;household=night_owl;pricing=tou3;battery=5",
+      "policy=none;household=apartment;pricing=flat",
+      "policy=random_pulse;household=vacationer;pricing=srp;battery=4",
+      "policy=mdp;household=ev_owner;pricing=srp;battery=3;"
+      "policy.levels=16;policy.usage_levels=8",
+      "policy=rlblh;household=weekday_heavy;pricing=rtp;battery=5;"
+      "pricing.seed=5",
+      "policy=lowpass;household=default;pricing=srp;battery=2",
+  };
+  const std::size_t n_mixes = sizeof(mixes) / sizeof(mixes[0]);
+  std::vector<ScenarioSpec> fleet;
+  fleet.reserve(size);
+  for (std::size_t index = 0; index < size; ++index) {
+    ScenarioSpec spec = ScenarioSpec::parse(mixes[index % n_mixes]);
+    spec.train_days = 0;
+    spec.eval_days = 1;
+    fleet.push_back(std::move(spec));
+  }
+  return fleet;
+}
+
+void expect_summary_finite_and_equal(const MetricSummary& a,
+                                     const MetricSummary& b,
+                                     const char* metric) {
+  EXPECT_TRUE(std::isfinite(a.mean)) << metric;
+  EXPECT_TRUE(std::isfinite(a.p50)) << metric;
+  EXPECT_TRUE(std::isfinite(a.p95)) << metric;
+  EXPECT_EQ(bits(a.mean), bits(b.mean)) << metric;
+  EXPECT_EQ(bits(a.p50), bits(b.p50)) << metric;
+  EXPECT_EQ(bits(a.p95), bits(b.p95)) << metric;
+}
+
+TEST(FleetStress, TenThousandHouseholdsBitwiseAcrossThreadCounts) {
+  const std::size_t n = stress_households();
+  const std::vector<ScenarioSpec> specs = stress_fleet(n);
+  const std::uint64_t fleet_seed = 2026;
+
+  FleetSimulator serial(specs, FleetOptions{/*threads=*/1});
+  FleetSimulator wide(specs, FleetOptions{/*threads=*/8});
+  const FleetResult a = serial.run(fleet_seed);
+  const FleetResult b = wide.run(fleet_seed);
+
+  ASSERT_EQ(a.households.size(), n);
+  ASSERT_EQ(b.households.size(), n);
+
+  // Per-household bitwise equality plus the violation consistency check:
+  // the aggregate is exactly the sum of its parts in both runs.
+  std::size_t violations_a = 0;
+  std::size_t violations_b = 0;
+  std::size_t mismatches = 0;
+  for (std::size_t h = 0; h < n; ++h) {
+    const EvaluationResult& ha = a.households[h];
+    const EvaluationResult& hb = b.households[h];
+    violations_a += ha.battery_violations;
+    violations_b += hb.battery_violations;
+    const bool equal =
+        bits(ha.saving_ratio) == bits(hb.saving_ratio) &&
+        bits(ha.mean_cc) == bits(hb.mean_cc) &&
+        bits(ha.normalized_mi) == bits(hb.normalized_mi) &&
+        bits(ha.mean_daily_savings_cents) ==
+            bits(hb.mean_daily_savings_cents) &&
+        bits(ha.mean_daily_bill_cents) == bits(hb.mean_daily_bill_cents) &&
+        bits(ha.mean_daily_usage_cost_cents) ==
+            bits(hb.mean_daily_usage_cost_cents) &&
+        ha.battery_violations == hb.battery_violations;
+    if (!equal) {
+      ++mismatches;
+      // Report the first few divergent households, not ten thousand lines.
+      EXPECT_LE(mismatches, 3u) << "household " << h << " differs between "
+                                << "the 1-thread and 8-thread runs";
+    }
+    EXPECT_TRUE(std::isfinite(ha.saving_ratio)) << "household " << h;
+    EXPECT_TRUE(std::isfinite(ha.mean_cc)) << "household " << h;
+    EXPECT_TRUE(std::isfinite(ha.normalized_mi)) << "household " << h;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(a.battery_violations, violations_a);
+  EXPECT_EQ(b.battery_violations, violations_b);
+  EXPECT_EQ(a.battery_violations, b.battery_violations);
+
+  expect_summary_finite_and_equal(a.saving_ratio, b.saving_ratio, "SR");
+  expect_summary_finite_and_equal(a.mean_cc, b.mean_cc, "CC");
+  expect_summary_finite_and_equal(a.normalized_mi, b.normalized_mi, "MI");
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/scenario.h"
+#include "util/error.h"
 
 namespace rlblh {
 namespace {
@@ -102,6 +105,38 @@ TEST(FleetQuantile, LinearInterpolationDefinition) {
   EXPECT_EQ(fleet_quantile({7.5}, 0.95), 7.5);
 }
 
+TEST(FleetQuantile, SingleValueIsEveryQuantile) {
+  // The single-household fleet: p50 == p95 == mean == the value.
+  EXPECT_EQ(fleet_quantile({-3.25}, 0.0), -3.25);
+  EXPECT_EQ(fleet_quantile({-3.25}, 0.5), -3.25);
+  EXPECT_EQ(fleet_quantile({-3.25}, 0.95), -3.25);
+  EXPECT_EQ(fleet_quantile({-3.25}, 1.0), -3.25);
+}
+
+TEST(FleetQuantile, TwoValuesInterpolateLinearly) {
+  EXPECT_EQ(fleet_quantile({2.0, 4.0}, 0.0), 2.0);
+  EXPECT_EQ(fleet_quantile({2.0, 4.0}, 0.5), 3.0);
+  EXPECT_EQ(fleet_quantile({4.0, 2.0}, 0.25), 2.5);  // order-independent
+  EXPECT_EQ(fleet_quantile({2.0, 4.0}, 1.0), 4.0);
+}
+
+TEST(FleetQuantile, EmptyInputIsRejected) {
+  EXPECT_THROW(fleet_quantile({}, 0.5), ConfigError);
+}
+
+TEST(FleetQuantile, OutOfRangeQuantileIsRejected) {
+  EXPECT_THROW(fleet_quantile({1.0, 2.0}, -0.01), ConfigError);
+  EXPECT_THROW(fleet_quantile({1.0, 2.0}, 1.01), ConfigError);
+}
+
+TEST(FleetQuantile, NonFiniteValuesAreRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(fleet_quantile({1.0, nan, 2.0}, 0.5), ConfigError);
+  EXPECT_THROW(fleet_quantile({inf}, 0.5), ConfigError);
+  EXPECT_THROW(fleet_quantile({-inf, 0.0}, 0.5), ConfigError);
+}
+
 TEST(FleetDeterminism, OneHouseholdFleetMatchesSimulatorPath) {
   ScenarioSpec spec = ScenarioSpec::parse(
       "policy=rlblh;household=weekday_heavy;pricing=tou2;battery=4;"
@@ -153,6 +188,140 @@ TEST(FleetDeterminism, RunIsRepeatableOnTheSameSimulator) {
   ASSERT_EQ(first.households.size(), second.households.size());
   for (std::size_t index = 0; index < first.households.size(); ++index) {
     expect_bitwise_equal(first.households[index], second.households[index]);
+  }
+}
+
+TEST(FleetDeterminism, ChunkSizeDoesNotChangeResultsBitwise) {
+  const std::vector<ScenarioSpec> specs = mixed_fleet();
+  const std::uint64_t fleet_seed = 7;
+
+  FleetOptions per_household;
+  per_household.threads = 1;
+  per_household.chunk = 1;  // the old one-cell-per-household semantics
+  const FleetResult reference =
+      FleetSimulator(specs, per_household).run(fleet_seed);
+
+  for (const std::size_t chunk : {std::size_t{3}, std::size_t{64},
+                                  specs.size(), std::size_t{0} /* auto */}) {
+    FleetOptions options;
+    options.threads = 2;
+    options.chunk = chunk;
+    const FleetResult chunked = FleetSimulator(specs, options).run(fleet_seed);
+    ASSERT_EQ(chunked.households.size(), specs.size());
+    for (std::size_t index = 0; index < specs.size(); ++index) {
+      expect_bitwise_equal(reference.households[index],
+                           chunked.households[index]);
+    }
+    expect_bitwise_equal(reference.saving_ratio, chunked.saving_ratio);
+    expect_bitwise_equal(reference.mean_cc, chunked.mean_cc);
+    expect_bitwise_equal(reference.normalized_mi, chunked.normalized_mi);
+    EXPECT_EQ(reference.battery_violations, chunked.battery_violations);
+  }
+}
+
+TEST(FleetDeterminism, DroppingHouseholdResultsKeepsAggregatesBitwise) {
+  const std::vector<ScenarioSpec> specs = mixed_fleet();
+  FleetOptions keep;
+  keep.threads = 2;
+  const FleetResult full = FleetSimulator(specs, keep).run(3);
+
+  FleetOptions drop = keep;
+  drop.keep_households = false;
+  const FleetResult lean = FleetSimulator(specs, drop).run(3);
+
+  EXPECT_TRUE(lean.households.empty());
+  expect_bitwise_equal(full.saving_ratio, lean.saving_ratio);
+  expect_bitwise_equal(full.mean_cc, lean.mean_cc);
+  expect_bitwise_equal(full.normalized_mi, lean.normalized_mi);
+  EXPECT_EQ(full.battery_violations, lean.battery_violations);
+}
+
+// The blueprint cache must be seed-independent only: households sharing one
+// preset (hence one cached HouseholdConfig and policy bag) but differing in
+// derived seeds have to produce genuinely different traces and results.
+TEST(FleetBlueprintCache, SharedPresetHouseholdsStayDistinct) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "policy=lowpass;household=default;pricing=srp;battery=4;train=0;eval=2");
+  const std::size_t kHouseholds = 16;
+  const std::vector<ScenarioSpec> specs(kHouseholds, spec);
+
+  FleetSimulator fleet(specs, FleetOptions{/*threads=*/2});
+  const FleetResult result = fleet.run(42);
+  ASSERT_EQ(result.households.size(), kHouseholds);
+
+  // Every household's evaluation is distinct from every other's: equal
+  // bill totals across two independently seeded trace streams would mean
+  // the cache leaked a seed.
+  std::unordered_set<std::uint64_t> bills;
+  for (const EvaluationResult& household : result.households) {
+    bills.insert(bits(household.mean_daily_bill_cents));
+  }
+  EXPECT_EQ(bills.size(), kHouseholds);
+}
+
+TEST(FleetBlueprintCache, BlueprintSourceFollowsTheSeed) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "policy=none;household=weekday_heavy;pricing=flat;train=0;eval=1");
+  const ScenarioBlueprint bp = make_scenario_blueprint(spec);
+  ASSERT_TRUE(bp.household.has_value());
+
+  // Same seed: identical first day. Different seed: a different day.
+  const DayTrace a = make_blueprint_source(spec, bp, 1234)->next_day();
+  const DayTrace b = make_blueprint_source(spec, bp, 1234)->next_day();
+  const DayTrace c = make_blueprint_source(spec, bp, 1235)->next_day();
+  ASSERT_EQ(a.intervals(), b.intervals());
+  bool same_ab = true;
+  bool same_ac = true;
+  for (std::size_t n = 0; n < a.intervals(); ++n) {
+    same_ab = same_ab && bits(a.at(n)) == bits(b.at(n));
+    same_ac = same_ac && bits(a.at(n)) == bits(c.at(n));
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(FleetBlueprintCache, PinnedPolicySeedSurvivesBlueprinting) {
+  const ScenarioSpec pinned = ScenarioSpec::parse(
+      "policy=rlblh;household=default;pricing=srp;train=0;eval=2;"
+      "policy.seed=55");
+  const ScenarioSpec free_seed = ScenarioSpec::parse(
+      "policy=rlblh;household=default;pricing=srp;train=0;eval=2");
+  EXPECT_TRUE(make_scenario_blueprint(pinned).policy_seed_pinned);
+  EXPECT_FALSE(make_scenario_blueprint(free_seed).policy_seed_pinned);
+
+  // With a pinned policy seed, the fleet's derived policy stream must not
+  // displace it: the run matches the plain path on the resolved spec, whose
+  // make_scenario_policy also keeps the dotted override.
+  FleetSimulator fleet({pinned}, FleetOptions{/*threads=*/1});
+  const FleetResult result = fleet.run(9);
+  Scenario scenario =
+      build_scenario(FleetSimulator::resolved_spec(pinned, 9, 0));
+  const EvaluationResult single = run_scenario(scenario);
+  ASSERT_EQ(result.households.size(), 1u);
+  expect_bitwise_equal(result.households[0], single);
+}
+
+// Arena reuse across households in one chunk must be invisible: a fleet of
+// heterogeneous geometries (different mi_levels, day schedules) run in one
+// chunk equals the same households run one chunk each.
+TEST(FleetArenaReuse, GeometrySwitchesInsideAChunkAreClean) {
+  std::vector<ScenarioSpec> specs = mixed_fleet();
+  specs[1].mi_levels = 4;  // force an accumulator geometry change mid-chunk
+  specs[4].mi_levels = 12;
+
+  FleetOptions one_chunk;
+  one_chunk.threads = 1;
+  one_chunk.chunk = specs.size();
+  FleetOptions per_household;
+  per_household.threads = 1;
+  per_household.chunk = 1;
+
+  const FleetResult batched = FleetSimulator(specs, one_chunk).run(5);
+  const FleetResult isolated = FleetSimulator(specs, per_household).run(5);
+  ASSERT_EQ(batched.households.size(), isolated.households.size());
+  for (std::size_t index = 0; index < specs.size(); ++index) {
+    expect_bitwise_equal(batched.households[index],
+                         isolated.households[index]);
   }
 }
 
