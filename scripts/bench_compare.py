@@ -15,7 +15,10 @@ current run must provide a matching BENCH_<name>.json whose
     the tN/t1 per-core throughput ratio (parallel efficiency, a
     machine-relative quantity) has not dropped more than the allowed
     fraction below the baseline's ratio (see --scaling-tolerance /
-    --no-scaling below).
+    --no-scaling below), and
+  * for benches that emit batch_days_per_sec_w<W> records, the W=8 figure
+    is at least --batch-speedup times the baseline's overall scalar
+    days_per_sec, rescaled by the machine-speed ratio (see --no-batch).
 
 Exit status is non-zero on any failure. A summary table is printed to
 stdout and, when the GITHUB_STEP_SUMMARY environment variable points at a
@@ -48,6 +51,17 @@ from pathlib import Path
 # are exempt from the strict drift check and only gated — like wall time —
 # by the machine-ratio-scaled budget in main().
 TIMING_METRIC = re.compile(r"(^|_)(ns|us|ms|sec|seconds)(_|$)")
+
+# Speedup metrics (batch_speedup_w8) are ratios of two timings from the
+# same run: machine-relative but still noisy between runs, so they are
+# exempt from the strict drift check like the raw timings they divide.
+SPEEDUP_METRIC = re.compile(r"(^|_)speedup(_|$)")
+
+# Lockstep-batch throughput records emitted by micro_engine
+# (batch_days_per_sec_w8). The W=8 figure is gated against the committed
+# scalar baseline: the batch engine must keep a multiple of the scalar
+# per-day rate or the SoA path has stopped paying for itself.
+BATCH_METRIC = re.compile(r"^batch_days_per_sec_w(\d+)$")
 
 # Per-core throughput metrics emitted by the scaling benches
 # (days_per_sec_per_core_t8_h10000). Absolute values move with the machine,
@@ -115,6 +129,46 @@ def compare_scaling(name: str, base: dict, cur: dict, tolerance: float):
     return failures, info
 
 
+def compare_batch(name: str, base: dict, cur: dict, min_speedup: float,
+                  machine_speedup: float):
+    """Gates lockstep-batch throughput: the current batch_days_per_sec_w8
+    must be at least `min_speedup` times the committed baseline's overall
+    scalar day-loop rate (the scalar_days_per_sec metric; the record-level
+    days_per_sec is the fallback for old records), rescaled to this
+    machine's speed. Other widths are reported but not gated. Returns
+    (failures, info_lines)."""
+    failures, info = [], []
+    scalar = float(
+        base.get("metrics", {}).get(
+            "scalar_days_per_sec", base.get("days_per_sec", 0.0)
+        )
+    )
+    if scalar <= 0.0 or machine_speedup <= 0.0:
+        return failures, info
+    for key in sorted(cur.get("metrics", {})):
+        match = BATCH_METRIC.match(key)
+        if not match:
+            continue
+        width = int(match.group(1))
+        batch = float(cur["metrics"][key])
+        floor = min_speedup * scalar * machine_speedup
+        ratio = batch / (scalar * machine_speedup)
+        gated = width == 8
+        status = "ok" if batch >= floor else ("FAIL" if gated else "info")
+        info.append(
+            f"{name} W={width}: batch {batch:.0f} days/s = {ratio:.2f}x the "
+            f"scalar baseline ({scalar:.0f} x machine {machine_speedup:.2f}"
+            f"x; floor {min_speedup:.1f}x) {status}"
+        )
+        if gated and batch < floor:
+            failures.append(
+                f"{name}: batch throughput below floor: '{key}' = "
+                f"{batch:.0f} days/s, need >= {min_speedup:.1f}x the "
+                f"baseline scalar rate ({floor:.0f} days/s on this machine)"
+            )
+    return failures, info
+
+
 def load_records(directory: Path, problems: list) -> dict:
     """Loads every BENCH_*.json in `directory`; unreadable or malformed
     files become failure strings in `problems` instead of tracebacks."""
@@ -148,7 +202,7 @@ def compare_metrics(name: str, base: dict, cur: dict, rtol: float) -> list:
         if key not in cur_metrics:
             failures.append(f"{name}: metric '{key}' missing from current run")
             continue
-        if TIMING_METRIC.search(key):
+        if TIMING_METRIC.search(key) or SPEEDUP_METRIC.search(key):
             continue  # timing measurement: gated by the wall budget instead
         b, c = base_metrics[key], cur_metrics[key]
         if not close(float(b), float(c), rtol):
@@ -199,6 +253,18 @@ def main() -> int:
         action="store_true",
         help="skip the parallel-efficiency comparison",
     )
+    parser.add_argument(
+        "--batch-speedup",
+        type=float,
+        default=2.0,
+        help="required batch_days_per_sec_w8 multiple of the baseline's "
+        "scalar days_per_sec, machine-ratio scaled (default 2.0)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="skip the lockstep-batch throughput comparison",
+    )
     args = parser.parse_args()
 
     failures = []
@@ -237,6 +303,7 @@ def main() -> int:
 
     rows = []
     scaling_lines = []
+    batch_lines = []
     for name in unbaselined:
         rows.append((name, "NO BASELINE", "-", "-"))
     for name, base in sorted(baselines.items()):
@@ -253,6 +320,12 @@ def main() -> int:
             )
             failures.extend(scaling_failures)
             scaling_lines.extend(info)
+        if not args.no_batch:
+            batch_failures, info = compare_batch(
+                name, base, cur, args.batch_speedup, machine_speedup
+            )
+            failures.extend(batch_failures)
+            batch_lines.extend(info)
 
         base_wall = float(base.get("wall_seconds", 0.0))
         cur_wall = float(cur.get("wall_seconds", 0.0))
@@ -277,10 +350,13 @@ def main() -> int:
         scaling_ok = not any(f.startswith(f"{name}: parallel efficiency") or
                              f.startswith(f"{name}: scaling ratio")
                              for f in failures)
+        batch_ok = not any(f.startswith(f"{name}: batch throughput")
+                           for f in failures)
         rows.append(
             (
                 name,
-                "ok" if (wall_ok and metrics_ok and scaling_ok) else "FAIL",
+                "ok" if (wall_ok and metrics_ok and scaling_ok and batch_ok)
+                else "FAIL",
                 f"{base_wall:.3f}s -> {cur_wall:.3f}s",
                 "ok" if metrics_ok else "drift",
             )
@@ -297,6 +373,10 @@ def main() -> int:
     if scaling_lines:
         print("\nparallel efficiency (tN/t1 per-core throughput ratios):")
         for line in scaling_lines:
+            print(f"  {line}")
+    if batch_lines:
+        print("\nlockstep-batch throughput (vs scalar baseline):")
+        for line in batch_lines:
             print(f"  {line}")
 
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -318,6 +398,13 @@ def main() -> int:
                     f"tolerance {args.scaling_tolerance:.0%})\n\n"
                 )
                 for line in scaling_lines:
+                    summary.write(f"- {line}\n")
+            if batch_lines:
+                summary.write(
+                    "\n**Lockstep-batch throughput** (W=8 gated at "
+                    f"{args.batch_speedup:.1f}x the scalar baseline)\n\n"
+                )
+                for line in batch_lines:
                     summary.write(f"- {line}\n")
             if unbaselined:
                 summary.write(

@@ -28,6 +28,18 @@
 //     policy.end_day();
 //
 // with W = pulse_width() and blocks tiling [0, n_M) in order.
+//
+// Lockstep batch driving: the block protocol is also the batched policy
+// entry point. BatchEngine advances L same-blueprint policy instances
+// through one day in lockstep — for each block it calls fill_block on every
+// lane's policy, steps all L batteries as structure-of-arrays, then calls
+// observe_block on every lane's policy with that lane's contiguous usage
+// slice. Policies need nothing new for this: instances are independent
+// (separate RNGs, separate state), so inter-lane call order is free while
+// each lane still sees exactly the scalar call sequence above — which is
+// what makes a batch lane bit-identical to a scalar run. A policy that
+// advertises pulse_width() == 0 (no block support) simply falls back to the
+// scalar per-interval engine, batched or not.
 #pragma once
 
 #include <cstddef>

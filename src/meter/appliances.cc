@@ -56,7 +56,7 @@ std::size_t jitter_time(std::size_t nominal, double sigma, Rng& rng,
 }  // namespace
 
 void Appliance::emit_run(std::size_t start, std::size_t duration, double power,
-                         DayTrace& trace, double cap,
+                         TraceLane trace, double cap,
                          std::vector<ApplianceEvent>* events) const {
   if (duration == 0 || start >= trace.intervals()) return;
   const std::size_t end = std::min(start + duration, trace.intervals());
@@ -73,7 +73,7 @@ Refrigerator::Refrigerator(double power, std::size_t on, std::size_t off)
 }
 
 void Refrigerator::generate(const Occupancy& /*occ*/, Rng& rng,
-                            DayTrace& trace, double cap,
+                            TraceLane trace, double cap,
                             std::vector<ApplianceEvent>* events) const {
   // Random initial phase so day boundaries do not align cycles.
   std::size_t n = static_cast<std::size_t>(
@@ -108,7 +108,7 @@ Hvac::Hvac(double power, double base_duty, double peak_duty,
                 "Hvac: setback factor must be in [0,1]");
 }
 
-void Hvac::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void Hvac::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                     double cap, std::vector<ApplianceEvent>* events) const {
   // Thermostat cycling: choose a cycle period, set the on-fraction from the
   // diurnal duty curve at the cycle start.
@@ -134,7 +134,7 @@ WaterHeater::WaterHeater(double power) : Appliance("water_heater"), power_(power
   RLBLH_REQUIRE(power > 0.0, "WaterHeater: power must be > 0");
 }
 
-void WaterHeater::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void WaterHeater::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                            double cap,
                            std::vector<ApplianceEvent>* events) const {
   const std::size_t day = trace.intervals();
@@ -164,7 +164,7 @@ Lighting::Lighting(double power, std::size_t dawn, std::size_t dusk)
   RLBLH_REQUIRE(dawn < dusk, "Lighting: dawn must precede dusk");
 }
 
-void Lighting::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void Lighting::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                         double cap,
                         std::vector<ApplianceEvent>* events) const {
   // Continuous low load whenever occupants are active in dark hours, with
@@ -208,18 +208,19 @@ void Lighting::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
     const std::size_t evening_start = std::max(a, dusk_);
     if (evening_start < b) lit[runs++] = {evening_start, b};
   }
-  double* const values = trace.mutable_data();
+  double* const values = trace.data();
+  const std::size_t stride = trace.stride();
   for (std::size_t i = 0; i < runs; ++i) {
     const std::size_t start = lit[i].first;
     const std::size_t len = lit[i].second - start;
     draws_.resize(len);
     rng.fill_uniform(0.7, 1.3, std::span<double>(draws_.data(), len));
     // Same per-interval arithmetic as add_clamped(); writes stay finite and
-    // >= 0 as mutable_data() requires.
+    // >= 0 as the lane contract requires.
     for (std::size_t j = 0; j < len; ++j) {
-      double next = values[start + j] + power_ * draws_[j];
+      double next = values[(start + j) * stride] + power_ * draws_[j];
       if (cap > 0.0) next = std::min(next, cap);
-      values[start + j] = next;
+      values[(start + j) * stride] = next;
     }
     if (events != nullptr) {
       events->push_back({name(), start, len, power_});
@@ -231,7 +232,7 @@ Cooking::Cooking(double power) : Appliance("cooking"), power_(power) {
   RLBLH_REQUIRE(power > 0.0, "Cooking: power must be > 0");
 }
 
-void Cooking::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void Cooking::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                        double cap,
                        std::vector<ApplianceEvent>* events) const {
   if (occ.away_all_day) return;
@@ -258,7 +259,7 @@ Dishwasher::Dishwasher(double power, double daily_probability)
                 "Dishwasher: probability must be in [0,1]");
 }
 
-void Dishwasher::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void Dishwasher::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                           double cap,
                           std::vector<ApplianceEvent>* events) const {
   if (occ.away_all_day || !rng.bernoulli(prob_)) return;
@@ -278,7 +279,7 @@ Laundry::Laundry(double washer_power, double dryer_power,
                 "Laundry: probability must be in [0,1]");
 }
 
-void Laundry::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void Laundry::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                        double cap,
                        std::vector<ApplianceEvent>* events) const {
   if (occ.away_all_day || !rng.bernoulli(prob_)) return;
@@ -302,7 +303,7 @@ EvCharger::EvCharger(double power, double daily_probability)
                 "EvCharger: probability must be in [0,1]");
 }
 
-void EvCharger::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void EvCharger::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                          double cap,
                          std::vector<ApplianceEvent>* events) const {
   // The car is only home to charge if someone came home.
@@ -320,7 +321,7 @@ Electronics::Electronics(double standby_power, double active_power)
                 "Electronics: active power must be >= standby");
 }
 
-void Electronics::generate(const Occupancy& occ, Rng& rng, DayTrace& trace,
+void Electronics::generate(const Occupancy& occ, Rng& rng, TraceLane trace,
                            double cap,
                            std::vector<ApplianceEvent>* events) const {
   // Standby floor across the whole day (not an "event" — no edge signature).

@@ -89,9 +89,28 @@ DayTrace HouseholdModel::generate_day(std::vector<ApplianceEvent>* events,
 void HouseholdModel::generate_day_into(DayTrace& out,
                                        std::vector<ApplianceEvent>* events,
                                        Occupancy* occupancy) {
+  out.assign_zero(config_.intervals);
+  generate_into_zeroed(TraceLane(out), events, occupancy);
+}
+
+void HouseholdModel::generate_day_into_lane(TraceLane out,
+                                            std::vector<ApplianceEvent>* events,
+                                            Occupancy* occupancy) {
+  RLBLH_REQUIRE(out.intervals() == config_.intervals,
+                "HouseholdModel: lane length must match the day length");
+  out.fill_zero();
+  generate_into_zeroed(out, events, occupancy);
+}
+
+// The single generation sequence both entry points share: the occupancy
+// draws and the appliance order define the model's RNG stream, so running
+// them through one code path is what keeps a batch lane bit-identical to a
+// scalar day. `out` must already be zeroed.
+void HouseholdModel::generate_into_zeroed(TraceLane out,
+                                          std::vector<ApplianceEvent>* events,
+                                          Occupancy* occupancy) {
   const Occupancy occ = sample_occupancy();
   if (occupancy != nullptr) *occupancy = occ;
-  out.assign_zero(config_.intervals);
   for (const auto& appliance : appliances_) {
     appliance->generate(occ, rng_, out, config_.usage_cap, events);
   }

@@ -68,6 +68,15 @@ class HouseholdModel {
                          std::vector<ApplianceEvent>* events = nullptr,
                          Occupancy* occupancy = nullptr);
 
+  /// Samples the next day's profile into a strided lane of a caller-owned
+  /// buffer (the batch engine's SoA path). The lane length must equal
+  /// config().intervals. Identical draws and values to generate_day() —
+  /// both run the same occupancy + appliance sequence on this model's RNG;
+  /// only the destination layout differs.
+  void generate_day_into_lane(TraceLane out,
+                              std::vector<ApplianceEvent>* events = nullptr,
+                              Occupancy* occupancy = nullptr);
+
   /// Samples just an occupancy pattern (exposed for tests).
   Occupancy sample_occupancy();
 
@@ -80,6 +89,8 @@ class HouseholdModel {
 
  private:
   void build_appliances();
+  void generate_into_zeroed(TraceLane out, std::vector<ApplianceEvent>* events,
+                            Occupancy* occupancy);
 
   HouseholdConfig config_;
   Rng rng_;
@@ -95,6 +106,9 @@ class HouseholdTraceSource final : public TraceSource {
   DayTrace next_day() override { return model_.generate_day(); }
   void next_day_into(DayTrace& out) override {
     model_.generate_day_into(out);
+  }
+  void next_day_into_lane(TraceLane out) override {
+    model_.generate_day_into_lane(out);
   }
   std::size_t intervals() const override { return model_.config().intervals; }
   double usage_cap() const override { return model_.config().usage_cap; }

@@ -9,6 +9,46 @@
 
 namespace rlblh {
 
+TraceLane::TraceLane(double* data, std::size_t stride, std::size_t intervals)
+    : data_(data), stride_(stride), intervals_(intervals) {
+  RLBLH_REQUIRE(data != nullptr, "TraceLane: base pointer must be non-null");
+  RLBLH_REQUIRE(stride >= 1, "TraceLane: stride must be >= 1");
+  RLBLH_REQUIRE(intervals >= 1, "TraceLane: need at least one interval");
+}
+
+TraceLane::TraceLane(DayTrace& trace)
+    : data_(trace.mutable_data()), stride_(1), intervals_(trace.intervals()) {}
+
+void TraceLane::fill_zero() const {
+  if (stride_ == 1) {
+    std::fill(data_, data_ + intervals_, 0.0);
+    return;
+  }
+  for (std::size_t n = 0; n < intervals_; ++n) data_[n * stride_] = 0.0;
+}
+
+void TraceLane::add_clamped_run(std::size_t start, std::size_t end,
+                                double value, double cap) const {
+  RLBLH_REQUIRE(start <= end && end <= intervals_,
+                "TraceLane: run out of range");
+  RLBLH_REQUIRE(value >= 0.0, "TraceLane: added value must be >= 0");
+  if (stride_ == 1) {
+    // Contiguous fast path: same per-interval math, unit-stride addressing
+    // (the scalar engine's synthesis stays as fast as before the lanes).
+    for (std::size_t n = start; n < end; ++n) {
+      double next = data_[n] + value;
+      if (cap > 0.0) next = std::min(next, cap);
+      data_[n] = next;
+    }
+    return;
+  }
+  for (std::size_t n = start; n < end; ++n) {
+    double next = data_[n * stride_] + value;
+    if (cap > 0.0) next = std::min(next, cap);
+    data_[n * stride_] = next;
+  }
+}
+
 DayTrace::DayTrace(std::size_t intervals) : values_(intervals, 0.0) {
   RLBLH_REQUIRE(intervals >= 1, "DayTrace: need at least one interval");
 }
@@ -43,15 +83,8 @@ void DayTrace::add_clamped(std::size_t n, double value, double cap) {
 
 void DayTrace::add_clamped_run(std::size_t start, std::size_t end,
                                double value, double cap) {
-  RLBLH_REQUIRE(start <= end && end <= values_.size(),
-                "DayTrace: run out of range");
-  RLBLH_REQUIRE(value >= 0.0, "DayTrace: added value must be >= 0");
-  double* values = values_.data();
-  for (std::size_t n = start; n < end; ++n) {
-    double next = values[n] + value;
-    if (cap > 0.0) next = std::min(next, cap);
-    values[n] = next;
-  }
+  // One implementation for the scalar and lane paths (see TraceLane).
+  TraceLane(*this).add_clamped_run(start, end, value, cap);
 }
 
 void DayTrace::assign_zero(std::size_t intervals) {
@@ -69,6 +102,14 @@ double DayTrace::peak() const {
 
 double DayTrace::mean() const {
   return total() / static_cast<double>(values_.size());
+}
+
+void TraceSource::next_day_into_lane(TraceLane out) {
+  const DayTrace day = next_day();
+  RLBLH_REQUIRE(day.intervals() == out.intervals(),
+                "TraceSource: lane length must match the day length");
+  const double* values = day.values().data();
+  for (std::size_t n = 0; n < out.intervals(); ++n) out[n] = values[n];
 }
 
 CsvTraceSource::CsvTraceSource(const std::string& path,

@@ -21,6 +21,58 @@ inline constexpr std::size_t kIntervalsPerDay = 1440;
 /// The paper's per-interval usage bound x_M in kWh.
 inline constexpr double kDefaultUsageCap = 0.08;
 
+class DayTrace;
+
+/// A strided, non-owning view of one day's series inside a larger buffer:
+/// interval n lives at data[n * stride]. The batch engine lays W households
+/// out as structure-of-arrays lanes; a TraceLane is how one household's
+/// generators write into its lane without knowing the layout. A DayTrace
+/// converts implicitly to a stride-1 lane over its own buffer, so every
+/// writer (appliance processes, household models, trace sources) has a
+/// single code path for the scalar and the batched case — which is also
+/// what makes lane k of a batch bit-identical to a scalar run: same code,
+/// same expressions, only the destination addresses differ.
+///
+/// Writers take over DayTrace's invariant: every value written must be
+/// finite and >= 0.
+class TraceLane {
+ public:
+  /// Views `intervals` slots at data[0], data[stride], ... Requires a
+  /// non-null base, stride >= 1 and intervals >= 1.
+  TraceLane(double* data, std::size_t stride, std::size_t intervals);
+
+  /// Stride-1 view over a whole DayTrace (implicit: lets existing DayTrace
+  /// call sites reach the lane-based generator APIs unchanged).
+  TraceLane(DayTrace& trace);  // NOLINT(google-explicit-constructor)
+
+  /// Number of measurement intervals viewed.
+  std::size_t intervals() const { return intervals_; }
+
+  /// Distance in doubles between consecutive intervals.
+  std::size_t stride() const { return stride_; }
+
+  /// Base pointer (interval n is data()[n * stride()]).
+  double* data() const { return data_; }
+
+  /// Value slot for interval n. Requires n < intervals().
+  double& operator[](std::size_t n) const { return data_[n * stride_]; }
+
+  /// Zeroes every viewed slot.
+  void fill_zero() const;
+
+  /// Adds a constant `value` (>= 0) to every interval of [start, end),
+  /// clamping each sum at `cap` when cap > 0. Bitwise the same per-interval
+  /// arithmetic as DayTrace::add_clamped_run (which forwards here).
+  /// Requires start <= end <= intervals().
+  void add_clamped_run(std::size_t start, std::size_t end, double value,
+                       double cap) const;
+
+ private:
+  double* data_;
+  std::size_t stride_;
+  std::size_t intervals_;
+};
+
 /// One day of per-interval energy values (usage or meter readings), in kWh.
 class DayTrace {
  public:
@@ -90,6 +142,14 @@ class TraceSource {
   /// identical to `out = next_day()`; sources able to generate in place
   /// override this.
   virtual void next_day_into(DayTrace& out) { out = next_day(); }
+
+  /// Produces the next day's profile into a strided lane (the batch
+  /// engine's SoA path). `out.intervals()` must equal intervals(). Draws
+  /// and values are identical to next_day(); only the destination layout
+  /// differs. The default materializes a DayTrace and copies — replay
+  /// sources rarely run batched — while the synthetic household source
+  /// overrides it to generate straight into the lane, allocation-free.
+  virtual void next_day_into_lane(TraceLane out);
 
   /// Number of intervals per produced day.
   virtual std::size_t intervals() const = 0;

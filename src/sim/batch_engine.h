@@ -1,0 +1,90 @@
+// BatchEngine — W same-blueprint households simulated in lockstep as
+// structure-of-arrays (DESIGN.md §14).
+//
+// The scalar SimEngine lays one household's day out at a time; at fleet
+// scale the remaining cost is per-interval arithmetic that the compiler
+// cannot vectorize across households. BatchEngine transposes the layout:
+// battery levels, meter readings and money accumulators become contiguous
+// W-wide lanes indexed [n * W + k] (interval-major) so the per-interval
+// work of all W lanes is one vector op, while usage is synthesized
+// lane-major ([k * n_M + n], each lane contiguous) so per-lane generators
+// and observe_block spans stay zero-copy, then transposed once per day for
+// the inner loop.
+//
+// Bit-identity contract: lane k of a batch day is bitwise equal to a
+// scalar SimEngine::run_day of household k — same RNG draw order (each
+// lane owns its source/policy with their own RNGs; per-lane call order
+// inside a day is exactly the scalar order), same FP expression shapes and
+// the same per-interval accumulation order per lane (lanes only ever
+// combine along the vector dimension, never reassociate along time).
+// tests/proptest/batch_diff_proptest.cc enforces this per lane against the
+// scalar engine; the fleet layer relies on it to make batching invisible.
+//
+// Requirements: every lane must share one day geometry and one battery
+// model, every policy must advertise the same pulse_width() > 0 (policies
+// without block support take the scalar engine instead), and either all or
+// none of the lanes may be passthrough. Per-day invariant checking is not
+// offered here — run the scalar engine when auditing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "battery/battery.h"
+#include "core/policy.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "sim/day_result.h"
+
+namespace rlblh {
+
+/// One simulated day of W lockstep lanes, structure-of-arrays.
+/// References returned by BatchEngine::run_day stay valid until the next
+/// run_day call on that engine (all buffers are reused across days).
+struct BatchDay {
+  std::size_t width = 0;      ///< W, number of lanes
+  std::size_t intervals = 0;  ///< n_M, measurement intervals per day
+
+  /// Usage x_n, lane-major: lane k's day is [k * intervals, (k+1) * intervals).
+  std::vector<double> usage_lanes;
+  /// Usage x_n, interval-major ([n * width + k]); transpose of usage_lanes.
+  std::vector<double> usage;
+  /// Effective meter readings, interval-major.
+  std::vector<double> readings;
+  /// Battery level at the *start* of interval n, interval-major.
+  std::vector<double> levels;
+
+  std::vector<double> savings_cents;     ///< per lane: sum r_n (x_n - y_n)
+  std::vector<double> bill_cents;        ///< per lane: sum r_n y_n
+  std::vector<double> usage_cost_cents;  ///< per lane: sum r_n x_n
+  std::vector<std::size_t> battery_violations;  ///< per lane, this day only
+
+  /// Lane k's contiguous usage series.
+  std::span<const double> usage_lane(std::size_t k) const {
+    return {usage_lanes.data() + k * intervals, intervals};
+  }
+
+  /// Copies lane k into a scalar day record (the evaluation path feeds
+  /// per-lane accumulators with these). `out`'s buffers are reused.
+  void extract_lane(std::size_t k, DayResult& out) const;
+};
+
+/// Runs days of W lockstep lanes over borrowed per-lane state.
+class BatchEngine {
+ public:
+  /// Runs one full day for all lanes. `sources`, `policies` and the lanes
+  /// of `batteries` are index-aligned, one entry per lane; all spans must
+  /// have the same nonzero size as batteries.width(). The price schedule
+  /// length must match the sources' day length. Returns the engine's
+  /// reused SoA day record.
+  const BatchDay& run_day(std::span<TraceSource* const> sources,
+                          const TouSchedule& prices, BatteryLanes& batteries,
+                          std::span<BlhPolicy* const> policies);
+
+ private:
+  BatchDay scratch_;
+  std::vector<double> block_y_;  ///< per-lane pulse height of current block
+};
+
+}  // namespace rlblh

@@ -1,0 +1,132 @@
+// battery_lane_step is the branch-free restatement of Battery::step that
+// the lockstep batch engine vectorizes over lanes. Its contract is bitwise
+// equality with the branchy original for every input Battery::step accepts,
+// including the clip edges — these tests sweep random and adversarial
+// (reading, usage, level) triples against a live Battery and check every
+// output field bit for bit, plus the BatteryLanes SoA container's
+// bookkeeping.
+#include "battery/battery.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(BatteryLaneStepTest, MatchesBatteryStepOnRandomSweep) {
+  Rng rng(0xba77e12);
+  for (int round = 0; round < 200; ++round) {
+    const double capacity = rng.uniform(0.1, 20.0);
+    const double charge_eff = rng.uniform(0.5, 1.0);
+    const double discharge_eff = rng.uniform(0.5, 1.0);
+    Battery battery(capacity, rng.uniform(0.0, capacity), charge_eff,
+                    discharge_eff);
+    for (int i = 0; i < 50; ++i) {
+      const double level = battery.level();
+      // Magnitudes spanning well past the clip bounds in both directions.
+      const double reading = rng.uniform(0.0, 3.0 * capacity);
+      const double usage = rng.uniform(0.0, 3.0 * capacity);
+      const BatteryLaneStep lane = battery_lane_step(
+          level, reading, usage, capacity, charge_eff, discharge_eff);
+      const BatteryStep ref = battery.step(reading, usage);
+      ASSERT_TRUE(same_bits(lane.level_after, ref.level_after))
+          << "level_after diverged: " << lane.level_after << " vs "
+          << ref.level_after;
+      ASSERT_TRUE(same_bits(lane.grid_extra, ref.grid_extra))
+          << "grid_extra diverged: " << lane.grid_extra << " vs "
+          << ref.grid_extra;
+      ASSERT_EQ(lane.violated, ref.violated);
+    }
+  }
+}
+
+TEST(BatteryLaneStepTest, MatchesBatteryStepAtClipEdges) {
+  const double capacity = 5.0;
+  // (level, reading, usage) triples sitting exactly on or around the two
+  // clip boundaries, where the select chain must agree with the branches.
+  const struct {
+    double level, reading, usage;
+  } cases[] = {
+      {5.0, 0.0, 0.0},   // full, idle: next == capacity exactly
+      {0.0, 0.0, 0.0},   // empty, idle: next == 0.0 exactly
+      {5.0, 1.0, 0.0},   // overcharge clip
+      {0.0, 0.0, 1.0},   // undercharge clip
+      {2.5, 2.5, 0.0},   // lands exactly on capacity (no clip)
+      {2.5, 0.0, 2.5},   // lands exactly on zero (no clip)
+      {4.999999999, 1e-9, 0.0},
+      {1e-9, 0.0, 1e-9},
+  };
+  for (const auto& c : cases) {
+    Battery battery(capacity, c.level);
+    const BatteryLaneStep lane =
+        battery_lane_step(c.level, c.reading, c.usage, capacity, 1.0, 1.0);
+    const BatteryStep ref = battery.step(c.reading, c.usage);
+    ASSERT_TRUE(same_bits(lane.level_after, ref.level_after));
+    ASSERT_TRUE(same_bits(lane.grid_extra, ref.grid_extra));
+    ASSERT_EQ(lane.violated, ref.violated);
+  }
+}
+
+TEST(BatteryLanesTest, ResetInitializesEveryLane) {
+  BatteryLanes lanes;
+  lanes.reset(3, 5.0, 2.5, 0.9, 0.8);
+  EXPECT_EQ(lanes.width(), 3u);
+  EXPECT_DOUBLE_EQ(lanes.capacity(), 5.0);
+  EXPECT_DOUBLE_EQ(lanes.charge_efficiency(), 0.9);
+  EXPECT_DOUBLE_EQ(lanes.discharge_efficiency(), 0.8);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(lanes.level(k), 2.5);
+    EXPECT_EQ(lanes.violation_count(k), 0u);
+  }
+  // Re-reset with a different geometry replaces the previous state.
+  lanes.reset(2, 8.0, 0.0);
+  EXPECT_EQ(lanes.width(), 2u);
+  EXPECT_DOUBLE_EQ(lanes.level(1), 0.0);
+}
+
+TEST(BatteryLanesTest, LanesTrackIndependentScalarBatteries) {
+  constexpr std::size_t kWidth = 5;
+  BatteryLanes lanes;
+  lanes.reset(kWidth, 4.0, 2.0);
+  std::vector<Battery> reference;
+  for (std::size_t k = 0; k < kWidth; ++k) reference.emplace_back(4.0, 2.0);
+  Rng rng(99);
+  for (int step = 0; step < 100; ++step) {
+    for (std::size_t k = 0; k < kWidth; ++k) {
+      const double reading = rng.uniform(0.0, 8.0);
+      const double usage = rng.uniform(0.0, 8.0);
+      const BatteryLaneStep lane =
+          battery_lane_step(lanes.levels()[k], reading, usage, lanes.capacity(),
+                            lanes.charge_efficiency(),
+                            lanes.discharge_efficiency());
+      lanes.levels()[k] = lane.level_after;
+      if (lane.violated) ++lanes.violations()[k];
+      (void)reference[k].step(reading, usage);
+    }
+  }
+  for (std::size_t k = 0; k < kWidth; ++k) {
+    EXPECT_TRUE(same_bits(lanes.level(k), reference[k].level())) << k;
+    EXPECT_EQ(lanes.violation_count(k), reference[k].violation_count()) << k;
+  }
+}
+
+TEST(BatteryLanesTest, ResetValidatesLikeBattery) {
+  BatteryLanes lanes;
+  EXPECT_THROW(lanes.reset(0, 5.0, 0.0), std::exception);
+  EXPECT_THROW(lanes.reset(2, 0.0, 0.0), std::exception);
+  EXPECT_THROW(lanes.reset(2, 5.0, 6.0), std::exception);
+  EXPECT_THROW(lanes.reset(2, 5.0, 2.0, 0.0), std::exception);
+  EXPECT_THROW(lanes.reset(2, 5.0, 2.0, 1.0, 1.5), std::exception);
+}
+
+}  // namespace
+}  // namespace rlblh

@@ -1,0 +1,347 @@
+// Differential property suite for the lockstep batch engine.
+//
+// BatchEngine::run_day simulates W same-blueprint households as
+// structure-of-arrays lanes. Its contract (batch_engine.h) is bitwise
+// per-lane equality with the scalar engine: lane k's readings, battery
+// levels and accumulated cents must match a scalar SimEngine run of
+// household k down to the last ULP, for every batch width — including
+// widths that do not divide the AVX2 vector width, which exercise the
+// kernel's remainder lanes. This suite checks that contract directly:
+// each case draws a random scenario (tariff shape, day length, truncated
+// last pulse, battery start level, usage structure, W in {1,2,3,5,8,16}),
+// runs W scalar households and one W-lane batch over identical inputs,
+// and compares every output bit for bit. One suite synthesizes usage
+// through the appliance model per lane, pinning the lane-strided trace
+// path and each lane's RNG draw order.
+//
+// Labeled `proptest` in CTest; filter with `ctest -LE proptest` to skip,
+// or scale the case count with RLBLH_PROPTEST_ITERS.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/lowpass.h"
+#include "baselines/random_pulse.h"
+#include "baselines/stepping.h"
+#include "battery/battery.h"
+#include "core/rlblh_policy.h"
+#include "meter/household.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "sim/batch_engine.h"
+#include "sim/engine.h"
+#include "sim/proptest_domains.h"
+#include "util/proptest.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+using proptest::for_all;
+using proptest::PropertyOptions;
+
+/// Distinct seed stream per suite, disjoint from the other diff suites.
+PropertyOptions suite_options(std::uint64_t stream) {
+  PropertyOptions options;
+  options.iterations = 100;
+  options.base_seed = 0xba7c4d1ffull + stream;
+  return options;
+}
+
+constexpr int kDaysPerCase = 2;
+
+/// Batch widths under test: 1 (degenerate), widths below/above the AVX2
+/// vector width of 4, a non-divisor (5), and multiples (8, 16).
+constexpr std::size_t kWidths[] = {1, 2, 3, 5, 8, 16};
+
+/// Replays a fixed list of pre-generated days, so the scalar and batch
+/// runs consume identical usage.
+class ReplaySource final : public TraceSource {
+ public:
+  ReplaySource(std::vector<DayTrace> days, double cap)
+      : days_(std::move(days)), cap_(cap) {}
+
+  DayTrace next_day() override { return days_[next_++ % days_.size()]; }
+  std::size_t intervals() const override { return days_.front().intervals(); }
+  double usage_cap() const override { return cap_; }
+
+ private:
+  std::vector<DayTrace> days_;
+  double cap_ = 0.0;
+  std::size_t next_ = 0;
+};
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+std::string diff_message(const char* what, std::size_t lane, std::size_t day,
+                         std::size_t n, double batch, double scalar) {
+  return std::string(what) + " diverged on lane " + std::to_string(lane) +
+         " day " + std::to_string(day) + " interval " + std::to_string(n) +
+         ": batch " + std::to_string(batch) + " vs scalar " +
+         std::to_string(scalar);
+}
+
+/// One lane's independent state: a source/policy pair for the batch run
+/// and an identically constructed twin pair for the scalar run.
+struct LanePair {
+  std::unique_ptr<TraceSource> batch_source;
+  std::unique_ptr<TraceSource> scalar_source;
+  std::unique_ptr<BlhPolicy> batch_policy;
+  std::unique_ptr<BlhPolicy> scalar_policy;
+};
+
+/// Runs `days` days through both engines and requires bitwise-identical
+/// per-lane outputs. Scalar runs go first per day so any divergence is the
+/// batch engine's, not ordering of the lanes' (independent) RNG streams.
+void check_batch_matches_scalar(std::vector<LanePair>& lanes,
+                                const TouSchedule& prices, double capacity,
+                                double initial_level, std::size_t days) {
+  const std::size_t width = lanes.size();
+  std::vector<TraceSource*> sources(width);
+  std::vector<BlhPolicy*> policies(width);
+  std::vector<Battery> scalar_batteries;
+  scalar_batteries.reserve(width);
+  for (std::size_t k = 0; k < width; ++k) {
+    sources[k] = lanes[k].batch_source.get();
+    policies[k] = lanes[k].batch_policy.get();
+    scalar_batteries.emplace_back(capacity, initial_level);
+  }
+  BatteryLanes batteries;
+  batteries.reset(width, capacity, initial_level);
+  BatchEngine batch_engine;
+  SimEngine scalar_engine;
+  DayResult extracted;
+  for (std::size_t d = 0; d < days; ++d) {
+    // Scalar references for this day, one engine pass per lane.
+    std::vector<DayResult> reference;
+    reference.reserve(width);
+    for (std::size_t k = 0; k < width; ++k) {
+      reference.push_back(scalar_engine.run_day(
+          *lanes[k].scalar_source, prices, scalar_batteries[k],
+          *lanes[k].scalar_policy));
+    }
+    const BatchDay& batch =
+        batch_engine.run_day(sources, prices, batteries, policies);
+    PROPTEST_CHECK(batch.width == width && !reference.empty(),
+                   "batch engine produced wrong lane count");
+    const std::size_t n_m = reference.front().usage.intervals();
+    PROPTEST_CHECK(batch.intervals == n_m,
+                   "batch engine produced wrong day length");
+    for (std::size_t k = 0; k < width; ++k) {
+      const DayResult& ref = reference[k];
+      batch.extract_lane(k, extracted);
+      for (std::size_t n = 0; n < n_m; ++n) {
+        PROPTEST_CHECK(same_bits(extracted.usage.at(n), ref.usage.at(n)),
+                       diff_message("usage", k, d, n, extracted.usage.at(n),
+                                    ref.usage.at(n)));
+        PROPTEST_CHECK(
+            same_bits(extracted.readings.at(n), ref.readings.at(n)),
+            diff_message("reading", k, d, n, extracted.readings.at(n),
+                         ref.readings.at(n)));
+        PROPTEST_CHECK(
+            same_bits(extracted.battery_levels[n], ref.battery_levels[n]),
+            diff_message("battery level", k, d, n, extracted.battery_levels[n],
+                         ref.battery_levels[n]));
+      }
+      PROPTEST_CHECK(
+          same_bits(extracted.savings_cents, ref.savings_cents),
+          diff_message("savings_cents", k, d, 0, extracted.savings_cents,
+                       ref.savings_cents));
+      PROPTEST_CHECK(same_bits(extracted.bill_cents, ref.bill_cents),
+                     diff_message("bill_cents", k, d, 0, extracted.bill_cents,
+                                  ref.bill_cents));
+      PROPTEST_CHECK(
+          same_bits(extracted.usage_cost_cents, ref.usage_cost_cents),
+          diff_message("usage_cost_cents", k, d, 0, extracted.usage_cost_cents,
+                       ref.usage_cost_cents));
+      PROPTEST_CHECK(
+          extracted.battery_violations == ref.battery_violations,
+          "battery violation count diverged on lane " + std::to_string(k) +
+              " day " + std::to_string(d));
+      PROPTEST_CHECK(
+          same_bits(batteries.level(k), scalar_batteries[k].level()),
+          "end-of-day battery level diverged on lane " + std::to_string(k) +
+              " day " + std::to_string(d));
+    }
+  }
+}
+
+/// Random replay days for one lane; the batch and scalar sources replay
+/// the same copies.
+void add_replay_lane(std::vector<LanePair>& lanes, std::size_t intervals,
+                     double cap, Rng& rng) {
+  std::vector<DayTrace> days;
+  days.reserve(kDaysPerCase);
+  for (int d = 0; d < kDaysPerCase; ++d) {
+    days.push_back(proptest::gen_usage_trace(intervals, cap, rng));
+  }
+  LanePair lane;
+  lane.batch_source = std::make_unique<ReplaySource>(days, cap);
+  lane.scalar_source = std::make_unique<ReplaySource>(std::move(days), cap);
+  lanes.push_back(std::move(lane));
+}
+
+std::size_t pick_width(Rng& rng) {
+  return kWidths[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(std::size(kWidths)) - 1))];
+}
+
+TEST(BatchDiffProptest, RlBlhLanesMatchScalarEngine) {
+  const auto result = for_all(
+      "rl-blh batch lanes == scalar engine", proptest::rlblh_config_domain(),
+      [](const RlBlhConfig& config, Rng& rng) {
+        const std::size_t width = pick_width(rng);
+        const TouSchedule prices =
+            proptest::gen_tou_schedule(config.intervals_per_day, rng);
+        const double initial = rng.uniform(0.0, config.battery_capacity);
+        std::vector<LanePair> lanes;
+        lanes.reserve(width);
+        for (std::size_t k = 0; k < width; ++k) {
+          add_replay_lane(lanes, config.intervals_per_day, config.usage_cap,
+                          rng);
+          // Twin policies per lane: same config, same seed, independent
+          // of every other lane's stream.
+          RlBlhConfig lane_config = config;
+          lane_config.seed = config.seed + k;
+          lanes.back().batch_policy =
+              std::make_unique<RlBlhPolicy>(lane_config);
+          lanes.back().scalar_policy =
+              std::make_unique<RlBlhPolicy>(lane_config);
+        }
+        check_batch_matches_scalar(lanes, prices, config.battery_capacity,
+                                   initial, kDaysPerCase);
+      },
+      suite_options(1));
+  ASSERT_TRUE(result.success) << result.message;
+  EXPECT_GE(result.iterations_run, 1u);
+}
+
+TEST(BatchDiffProptest, RandomPulseLanesMatchScalarEngine) {
+  const auto result = for_all(
+      "random-pulse batch lanes == scalar engine",
+      proptest::rlblh_config_domain(),
+      [](const RlBlhConfig& config, Rng& rng) {
+        const std::size_t width = pick_width(rng);
+        const TouSchedule prices =
+            proptest::gen_tou_schedule(config.intervals_per_day, rng);
+        const double initial = rng.uniform(0.0, config.battery_capacity);
+        std::vector<LanePair> lanes;
+        lanes.reserve(width);
+        for (std::size_t k = 0; k < width; ++k) {
+          add_replay_lane(lanes, config.intervals_per_day, config.usage_cap,
+                          rng);
+          RlBlhConfig lane_config = config;
+          lane_config.seed = config.seed + k;
+          lanes.back().batch_policy =
+              std::make_unique<RandomPulsePolicy>(lane_config);
+          lanes.back().scalar_policy =
+              std::make_unique<RandomPulsePolicy>(lane_config);
+        }
+        check_batch_matches_scalar(lanes, prices, config.battery_capacity,
+                                   initial, kDaysPerCase);
+      },
+      suite_options(2));
+  ASSERT_TRUE(result.success) << result.message;
+}
+
+TEST(BatchDiffProptest, SteppingLanesMatchScalarEngine) {
+  const auto result = for_all(
+      "stepping batch lanes == scalar engine", proptest::rlblh_config_domain(),
+      [](const RlBlhConfig& config, Rng& rng) {
+        const std::size_t width = pick_width(rng);
+        SteppingConfig st;
+        st.intervals_per_day = config.intervals_per_day;
+        st.usage_cap = config.usage_cap;
+        st.battery_capacity = config.battery_capacity;
+        st.step = config.usage_cap * rng.uniform(0.05, 1.0);
+        st.margin_fraction = rng.uniform(0.05, 0.45);
+        const TouSchedule prices =
+            proptest::gen_tou_schedule(config.intervals_per_day, rng);
+        const double initial = rng.uniform(0.0, config.battery_capacity);
+        std::vector<LanePair> lanes;
+        lanes.reserve(width);
+        for (std::size_t k = 0; k < width; ++k) {
+          add_replay_lane(lanes, config.intervals_per_day, config.usage_cap,
+                          rng);
+          lanes.back().batch_policy = std::make_unique<SteppingPolicy>(st);
+          lanes.back().scalar_policy = std::make_unique<SteppingPolicy>(st);
+        }
+        check_batch_matches_scalar(lanes, prices, config.battery_capacity,
+                                   initial, kDaysPerCase);
+      },
+      suite_options(3));
+  ASSERT_TRUE(result.success) << result.message;
+}
+
+TEST(BatchDiffProptest, PassthroughLanesMatchScalarEngine) {
+  const auto result = for_all(
+      "passthrough batch lanes == scalar engine",
+      proptest::rlblh_config_domain(),
+      [](const RlBlhConfig& config, Rng& rng) {
+        const std::size_t width = pick_width(rng);
+        const TouSchedule prices =
+            proptest::gen_tou_schedule(config.intervals_per_day, rng);
+        const double initial = rng.uniform(0.0, config.battery_capacity);
+        std::vector<LanePair> lanes;
+        lanes.reserve(width);
+        for (std::size_t k = 0; k < width; ++k) {
+          add_replay_lane(lanes, config.intervals_per_day, config.usage_cap,
+                          rng);
+          lanes.back().batch_policy = std::make_unique<PassthroughPolicy>();
+          lanes.back().scalar_policy = std::make_unique<PassthroughPolicy>();
+        }
+        check_batch_matches_scalar(lanes, prices, config.battery_capacity,
+                                   initial, kDaysPerCase);
+      },
+      suite_options(4));
+  ASSERT_TRUE(result.success) << result.message;
+}
+
+// Pins the lane-strided synthesis path: each lane generates its usage
+// through its own appliance/HVAC model writing directly into the batch
+// engine's SoA buffer, and must reproduce the scalar run's RNG draw order
+// draw for draw — any reordering shows up as a usage bit difference.
+TEST(BatchDiffProptest, SynthesizedHouseholdLanesMatchScalarEngine) {
+  const auto result = for_all(
+      "synthesized-household batch lanes == scalar engine",
+      proptest::rlblh_config_domain(),
+      [](const RlBlhConfig& config, Rng& rng) {
+        const std::size_t width = pick_width(rng);
+        const auto household_domain = proptest::household_config_domain(
+            config.intervals_per_day, config.usage_cap);
+        const HouseholdConfig household = household_domain.generate(rng);
+        const TouSchedule prices =
+            proptest::gen_tou_schedule(config.intervals_per_day, rng);
+        const double initial = rng.uniform(0.0, config.battery_capacity);
+        std::vector<LanePair> lanes;
+        lanes.reserve(width);
+        for (std::size_t k = 0; k < width; ++k) {
+          const std::uint64_t lane_seed = derive_stream_seed(config.seed, k);
+          LanePair lane;
+          lane.batch_source =
+              std::make_unique<HouseholdTraceSource>(household, lane_seed);
+          lane.scalar_source =
+              std::make_unique<HouseholdTraceSource>(household, lane_seed);
+          RlBlhConfig lane_config = config;
+          lane_config.usage_cap = household.usage_cap;
+          lane_config.seed = config.seed + k;
+          lane.batch_policy = std::make_unique<RlBlhPolicy>(lane_config);
+          lane.scalar_policy = std::make_unique<RlBlhPolicy>(lane_config);
+          lanes.push_back(std::move(lane));
+        }
+        check_batch_matches_scalar(lanes, prices, config.battery_capacity,
+                                   initial, kDaysPerCase);
+      },
+      suite_options(5));
+  ASSERT_TRUE(result.success) << result.message;
+}
+
+}  // namespace
+}  // namespace rlblh
