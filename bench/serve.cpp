@@ -1,0 +1,90 @@
+// Serving-path benchmark: an in-process rlblh_serve daemon on a unix
+// socket, driven by the load generator — the same client CI's serve-smoke
+// job runs out of process. Measures end-to-end metering throughput
+// (households x days through the frame protocol, StreamEngine, and the
+// per-day checkpoint write) and per-interval step latency.
+//
+// Headline metrics:
+//   serve_households_per_core   household-days/sec per client thread
+//   serve_intervals_per_sec     usage intervals ingested per second
+//   step_latency_p50_us         per-interval latency, frame RTT / batch
+//   step_latency_p99_us         tail of the same distribution
+//
+// All four are machine measurements (throughput/timing), exempt from the
+// strict drift gate and covered by the wall budget in bench_compare.py.
+#include "bench_main.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "serve/load_gen.h"
+#include "serve/server.h"
+
+namespace rlblh::bench {
+
+const char* const kBenchName = "serve";
+
+void bench_body(BenchContext& ctx) {
+  std::printf("Serving path: in-process daemon + load_gen over a unix "
+              "socket\n\n");
+
+  const std::filesystem::path scratch =
+      std::filesystem::absolute("serve_bench_scratch");
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+
+  serve::ServeConfig server_config;
+  server_config.listen = "unix:" + (scratch / "sock").string();
+  server_config.checkpoint_dir = (scratch / "ckpt").string();
+  serve::ServeServer server(server_config);
+  server.start();
+
+  serve::LoadGenConfig load;
+  load.endpoint = server.endpoint();
+  load.households = static_cast<std::size_t>(ctx.days(16, 6));
+  load.days = static_cast<std::size_t>(ctx.days(4, 2));
+  load.seed_base = 1;
+  load.threads = std::max<std::size_t>(ctx.threads(), 1);
+  const serve::LoadGenResult result = serve::run_load(load);
+  server.stop();
+
+  ctx.count_cells(result.households);
+  ctx.count_days(result.days_completed);
+
+  const double wall = result.wall_seconds > 0.0 ? result.wall_seconds : 1e-9;
+  const double intervals_per_sec =
+      static_cast<double>(result.intervals_sent) / wall;
+  const double household_days_per_sec =
+      static_cast<double>(result.days_completed) / wall;
+  const double per_core =
+      household_days_per_sec / static_cast<double>(load.threads);
+  // Frame RTT divided by the frame's interval count: the per-reading cost
+  // of the full path (protocol, socket, StreamEngine step, ack).
+  const double batch = static_cast<double>(load.batch_intervals);
+  const double p50_us = result.rtt_quantile(0.50) / batch;
+  const double p99_us = result.rtt_quantile(0.99) / batch;
+
+  std::printf("households            %zu\n", result.households);
+  std::printf("days per household    %zu\n", load.days);
+  std::printf("client threads        %zu\n", load.threads);
+  std::printf("intervals ingested    %zu\n", result.intervals_sent);
+  std::printf("frames                %zu\n", result.frames_sent);
+  std::printf("checkpoints written   %zu\n", server.checkpoints_written());
+  std::printf("intervals/sec         %.0f\n", intervals_per_sec);
+  std::printf("household-days/s/core %.1f\n", per_core);
+  std::printf("step latency p50      %.3f us\n", p50_us);
+  std::printf("step latency p99      %.3f us\n", p99_us);
+
+  ctx.metric("serve_households_per_core", per_core);
+  ctx.metric("serve_intervals_per_sec", intervals_per_sec);
+  ctx.metric("step_latency_p50_us", p50_us);
+  ctx.metric("step_latency_p99_us", p99_us);
+
+  std::filesystem::remove_all(scratch);
+}
+
+}  // namespace rlblh::bench

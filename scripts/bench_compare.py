@@ -57,6 +57,12 @@ TIMING_METRIC = re.compile(r"(^|_)(ns|us|ms|sec|seconds)(_|$)")
 # exempt from the strict drift check like the raw timings they divide.
 SPEEDUP_METRIC = re.compile(r"(^|_)speedup(_|$)")
 
+# Throughput-rate metrics (serve_households_per_core, intervals_per_sec)
+# are measurements like the timing metrics: they move with the machine, so
+# they are exempt from the strict drift check and covered by the wall
+# budget. (days_per_sec families are already exempt via the "sec" token.)
+THROUGHPUT_METRIC = re.compile(r"(^|_)per_(sec|core)(_|$)")
+
 # Lockstep-batch throughput records emitted by micro_engine
 # (batch_days_per_sec_w8). The W=8 figure is gated against the committed
 # scalar baseline: the batch engine must keep a multiple of the scalar
@@ -202,8 +208,9 @@ def compare_metrics(name: str, base: dict, cur: dict, rtol: float) -> list:
         if key not in cur_metrics:
             failures.append(f"{name}: metric '{key}' missing from current run")
             continue
-        if TIMING_METRIC.search(key) or SPEEDUP_METRIC.search(key):
-            continue  # timing measurement: gated by the wall budget instead
+        if (TIMING_METRIC.search(key) or SPEEDUP_METRIC.search(key)
+                or THROUGHPUT_METRIC.search(key)):
+            continue  # machine measurement: gated by the wall budget instead
         b, c = base_metrics[key], cur_metrics[key]
         if not close(float(b), float(c), rtol):
             failures.append(

@@ -24,6 +24,18 @@ void Battery::reset(double level_kwh) {
   grid_extra_ = 0.0;
 }
 
+void Battery::restore(double level_kwh, std::size_t violations,
+                      double wasted_charge_kwh, double grid_extra_kwh) {
+  RLBLH_REQUIRE(level_kwh >= 0.0 && level_kwh <= capacity_,
+                "Battery::restore: level must be in [0, capacity]");
+  RLBLH_REQUIRE(wasted_charge_kwh >= 0.0 && grid_extra_kwh >= 0.0,
+                "Battery::restore: accounting totals must be >= 0");
+  level_ = level_kwh;
+  violations_ = violations;
+  wasted_ = wasted_charge_kwh;
+  grid_extra_ = grid_extra_kwh;
+}
+
 void BatteryLanes::reset(std::size_t width, double capacity_kwh,
                          double initial_level_kwh, double charge_efficiency,
                          double discharge_efficiency) {

@@ -177,6 +177,13 @@ class Battery {
   /// violation counters.
   void reset(double level_kwh);
 
+  /// Restores a checkpointed state: level in [0, capacity] plus the
+  /// cumulative violation accounting (all >= 0). The daemon's
+  /// checkpoint/restore path uses this so a restarted battery is
+  /// indistinguishable from one that never stopped.
+  void restore(double level_kwh, std::size_t violations,
+               double wasted_charge_kwh, double grid_extra_kwh);
+
  private:
   double capacity_;
   double level_;

@@ -43,10 +43,13 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "pricing/tou.h"
+#include "util/error.h"
 
 namespace rlblh {
 
@@ -103,6 +106,40 @@ class BlhPolicy {
 
   /// Short stable identifier, e.g. "rl-blh" or "low-pass".
   virtual std::string_view name() const = 0;
+
+  // --- checkpoint/restore ----------------------------------------------
+  //
+  // A long-lived serving process (rlblh_serve) must survive restarts
+  // without relearning, so a policy may advertise full-state persistence:
+  // save_state() writes everything that influences future behaviour —
+  // learned weights, usage statistics, RNG engine state, decay counters —
+  // and load_state() restores it such that the subsequent call sequence is
+  // bitwise identical to never having serialized at all. Both are only
+  // defined BETWEEN days (after end_day(), before the next begin_day());
+  // day-scoped state is deliberately out of scope, which is what keeps the
+  // format small and the bitwise-resume argument simple (DESIGN.md §15):
+  // a restarted daemon replays the open day from the client instead.
+
+  /// True when save_state()/load_state() are implemented. Policies without
+  /// support (the default) can still serve, but restart from scratch.
+  virtual bool checkpointable() const { return false; }
+
+  /// Serializes the policy's complete between-days state. Throws
+  /// ConfigError when the policy is not checkpointable or a day is open.
+  virtual void save_state(std::ostream& out) const {
+    (void)out;
+    throw ConfigError("policy '" + std::string(name()) +
+                      "' does not support checkpointing");
+  }
+
+  /// Restores state written by save_state() on a policy constructed from
+  /// the identical configuration. Throws ConfigError/DataError on
+  /// unsupported policies or mismatched/malformed input.
+  virtual void load_state(std::istream& in) {
+    (void)in;
+    throw ConfigError("policy '" + std::string(name()) +
+                      "' does not support checkpointing");
+  }
 
   /// True for the no-battery reference: the simulator then reports y_n = x_n
   /// exactly (the meter measures usage directly) and skips the battery.

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
 
+#include "core/serialize.h"
 #include "obs/obs.h"
 #include "rl/decay.h"
 #include "rl/egreedy.h"
@@ -371,6 +377,94 @@ double RlBlhPolicy::train_virtual_day(const std::vector<double>& usage,
   if (learning_) ++episodes_;
   RLBLH_OBS_COUNT("rl.virtual_days", 1);
   return abs_error / static_cast<double>(k_max);
+}
+
+void RlBlhPolicy::save_state(std::ostream& out) const {
+  // Between end_day() and begin_day() the day-scoped members are all at
+  // their rest values and the pending decision is resolved, so the
+  // persistent state below is the complete behavioral state: every future
+  // draw, decision and update is a pure function of it plus future inputs.
+  RLBLH_REQUIRE(!day_open_,
+                "RlBlhPolicy::save_state: checkpoint only between days");
+  out << "rlblh-policy v1\n";
+  out << "day " << day_ << " episodes " << episodes_ << " learning "
+      << (learning_ ? 1 : 0) << " exploration " << (exploration_ ? 1 : 0)
+      << '\n';
+  save_weights(out, q_);
+  save_weights(out, q2_);
+  save_rng(out, rng_);
+  stats_.save(out);
+  out << "end rlblh-policy\n";
+}
+
+void RlBlhPolicy::load_state(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "rlblh-policy v1") {
+    throw DataError("rlblh-policy: missing or wrong header (expected "
+                    "'rlblh-policy v1')");
+  }
+  std::size_t day = 0, episodes = 0;
+  int learning = 0, exploration = 0;
+  if (!std::getline(in, line)) {
+    throw DataError("rlblh-policy: truncated file (no counters line)");
+  }
+  {
+    std::string day_word, episodes_word, learning_word, exploration_word;
+    std::istringstream counters(line);
+    if (!(counters >> day_word >> day >> episodes_word >> episodes >>
+          learning_word >> learning >> exploration_word >> exploration) ||
+        day_word != "day" || episodes_word != "episodes" ||
+        learning_word != "learning" || exploration_word != "exploration" ||
+        (learning != 0 && learning != 1) ||
+        (exploration != 0 && exploration != 1)) {
+      throw DataError("rlblh-policy: malformed counters line '" + line + "'");
+    }
+  }
+  // Parse into temporaries first: a malformed tail must not leave the
+  // policy half-restored.
+  PerActionLinearQ q = load_weights(in);
+  PerActionLinearQ q2 = load_weights(in);
+  if (q.num_actions() != q_.num_actions() || q.dimension() != q_.dimension() ||
+      q2.num_actions() != q2_.num_actions() ||
+      q2.dimension() != q2_.dimension()) {
+    throw DataError(
+        "rlblh-policy: weight table dimensions do not match the "
+        "configuration");
+  }
+  Rng rng = load_rng(in);
+  UsageStatsTracker stats(config_.intervals_per_day, config_.usage_cap,
+                          config_.stats_bins, config_.stats_reservoir);
+  stats.load(in);
+  std::string end_word, end_name;
+  if (!(in >> end_word >> end_name) || end_word != "end" ||
+      end_name != "rlblh-policy") {
+    throw DataError("rlblh-policy: missing end marker");
+  }
+
+  q_ = std::move(q);
+  q2_ = std::move(q2);
+  rng_ = rng;
+  stats_ = std::move(stats);
+  day_ = day;
+  episodes_ = episodes;
+  learning_ = learning == 1;
+  exploration_ = exploration == 1;
+
+  // Day-scoped state returns to its rest values (begin_day() re-derives
+  // everything else); the diagnostic history is not checkpointed.
+  prices_.reset();
+  day_open_ = false;
+  next_reading_n_ = 0;
+  next_observe_n_ = 0;
+  today_usage_.clear();
+  initial_level_today_ = 0.0;
+  pending_active_ = false;
+  abs_error_sum_ = 0.0;
+  signed_error_sum_ = 0.0;
+  savings_sum_ = 0.0;
+  decisions_done_ = 0;
+  explored_count_ = 0;
+  day_stats_.clear();
 }
 
 }  // namespace rlblh

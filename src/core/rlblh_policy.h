@@ -58,6 +58,14 @@ class RlBlhPolicy final : public BlhPolicy {
                     double battery_level) override;
   void observe_block(std::size_t n0, std::span<const double> usage) override;
 
+  // Checkpoint/restore (DESIGN.md §15). Persists everything that shapes
+  // future behavior — both weight tables, the RNG stream, the usage
+  // statistics, episode/day counters and the learning/exploration toggles —
+  // but not the day_stats() diagnostic history. Only legal between days.
+  bool checkpointable() const override { return true; }
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   // --- control ----------------------------------------------------------
   /// Enables/disables weight updates (on by default). With learning off the
   /// policy acts greedily on its current weights and skips the heuristics.

@@ -1,5 +1,9 @@
 #include "meter/usage_stats.h"
 
+#include <istream>
+#include <ostream>
+#include <string>
+
 #include "util/error.h"
 
 namespace rlblh {
@@ -37,6 +41,24 @@ DayTrace UsageStatsTracker::sample_day(Rng& rng) const {
 double UsageStatsTracker::mean_at(std::size_t n) const {
   RLBLH_REQUIRE(n < dists_.size(), "UsageStatsTracker: interval out of range");
   return dists_[n].mean();
+}
+
+void UsageStatsTracker::save(std::ostream& out) const {
+  out << "usage-stats " << dists_.size() << ' ' << days_ << '\n';
+  for (const EmpiricalDistribution& dist : dists_) dist.save(out);
+}
+
+void UsageStatsTracker::load(std::istream& in) {
+  std::string word;
+  std::size_t intervals = 0, days = 0;
+  if (!(in >> word >> intervals >> days) || word != "usage-stats") {
+    throw DataError("UsageStatsTracker::load: malformed header");
+  }
+  if (intervals != dists_.size()) {
+    throw DataError("UsageStatsTracker::load: interval count mismatch");
+  }
+  for (EmpiricalDistribution& dist : dists_) dist.load(in);
+  days_ = days;
 }
 
 const EmpiricalDistribution& UsageStatsTracker::distribution(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "meter/trace.h"
@@ -46,6 +47,14 @@ class UsageStatsTracker {
 
   /// Upper bound of tracked values (x_M).
   double usage_cap() const { return cap_; }
+
+  /// Writes every interval's distribution state at full precision (the SYN
+  /// heuristic's sampling state must survive a daemon restart bitwise).
+  void save(std::ostream& out) const;
+
+  /// Restores state written by save() into a tracker of identical geometry.
+  /// Throws DataError on malformed input or geometry mismatch.
+  void load(std::istream& in);
 
  private:
   double cap_;

@@ -1,0 +1,59 @@
+// Decorrelated-jitter reconnect backoff.
+//
+// A fleet of load_gen clients that loses its daemon must not reconnect in
+// lockstep: with plain exponential backoff every client that disconnected
+// together retries together, and the thundering herd re-kills the daemon it
+// is trying to reach. The decorrelated-jitter scheme (AWS architecture
+// blog; see also the jittered backoff in SNIPPETS.md) draws each sleep
+// uniformly from [base, 3 * previous_sleep], clipped to a cap — successive
+// delays decorrelate across clients even when their failures were
+// simultaneous, while still backing off geometrically in expectation.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh::serve {
+
+/// Per-connection backoff state. Not thread-safe; one instance per client.
+class DecorrelatedJitterBackoff {
+ public:
+  /// `base` is both the minimum sleep and the first sleep's lower bound;
+  /// `cap` bounds every sleep. Requires 0 < base <= cap.
+  DecorrelatedJitterBackoff(std::chrono::milliseconds base,
+                            std::chrono::milliseconds cap, Rng rng)
+      : base_(base), cap_(cap), prev_(base), rng_(std::move(rng)) {
+    RLBLH_REQUIRE(base.count() > 0 && base <= cap,
+                  "DecorrelatedJitterBackoff: need 0 < base <= cap");
+  }
+
+  /// Next sleep: uniform in [base, min(cap, 3 * previous)], remembered as
+  /// the new previous.
+  std::chrono::milliseconds next() {
+    const double lo = static_cast<double>(base_.count());
+    const double hi = std::min(static_cast<double>(cap_.count()),
+                               3.0 * static_cast<double>(prev_.count()));
+    const double sleep = rng_.uniform(lo, std::max(lo, hi));
+    prev_ = std::chrono::milliseconds(static_cast<long long>(sleep));
+    prev_ = std::clamp(prev_, base_, cap_);
+    return prev_;
+  }
+
+  /// Call after a successful connection: the next failure starts over from
+  /// the base delay.
+  void reset() { prev_ = base_; }
+
+  std::chrono::milliseconds base() const { return base_; }
+  std::chrono::milliseconds cap() const { return cap_; }
+
+ private:
+  std::chrono::milliseconds base_;
+  std::chrono::milliseconds cap_;
+  std::chrono::milliseconds prev_;
+  Rng rng_;
+};
+
+}  // namespace rlblh::serve

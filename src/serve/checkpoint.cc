@@ -1,0 +1,81 @@
+#include "serve/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/error.h"
+
+namespace rlblh::serve {
+
+namespace fs = std::filesystem;
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw DataError("checkpoint store: cannot create directory '" + dir_ +
+                    "': " + ec.message());
+  }
+}
+
+std::string CheckpointStore::path_for(std::uint64_t id) const {
+  return dir_ + "/h" + std::to_string(id) + ".ckpt";
+}
+
+bool CheckpointStore::exists(std::uint64_t id) const {
+  std::error_code ec;
+  return fs::exists(path_for(id), ec);
+}
+
+void CheckpointStore::save(const HouseholdSession& session) const {
+  const std::string final_path = path_for(session.id());
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      throw DataError("checkpoint store: cannot open '" + tmp_path +
+                      "' for write");
+    }
+    session.save(out);
+    out.flush();
+    if (!out) {
+      throw DataError("checkpoint store: write to '" + tmp_path + "' failed");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    throw DataError("checkpoint store: rename to '" + final_path +
+                    "' failed: " + ec.message());
+  }
+}
+
+std::unique_ptr<HouseholdSession> CheckpointStore::load(
+    std::uint64_t id) const {
+  std::ifstream in(path_for(id));
+  if (!in) {
+    throw DataError("checkpoint store: cannot open '" + path_for(id) + "'");
+  }
+  return HouseholdSession::restore(in);
+}
+
+std::vector<std::uint64_t> CheckpointStore::list() const {
+  std::vector<std::uint64_t> ids;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() > 6 && name.front() == 'h' &&
+        name.substr(name.size() - 5) == ".ckpt") {
+      try {
+        ids.push_back(std::stoull(name.substr(1, name.size() - 6)));
+      } catch (...) {
+        // Foreign file in the checkpoint directory; ignore.
+      }
+    }
+  }
+  return ids;
+}
+
+}  // namespace rlblh::serve

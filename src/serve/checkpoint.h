@@ -1,0 +1,49 @@
+// Durable per-household checkpoints for rlblh_serve.
+//
+// One text file per household under a directory the daemon owns. Writes are
+// atomic-by-rename: the state is serialized to `<file>.tmp` and renamed
+// over the live file, so a crash mid-write leaves the previous checkpoint
+// intact — a reader never observes a torn file. Restart therefore resumes
+// from the newest complete day-boundary snapshot, which is exactly the
+// guarantee the bitwise-resume argument (DESIGN.md §15) needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace rlblh::serve {
+
+class CheckpointStore {
+ public:
+  /// Opens (creating if needed) the checkpoint directory. Throws DataError
+  /// when the directory cannot be created.
+  explicit CheckpointStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path of household `id`'s checkpoint file.
+  std::string path_for(std::uint64_t id) const;
+
+  /// True when a checkpoint for `id` exists.
+  bool exists(std::uint64_t id) const;
+
+  /// Atomically persists the session (tmp + rename). Throws ConfigError
+  /// while the session's day is open, DataError on I/O failure.
+  void save(const HouseholdSession& session) const;
+
+  /// Loads household `id`'s checkpoint. Throws DataError when missing or
+  /// malformed.
+  std::unique_ptr<HouseholdSession> load(std::uint64_t id) const;
+
+  /// Ids of every checkpoint file present (for drain logging and tests).
+  std::vector<std::uint64_t> list() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace rlblh::serve

@@ -1,0 +1,127 @@
+#include "serve/client.h"
+
+#include <thread>
+#include <utility>
+
+#include "serve/net.h"
+#include "util/rng.h"
+
+namespace rlblh::serve {
+
+ServeClient::ServeClient(std::string endpoint, std::uint64_t backoff_seed,
+                         std::chrono::milliseconds backoff_base,
+                         std::chrono::milliseconds backoff_cap)
+    : endpoint_(std::move(endpoint)),
+      backoff_(backoff_base, backoff_cap,
+               Rng(derive_stream_seed(backoff_seed, 0xBACC0FF))) {}
+
+ServeClient::~ServeClient() { disconnect(); }
+
+void ServeClient::connect(std::size_t max_attempts) {
+  RLBLH_REQUIRE(max_attempts >= 1, "ServeClient: need >= 1 attempt");
+  disconnect();
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      fd_ = connect_endpoint(endpoint_);
+      reader_ = FrameReader();
+      backoff_.reset();
+      return;
+    } catch (const DataError&) {
+      ++failed_attempts_;
+      if (attempt >= max_attempts) throw;
+      std::this_thread::sleep_for(backoff_.next());
+    }
+  }
+}
+
+void ServeClient::disconnect() {
+  if (fd_ >= 0) {
+    close_quietly(fd_);
+    fd_ = -1;
+  }
+}
+
+Frame ServeClient::round_trip(const std::vector<std::uint8_t>& request) {
+  RLBLH_REQUIRE(fd_ >= 0, "ServeClient: not connected");
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    send_all(fd_, request.data(), request.size());
+    std::vector<std::uint8_t> payload;
+    std::uint8_t chunk[16 * 1024];
+    while (!reader_.take(payload)) {
+      const std::size_t n = recv_some(fd_, chunk, sizeof(chunk));
+      if (n == 0) {
+        throw DataError("ServeClient: server closed the connection");
+      }
+      reader_.append(chunk, n);
+    }
+    last_rtt_ = std::chrono::steady_clock::now() - t0;
+    Frame frame = decode_payload(payload.data(), payload.size());
+    if (frame.type == MessageType::kError) {
+      throw ServeRequestError(frame.error.code, frame.error.message);
+    }
+    return frame;
+  } catch (const ServeRequestError&) {
+    throw;  // connection is intact; do not tear it down
+  } catch (const DataError&) {
+    disconnect();
+    throw;
+  }
+}
+
+namespace {
+[[noreturn]] void wrong_reply(const char* wanted) {
+  throw DataError(std::string("ServeClient: expected ") + wanted);
+}
+}  // namespace
+
+HelloAckMsg ServeClient::hello(std::uint64_t household_id,
+                               const std::string& spec) {
+  std::vector<std::uint8_t> req;
+  encode_hello(req, {household_id, spec});
+  Frame reply = round_trip(req);
+  if (reply.type != MessageType::kHelloAck) wrong_reply("HelloAck");
+  return reply.hello_ack;
+}
+
+ReadingsAckMsg ServeClient::send_readings(std::uint64_t household_id,
+                                          std::uint32_t day,
+                                          std::uint32_t first_interval,
+                                          const std::vector<double>& values) {
+  std::vector<std::uint8_t> req;
+  ReadingsMsg msg;
+  msg.household_id = household_id;
+  msg.day = day;
+  msg.first_interval = first_interval;
+  msg.values = values;
+  encode_readings(req, msg);
+  Frame reply = round_trip(req);
+  if (reply.type != MessageType::kReadingsAck) wrong_reply("ReadingsAck");
+  return reply.readings_ack;
+}
+
+CheckpointAckMsg ServeClient::checkpoint(std::uint64_t household_id) {
+  std::vector<std::uint8_t> req;
+  encode_checkpoint(req, {household_id});
+  Frame reply = round_trip(req);
+  if (reply.type != MessageType::kCheckpointAck) wrong_reply("CheckpointAck");
+  return reply.checkpoint_ack;
+}
+
+StatsAckMsg ServeClient::stats(std::uint64_t household_id) {
+  std::vector<std::uint8_t> req;
+  encode_stats(req, {household_id});
+  Frame reply = round_trip(req);
+  if (reply.type != MessageType::kStatsAck) wrong_reply("StatsAck");
+  return reply.stats_ack;
+}
+
+ByeAckMsg ServeClient::bye(std::uint64_t household_id) {
+  std::vector<std::uint8_t> req;
+  encode_bye(req, {household_id});
+  Frame reply = round_trip(req);
+  if (reply.type != MessageType::kByeAck) wrong_reply("ByeAck");
+  return reply.bye_ack;
+}
+
+}  // namespace rlblh::serve

@@ -1,0 +1,84 @@
+// Synchronous client for the rlblh_serve protocol, with reconnect.
+//
+// One ServeClient is one connection multiplexing any number of household
+// ids (every frame carries its id). Calls are strict request/response; a
+// server Error frame surfaces as ServeRequestError so callers can
+// distinguish "the server rejected this request" (re-sync and continue)
+// from transport failure (reconnect with decorrelated-jitter backoff and
+// replay — the load generator's loop).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/backoff.h"
+#include "serve/protocol.h"
+#include "util/error.h"
+
+namespace rlblh::serve {
+
+/// The server answered with an Error frame (the connection stays up).
+class ServeRequestError : public DataError {
+ public:
+  ServeRequestError(ErrorCode code, const std::string& message)
+      : DataError("serve request rejected: " + message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class ServeClient {
+ public:
+  /// Prepares a client for the endpoint; connect() establishes the socket.
+  /// `backoff_seed` seeds the reconnect jitter (distinct per client so a
+  /// herd decorrelates).
+  ServeClient(std::string endpoint, std::uint64_t backoff_seed,
+              std::chrono::milliseconds backoff_base =
+                  std::chrono::milliseconds(10),
+              std::chrono::milliseconds backoff_cap =
+                  std::chrono::milliseconds(2000));
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects, retrying with backoff up to `max_attempts`. Throws DataError
+  /// when every attempt fails.
+  void connect(std::size_t max_attempts = 10);
+
+  /// Drops the socket (reconnect() = connect()).
+  void disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Number of (re)connect attempts that failed so far (for tests).
+  std::size_t failed_attempts() const { return failed_attempts_; }
+
+  // --- requests (throw DataError on transport loss,
+  //     ServeRequestError on server rejection) ---------------------------
+  HelloAckMsg hello(std::uint64_t household_id, const std::string& spec);
+  ReadingsAckMsg send_readings(std::uint64_t household_id, std::uint32_t day,
+                               std::uint32_t first_interval,
+                               const std::vector<double>& values);
+  CheckpointAckMsg checkpoint(std::uint64_t household_id);
+  StatsAckMsg stats(std::uint64_t household_id);
+  ByeAckMsg bye(std::uint64_t household_id);
+
+  /// Round-trip time of the most recent successful request.
+  std::chrono::nanoseconds last_rtt() const { return last_rtt_; }
+
+ private:
+  Frame round_trip(const std::vector<std::uint8_t>& request);
+
+  std::string endpoint_;
+  DecorrelatedJitterBackoff backoff_;
+  int fd_ = -1;
+  std::size_t failed_attempts_ = 0;
+  FrameReader reader_;
+  std::chrono::nanoseconds last_rtt_{0};
+};
+
+}  // namespace rlblh::serve

@@ -1,0 +1,161 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "meter/trace.h"
+#include "serve/client.h"
+#include "sim/scenario.h"
+#include "util/error.h"
+
+namespace rlblh::serve {
+
+double LoadGenResult::rtt_quantile(double q) const {
+  if (rtt_us.empty()) return 0.0;
+  std::vector<double> sorted = rtt_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+std::string household_spec(const LoadGenConfig& config, std::size_t h) {
+  // Appending wins over any earlier key, so the derived seed is always the
+  // effective one; hseed keeps its seed + 1000 coupling.
+  return config.base_spec + ";seed=" +
+         std::to_string(config.seed_base + static_cast<std::uint64_t>(h));
+}
+
+namespace {
+
+struct ThreadStats {
+  std::size_t days_completed = 0;
+  std::size_t intervals_sent = 0;
+  std::size_t frames_sent = 0;
+  std::size_t reconnects = 0;
+  std::vector<double> rtt_us;
+};
+
+void drive_household(ServeClient& client, const LoadGenConfig& config,
+                     std::size_t h, ThreadStats& stats) {
+  const std::string spec_text = household_spec(config, h);
+  const std::uint64_t id = config.seed_base + static_cast<std::uint64_t>(h);
+  const ScenarioSpec spec = ScenarioSpec::parse(spec_text);
+
+  for (;;) {  // resume loop: one iteration per (re)connection epoch
+    try {
+      const HelloAckMsg hello = client.hello(id, spec_text);
+      std::size_t day = hello.days_completed;
+      std::unique_ptr<TraceSource> source = make_scenario_source(spec);
+      const std::size_t n_m = source->intervals();
+      DayTrace trace(n_m);
+      // Regenerate the household's deterministic stream up to the server's
+      // cursor; days the daemon already closed are never re-sent.
+      for (std::size_t d = 0; d < day; ++d) source->next_day_into(trace);
+      std::size_t interval = 0;
+      bool have_day = false;
+      if (hello.day_open != 0) {
+        source->next_day_into(trace);
+        interval = hello.next_interval;
+        have_day = true;
+      }
+      std::vector<double> values;
+      while (day < config.days || have_day) {
+        if (!have_day) {
+          source->next_day_into(trace);
+          have_day = true;
+        }
+        while (interval < n_m) {
+          const std::size_t count =
+              std::min(config.batch_intervals, n_m - interval);
+          const double* v = trace.values().data() + interval;
+          values.assign(v, v + count);
+          client.send_readings(id, static_cast<std::uint32_t>(day),
+                               static_cast<std::uint32_t>(interval), values);
+          stats.rtt_us.push_back(
+              std::chrono::duration<double, std::micro>(client.last_rtt())
+                  .count());
+          ++stats.frames_sent;
+          stats.intervals_sent += count;
+          interval += count;
+        }
+        ++day;
+        ++stats.days_completed;
+        interval = 0;
+        have_day = false;
+      }
+      if (config.final_checkpoint) client.checkpoint(id);
+      client.bye(id);
+      return;
+    } catch (const ServeRequestError& e) {
+      if (e.code() == ErrorCode::kDraining) {
+        // The daemon is shutting down; wait for its successor.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      throw;  // out-of-order / bad-spec: a generator bug, surface it
+    } catch (const DataError&) {
+      // Transport loss (daemon died or dropped us): reconnect with backoff
+      // and replay from whatever cursor the restarted daemon reports.
+      ++stats.reconnects;
+      client.connect(config.connect_attempts);
+    }
+  }
+}
+
+}  // namespace
+
+LoadGenResult run_load(const LoadGenConfig& config) {
+  RLBLH_REQUIRE(config.households >= 1, "load_gen: need >= 1 household");
+  RLBLH_REQUIRE(config.batch_intervals >= 1,
+                "load_gen: need >= 1 interval per frame");
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<ThreadStats> per_thread(threads);
+  std::vector<std::exception_ptr> failures(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        ServeClient client(config.endpoint,
+                           /*backoff_seed=*/config.seed_base ^ (t + 1));
+        client.connect(config.connect_attempts);
+        for (std::size_t h = t; h < config.households; h += threads) {
+          drive_household(client, config, h, per_thread[t]);
+        }
+      } catch (...) {
+        failures[t] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& e : failures) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  LoadGenResult result;
+  result.households = config.households;
+  for (ThreadStats& s : per_thread) {
+    result.days_completed += s.days_completed;
+    result.intervals_sent += s.intervals_sent;
+    result.frames_sent += s.frames_sent;
+    result.reconnects += s.reconnects;
+    result.rtt_us.insert(result.rtt_us.end(), s.rtt_us.begin(),
+                         s.rtt_us.end());
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace rlblh::serve

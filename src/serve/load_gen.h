@@ -1,0 +1,56 @@
+// Load generator for rlblh_serve: the client half of the serving story.
+//
+// run_load drives N simulated households against a daemon endpoint. Each
+// household's usage comes from its own deterministic TraceSource (the same
+// registries a batch run uses), so the daemon-side trajectory is a pure
+// function of (base_spec, seed_base, household index) — which is what makes
+// kill/restart testing possible: after any interruption the generator can
+// regenerate precisely the days the daemon still needs and replay them.
+//
+// Transport loss is handled in the loop, not by the caller: reconnect with
+// decorrelated-jitter backoff, re-Hello, resume from the server's cursor
+// (completed days + open-day interval), replay the remainder. A daemon that
+// is SIGKILLed and restarted mid-run therefore only costs the generator a
+// replay of the unacknowledged tail.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlblh::serve {
+
+struct LoadGenConfig {
+  std::string endpoint;                    ///< unix:PATH or tcp:PORT
+  std::string base_spec = "policy=rlblh";  ///< per-household seed appended
+  std::size_t households = 10;
+  std::size_t days = 2;            ///< target days_completed per household
+  std::size_t batch_intervals = 240;  ///< readings per frame
+  std::uint64_t seed_base = 1;     ///< household h runs with seed_base + h
+  std::size_t threads = 1;         ///< client threads (connections)
+  bool final_checkpoint = true;    ///< request a Checkpoint after last day
+  std::size_t connect_attempts = 30;  ///< per (re)connect, with backoff
+};
+
+struct LoadGenResult {
+  std::size_t households = 0;
+  std::size_t days_completed = 0;   ///< sum over households (this run)
+  std::size_t intervals_sent = 0;
+  std::size_t frames_sent = 0;
+  std::size_t reconnects = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> rtt_us;  ///< per-Readings-frame round-trip times
+
+  /// p-quantile of rtt_us (nearest-rank); 0 when empty.
+  double rtt_quantile(double q) const;
+};
+
+/// Spec string household `h` runs under (base spec + derived seed).
+std::string household_spec(const LoadGenConfig& config, std::size_t h);
+
+/// Drives the full load; throws DataError when the daemon stays
+/// unreachable past the backoff budget.
+LoadGenResult run_load(const LoadGenConfig& config);
+
+}  // namespace rlblh::serve

@@ -1,0 +1,160 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace rlblh::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw DataError(what + ": " + std::strerror(errno));
+}
+
+bool is_unix(const std::string& endpoint) {
+  return endpoint.rfind("unix:", 0) == 0;
+}
+
+bool is_tcp(const std::string& endpoint) {
+  return endpoint.rfind("tcp:", 0) == 0;
+}
+
+sockaddr_un unix_addr(const std::string& endpoint) {
+  const std::string path = endpoint.substr(5);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw DataError("serve net: bad unix socket path '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(const std::string& endpoint) {
+  const std::string port_text = endpoint.substr(4);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || *end != '\0' || port < 0 || port > 65535) {
+    throw DataError("serve net: bad tcp port '" + port_text + "'");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+int listen_endpoint(const std::string& endpoint, std::string* actual) {
+  int fd = -1;
+  if (is_unix(endpoint)) {
+    const sockaddr_un addr = unix_addr(endpoint);
+    ::unlink(addr.sun_path);  // stale socket from a SIGKILLed daemon
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("serve net: socket(AF_UNIX)");
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      close_quietly(fd);
+      throw_errno("serve net: bind '" + endpoint + "'");
+    }
+    if (actual) *actual = endpoint;
+  } else if (is_tcp(endpoint)) {
+    sockaddr_in addr = tcp_addr(endpoint);
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("serve net: socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      close_quietly(fd);
+      throw_errno("serve net: bind '" + endpoint + "'");
+    }
+    if (actual) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+        close_quietly(fd);
+        throw_errno("serve net: getsockname");
+      }
+      *actual = "tcp:" + std::to_string(ntohs(bound.sin_port));
+    }
+  } else {
+    throw DataError("serve net: endpoint must be unix:PATH or tcp:PORT, got '" +
+                    endpoint + "'");
+  }
+  if (::listen(fd, 128) < 0) {
+    close_quietly(fd);
+    throw_errno("serve net: listen '" + endpoint + "'");
+  }
+  return fd;
+}
+
+int connect_endpoint(const std::string& endpoint) {
+  if (is_unix(endpoint)) {
+    const sockaddr_un addr = unix_addr(endpoint);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("serve net: socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      close_quietly(fd);
+      throw_errno("serve net: connect '" + endpoint + "'");
+    }
+    return fd;
+  }
+  if (is_tcp(endpoint)) {
+    const sockaddr_in addr = tcp_addr(endpoint);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("serve net: socket(AF_INET)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      close_quietly(fd);
+      throw_errno("serve net: connect '" + endpoint + "'");
+    }
+    return fd;
+  }
+  throw DataError("serve net: endpoint must be unix:PATH or tcp:PORT, got '" +
+                  endpoint + "'");
+}
+
+void send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve net: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t recv_some(int fd, std::uint8_t* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve net: recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void unlink_endpoint(const std::string& endpoint) {
+  if (is_unix(endpoint)) ::unlink(endpoint.substr(5).c_str());
+}
+
+}  // namespace rlblh::serve

@@ -1,0 +1,43 @@
+// Minimal POSIX socket plumbing shared by the daemon and its clients.
+//
+// Endpoints are strings so CLIs and configs stay uniform:
+//
+//     unix:/path/to/socket       AF_UNIX stream socket
+//     tcp:PORT                   IPv4 loopback on the given port (0 = pick)
+//
+// Unix-domain sockets are the deployment default (one daemon per meter
+// gateway, clients on-box); TCP exists for cross-host load generation. All
+// helpers throw DataError on failure — callers translate to protocol
+// errors or retries as appropriate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rlblh::serve {
+
+/// Binds + listens on the endpoint. For tcp:0 an ephemeral port is chosen;
+/// `actual` (when non-null) receives the resolved endpoint string either
+/// way. Returns the listening fd (caller owns/closes). For unix: endpoints
+/// a stale socket file from a dead daemon is unlinked first.
+int listen_endpoint(const std::string& endpoint, std::string* actual);
+
+/// Connects to the endpoint. Returns the connected fd (caller owns).
+int connect_endpoint(const std::string& endpoint);
+
+/// Writes the whole buffer, retrying on short writes/EINTR. Throws
+/// DataError when the peer is gone.
+void send_all(int fd, const std::uint8_t* data, std::size_t size);
+
+/// Reads up to `size` bytes. Returns 0 on orderly peer close; retries
+/// EINTR. Throws DataError on hard errors.
+std::size_t recv_some(int fd, std::uint8_t* data, std::size_t size);
+
+/// Closes an fd, ignoring errors (shutdown paths).
+void close_quietly(int fd);
+
+/// Removes the socket file of a unix: endpoint (no-op for tcp:).
+void unlink_endpoint(const std::string& endpoint);
+
+}  // namespace rlblh::serve

@@ -1,0 +1,185 @@
+// Wire protocol for rlblh_serve.
+//
+// Frames are length-prefixed little-endian binary:
+//
+//     u32 payload_length          (excludes the prefix itself)
+//     u8  version                 (kProtocolVersion)
+//     u8  type                    (MessageType)
+//     ... type-specific body, LE integers, IEEE-754 LE doubles
+//
+// The length prefix is capped (kMaxFrameBytes) so a corrupt or hostile
+// prefix cannot make the daemon allocate unbounded memory; a bad version,
+// unknown type, truncated body or trailing bytes all raise DataError at
+// decode time, and the daemon answers with an Error frame instead of
+// dying. Encoding/decoding is pure buffer manipulation — no sockets here —
+// so the whole protocol is unit-testable without I/O.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlblh::serve {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling on a frame's payload. Generous: the largest legitimate
+/// frame (a full day of readings, or a Hello carrying a spec string) is a
+/// few KiB.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,          ///< client -> server: household id + scenario spec
+  kHelloAck = 2,       ///< server -> client: resume point
+  kReadings = 3,       ///< client -> server: a run of usage values
+  kReadingsAck = 4,    ///< server -> client: cursor + running totals
+  kCheckpoint = 5,     ///< client -> server: flush my state now
+  kCheckpointAck = 6,  ///< server -> client: checkpointed day
+  kStats = 7,          ///< client -> server: report state
+  kStatsAck = 8,       ///< server -> client: totals + battery level
+  kError = 9,          ///< server -> client: request rejected
+  kBye = 10,           ///< client -> server: graceful close
+  kByeAck = 11,        ///< server -> client: close acknowledged
+};
+
+/// Error codes carried by kError frames.
+enum class ErrorCode : std::uint16_t {
+  kMalformedFrame = 1,   ///< undecodable or wrong-version frame
+  kBadSpec = 2,          ///< Hello spec rejected (parse/build failure)
+  kUnknownHousehold = 3, ///< message for an id that never said Hello
+  kOutOfOrder = 4,       ///< readings cursor does not match the session
+  kNotCheckpointable = 5,///< policy does not support checkpoint/restore
+  kDraining = 6,         ///< server is shutting down; reconnect later
+  kInternal = 7,         ///< unexpected server-side failure
+};
+
+struct HelloMsg {
+  std::uint64_t household_id = 0;
+  std::string spec;  ///< ScenarioSpec grammar, e.g. "policy=rlblh;seed=7"
+};
+
+struct HelloAckMsg {
+  std::uint64_t household_id = 0;
+  std::uint32_t days_completed = 0;  ///< resume point: replay from this day
+  std::uint32_t next_interval = 0;   ///< cursor within an open day, else 0
+  std::uint8_t day_open = 0;  ///< 1 when the session kept a mid-day cursor
+  std::uint8_t resumed = 0;   ///< 1 when state came from a checkpoint
+};
+
+struct ReadingsMsg {
+  std::uint64_t household_id = 0;
+  std::uint32_t day = 0;             ///< 0-based day index
+  std::uint32_t first_interval = 0;  ///< 0-based interval of values[0]
+  std::vector<double> values;        ///< usage kWh per interval, in order
+};
+
+struct ReadingsAckMsg {
+  std::uint64_t household_id = 0;
+  std::uint32_t day = 0;            ///< day of the session cursor
+  std::uint32_t next_interval = 0;  ///< interval the server expects next
+  std::uint8_t day_completed = 0;   ///< 1 when this frame closed a day
+};
+
+struct CheckpointMsg {
+  std::uint64_t household_id = 0;
+};
+
+struct CheckpointAckMsg {
+  std::uint64_t household_id = 0;
+  std::uint32_t days_completed = 0;  ///< day count the checkpoint captured
+};
+
+struct StatsMsg {
+  std::uint64_t household_id = 0;
+};
+
+struct StatsAckMsg {
+  std::uint64_t household_id = 0;
+  std::uint32_t days_completed = 0;
+  double savings_cents = 0.0;     ///< cumulative over completed days
+  double bill_cents = 0.0;        ///< cumulative over completed days
+  double usage_cost_cents = 0.0;  ///< cumulative over completed days
+  double battery_level_kwh = 0.0;
+};
+
+struct ErrorMsg {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct ByeMsg {
+  std::uint64_t household_id = 0;
+};
+
+struct ByeAckMsg {
+  std::uint64_t household_id = 0;
+};
+
+/// A decoded frame: exactly one of the optionals below is meaningful,
+/// selected by `type`. (A tagged union by hand keeps the decoder free of
+/// std::variant visitation noise in the per-frame hot path.)
+struct Frame {
+  MessageType type = MessageType::kError;
+  HelloMsg hello;
+  HelloAckMsg hello_ack;
+  ReadingsMsg readings;
+  ReadingsAckMsg readings_ack;
+  CheckpointMsg checkpoint;
+  CheckpointAckMsg checkpoint_ack;
+  StatsMsg stats;
+  StatsAckMsg stats_ack;
+  ErrorMsg error;
+  ByeMsg bye;
+  ByeAckMsg bye_ack;
+};
+
+// --- encoding ------------------------------------------------------------
+// Each encoder appends one complete frame (length prefix included) to
+// `out`.
+
+void encode_hello(std::vector<std::uint8_t>& out, const HelloMsg& msg);
+void encode_hello_ack(std::vector<std::uint8_t>& out, const HelloAckMsg& msg);
+void encode_readings(std::vector<std::uint8_t>& out, const ReadingsMsg& msg);
+void encode_readings_ack(std::vector<std::uint8_t>& out,
+                         const ReadingsAckMsg& msg);
+void encode_checkpoint(std::vector<std::uint8_t>& out,
+                       const CheckpointMsg& msg);
+void encode_checkpoint_ack(std::vector<std::uint8_t>& out,
+                           const CheckpointAckMsg& msg);
+void encode_stats(std::vector<std::uint8_t>& out, const StatsMsg& msg);
+void encode_stats_ack(std::vector<std::uint8_t>& out, const StatsAckMsg& msg);
+void encode_error(std::vector<std::uint8_t>& out, const ErrorMsg& msg);
+void encode_bye(std::vector<std::uint8_t>& out, const ByeMsg& msg);
+void encode_bye_ack(std::vector<std::uint8_t>& out, const ByeAckMsg& msg);
+
+// --- decoding ------------------------------------------------------------
+
+/// Decodes one frame payload (the bytes after the length prefix: version,
+/// type, body). Throws DataError on any malformation: wrong version,
+/// unknown type, truncated body, trailing bytes, non-finite double, or an
+/// over-long embedded string.
+Frame decode_payload(const std::uint8_t* data, std::size_t size);
+
+/// Incremental frame extractor for a byte stream. Feed received bytes with
+/// append(); take() yields complete payloads one at a time. Throws
+/// DataError when the stream is unrecoverable (length prefix over
+/// kMaxFrameBytes) — the connection must then be dropped, since framing is
+/// lost.
+class FrameReader {
+ public:
+  void append(const std::uint8_t* data, std::size_t size);
+
+  /// Extracts the next complete frame payload into `payload` (version byte
+  /// first). Returns false when no complete frame is buffered yet.
+  bool take(std::vector<std::uint8_t>& payload);
+
+  /// Bytes currently buffered (for tests and flow-control decisions).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace rlblh::serve

@@ -1,0 +1,97 @@
+// One served household: scenario components + streaming day loop + totals.
+//
+// A HouseholdSession is the daemon-side mirror of what build_scenario wires
+// up for a batch run — the same registries build the policy and price
+// schedule from the same spec string, the battery starts at b_M / 2 — but
+// the day loop is the push-driven StreamEngine, fed by Readings frames as
+// they arrive. Because StreamEngine is bitwise-identical to SimEngine, a
+// session that has consumed D days of a household's usage holds exactly the
+// policy/battery/RNG state a batch SimEngine run over the same D days would
+// hold (serve/server_test.cc pins this differentially).
+//
+// Checkpoint contract: save() is only legal between days (the policy's
+// day-scoped state is empty there — DESIGN.md §15); a session restored from
+// save()'s output continues bitwise-identically. The client replays the
+// day that was open when the daemon died.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "battery/battery.h"
+#include "core/policy.h"
+#include "pricing/tou.h"
+#include "sim/scenario.h"
+#include "sim/stream_engine.h"
+
+namespace rlblh::serve {
+
+class HouseholdSession {
+ public:
+  /// Builds the household from a ScenarioSpec string via the registries.
+  /// Throws ConfigError when the spec is invalid or names a policy without
+  /// checkpoint support (every served policy must be restorable).
+  HouseholdSession(std::uint64_t id, const std::string& spec_text);
+
+  /// Rebuilds a session from a checkpoint stream written by save().
+  /// Throws DataError on malformed input.
+  static std::unique_ptr<HouseholdSession> restore(std::istream& in);
+
+  std::uint64_t id() const { return id_; }
+
+  /// Canonical spec string (the session's identity; a reconnecting client
+  /// must present a spec with the same canonical form).
+  const std::string& spec_text() const { return spec_text_; }
+
+  std::size_t days_completed() const { return days_; }
+  bool day_open() const { return engine_.day_open(); }
+
+  /// Interval the next reading must carry (0 when no day is open).
+  std::size_t next_interval() const { return engine_.next_interval(); }
+
+  std::size_t intervals_per_day() const { return prices_.intervals(); }
+
+  /// Applies a contiguous run of usage values at (day, first_interval).
+  /// Opens the day on interval 0, closes it after the last interval. A
+  /// frame must not cross a day boundary. Throws ConfigError when the
+  /// cursor does not match the session (the server answers kOutOfOrder).
+  /// Returns true when this call completed a day.
+  bool apply_readings(std::uint32_t day, std::uint32_t first_interval,
+                      std::span<const double> values);
+
+  double savings_cents() const { return savings_cents_; }
+  double bill_cents() const { return bill_cents_; }
+  double usage_cost_cents() const { return usage_cost_cents_; }
+  double battery_level() const { return battery_.level(); }
+
+  /// The live policy (differential tests compare its serialized state
+  /// against a batch run's).
+  const BlhPolicy& policy() const { return *policy_; }
+
+  /// Writes the full between-days state (spec, counters, cumulative cents,
+  /// battery, policy). Throws ConfigError while a day is open.
+  void save(std::ostream& out) const;
+
+ private:
+  explicit HouseholdSession() = default;
+  void build_components();
+
+  std::uint64_t id_ = 0;
+  std::string spec_text_;
+  ScenarioSpec spec_;
+  TouSchedule prices_ = TouSchedule::flat(1, 0.0);  ///< replaced in build
+  Battery battery_{1.0};
+  std::unique_ptr<BlhPolicy> policy_;
+  StreamEngine engine_;
+
+  std::size_t days_ = 0;
+  double savings_cents_ = 0.0;
+  double bill_cents_ = 0.0;
+  double usage_cost_cents_ = 0.0;
+};
+
+}  // namespace rlblh::serve

@@ -1,0 +1,99 @@
+// StreamEngine — the push-driven twin of SimEngine's day loop.
+//
+// SimEngine pulls a whole day of usage from a TraceSource and runs the
+// measurement-interval loop over it in one call. The serving daemon cannot
+// do that: meter readings arrive one interval at a time over a socket, and
+// the policy must commit its pulse magnitude at each block boundary before
+// the block's usage exists anywhere. StreamEngine inverts the control flow —
+// begin_day() opens a day, push() feeds one interval of usage, finish_day()
+// closes it — while evaluating exactly the expressions of SimEngine's day
+// loop in exactly the same order, so a streamed day and a batch day over the
+// same inputs produce bitwise-identical DayResults and leave the policy,
+// battery and RNG in bitwise-identical states (pinned by
+// stream_diff_proptest).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "battery/battery.h"
+#include "core/policy.h"
+#include "pricing/tou.h"
+#include "sim/day_result.h"
+#include "sim/invariants.h"
+
+namespace rlblh {
+
+/// Incremental per-interval driver over borrowed household state.
+class StreamEngine {
+ public:
+  /// Opens a day: runs policy.begin_day(prices) and arms the interval
+  /// cursor. The borrowed prices/battery/policy must outlive the open day
+  /// (until finish_day() or abandon_day()). Throws if a day is already
+  /// open.
+  void begin_day(const TouSchedule& prices, Battery& battery,
+                 BlhPolicy& policy);
+
+  /// Feeds the next interval's usage x_n (finite, >= 0). At block
+  /// boundaries the policy's fill_block/observe_block run exactly as
+  /// SimEngine would run them. Throws when no day is open or the day is
+  /// already full.
+  void push(double usage);
+
+  /// Closes the day: requires every interval pushed, runs policy.end_day()
+  /// and returns the day's record (valid until the next begin_day on this
+  /// engine). Runs the invariant checker when enabled.
+  const DayResult& finish_day();
+
+  /// Drops an open day without running end_day(). The policy is left with
+  /// its day open — callers that abandon a day must discard the policy (the
+  /// daemon's restart path instead rebuilds from the last checkpoint).
+  void abandon_day();
+
+  /// True between begin_day() and finish_day()/abandon_day().
+  bool day_open() const { return day_open_; }
+
+  /// Index of the next interval push() will consume (0-based).
+  std::size_t next_interval() const { return n_; }
+
+  /// Length of the open day in intervals (0 when no day is open).
+  std::size_t intervals() const { return day_open_ ? n_m_ : 0; }
+
+  /// Per-day invariant enforcement, as SimEngine::enable_invariant_checks.
+  void enable_invariant_checks(const InvariantCheckConfig& config);
+  void disable_invariant_checks() { invariant_config_.reset(); }
+  bool invariant_checks_enabled() const {
+    return invariant_config_.has_value();
+  }
+
+ private:
+  std::optional<InvariantCheckConfig> invariant_config_;
+  DayResult scratch_;  ///< day record reused across days
+
+  // Borrowed for the duration of an open day.
+  const TouSchedule* prices_ = nullptr;
+  Battery* battery_ = nullptr;
+  BlhPolicy* policy_ = nullptr;
+
+  bool day_open_ = false;
+  std::size_t n_m_ = 0;   ///< intervals in the open day
+  std::size_t n_ = 0;     ///< next interval to consume
+  std::size_t seg_ = 0;   ///< current price segment (blocked path)
+  std::size_t pulse_ = 0;
+  bool passthrough_ = false;
+  std::size_t violations_before_ = 0;
+
+  // Open pulse block (blocked path only).
+  std::size_t block_n0_ = 0;
+  std::size_t block_end_ = 0;
+  double block_y_ = 0.0;
+  double block_level_ = 0.0;  ///< passthrough: level captured at block start
+  std::size_t blocks_ = 0;
+
+  double savings_cents_ = 0.0;
+  double bill_cents_ = 0.0;
+  double usage_cost_cents_ = 0.0;
+};
+
+}  // namespace rlblh

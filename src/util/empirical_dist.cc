@@ -1,6 +1,9 @@
 #include "util/empirical_dist.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
 
 namespace rlblh {
 
@@ -53,6 +56,45 @@ double EmpiricalDistribution::sample(Rng& rng) const {
   const double width = (hist_.hi() - hist_.lo()) / static_cast<double>(hist_.bins());
   const double left = hist_.lo() + static_cast<double>(cell) * width;
   return left + rng.uniform() * width;
+}
+
+void EmpiricalDistribution::save(std::ostream& out) const {
+  const auto precision = out.precision(17);
+  out << "edist " << count_ << ' ' << sum_ << ' ' << reservoir_fraction_
+      << ' ' << reservoir_.size() << '\n';
+  for (std::size_t i = 0; i < reservoir_.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << reservoir_[i];
+  }
+  if (!reservoir_.empty()) out << '\n';
+  out.precision(precision);
+  hist_.save(out);
+}
+
+void EmpiricalDistribution::load(std::istream& in) {
+  std::string word;
+  std::size_t count = 0, reservoir_size = 0;
+  double sum = 0.0, fraction = 0.0;
+  if (!(in >> word >> count >> sum >> fraction >> reservoir_size) ||
+      word != "edist") {
+    throw DataError("EmpiricalDistribution::load: malformed header");
+  }
+  if (reservoir_size > reservoir_capacity_ || reservoir_size > count ||
+      fraction < 0.0 || fraction > 1.0) {
+    throw DataError("EmpiricalDistribution::load: inconsistent state");
+  }
+  std::vector<double> reservoir(reservoir_size, 0.0);
+  for (std::size_t i = 0; i < reservoir_size; ++i) {
+    if (!(in >> reservoir[i])) {
+      throw DataError("EmpiricalDistribution::load: malformed reservoir");
+    }
+  }
+  hist_.load(in);
+  reservoir_ = std::move(reservoir);
+  reservoir_.reserve(reservoir_capacity_);
+  count_ = count;
+  sum_ = sum;
+  reservoir_fraction_ = fraction;
 }
 
 void EmpiricalDistribution::set_reservoir_fraction(double f) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "util/histogram.h"
@@ -45,6 +46,15 @@ class EmpiricalDistribution {
 
   /// Fraction of samples served from the exact-value reservoir; in [0, 1].
   void set_reservoir_fraction(double f);
+
+  /// Writes the full sampling state (histogram mass, reservoir contents,
+  /// count/sum/fraction) at full precision: a load() into a distribution of
+  /// identical geometry reproduces sample() draws bitwise.
+  void save(std::ostream& out) const;
+
+  /// Restores state written by save(). Throws DataError on malformed input
+  /// or geometry mismatch.
+  void load(std::istream& in);
 
  private:
   Histogram hist_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 namespace rlblh {
 
@@ -56,6 +58,39 @@ double Histogram::entropy_bits() const {
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0.0);
   total_ = 0.0;
+}
+
+void Histogram::save(std::ostream& out) const {
+  const auto precision = out.precision(17);
+  out << "hist " << counts_.size() << ' ' << lo_ << ' ' << hi_ << ' '
+      << total_ << '\n';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << counts_[i];
+  }
+  out << '\n';
+  out.precision(precision);
+}
+
+void Histogram::load(std::istream& in) {
+  std::string word;
+  std::size_t bins = 0;
+  double lo = 0.0, hi = 0.0, total = 0.0;
+  if (!(in >> word >> bins >> lo >> hi >> total) || word != "hist") {
+    throw DataError("Histogram::load: malformed header");
+  }
+  if (bins != counts_.size() || lo != lo_ || hi != hi_) {
+    throw DataError("Histogram::load: geometry mismatch");
+  }
+  std::vector<double> counts(bins, 0.0);
+  for (std::size_t i = 0; i < bins; ++i) {
+    if (!(in >> counts[i]) || counts[i] < 0.0) {
+      throw DataError("Histogram::load: malformed count");
+    }
+  }
+  if (total < 0.0) throw DataError("Histogram::load: negative total");
+  counts_ = std::move(counts);
+  total_ = total;
 }
 
 }  // namespace rlblh

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "util/error.h"
@@ -54,6 +55,17 @@ class Histogram {
 
   /// Removes all mass.
   void reset();
+
+  /// Writes the accumulated mass (counts and total, full precision) to a
+  /// stream. Geometry (bins, lo, hi) is the constructor's business and is
+  /// echoed only for validation.
+  void save(std::ostream& out) const;
+
+  /// Restores mass written by save() into a histogram of identical
+  /// geometry. The stored total is adopted verbatim (not recomputed), so a
+  /// save/load round-trip is bitwise exact. Throws DataError on malformed
+  /// input or geometry mismatch.
+  void load(std::istream& in);
 
  private:
   double lo_;

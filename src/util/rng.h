@@ -93,6 +93,10 @@ class Rng {
   /// Access to the underlying engine for std::distributions not wrapped here.
   std::mt19937_64& engine() { return engine_; }
 
+  /// Read access for state serialization (std::mt19937_64's stream operators
+  /// round-trip the full 312-word state exactly).
+  const std::mt19937_64& engine() const { return engine_; }
+
  private:
   std::mt19937_64 engine_;
 };

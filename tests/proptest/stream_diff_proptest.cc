@@ -1,0 +1,219 @@
+// Differential property suite for the streaming day loop and the
+// checkpoint/restore path underneath rlblh_serve.
+//
+// Property 1 (stream == batch): a StreamEngine fed one interval at a time
+// produces bitwise-identical DayResults — and leaves policy/battery in
+// bitwise-identical states — to a SimEngine run over the same days.
+//
+// Property 2 (restore == uninterrupted): interrupting the streamed run at
+// every day boundary, serializing policy + battery + RNG through the text
+// checkpoint, and continuing in FRESH objects still matches the
+// uninterrupted batch run bit for bit. This is the daemon's restart
+// guarantee (DESIGN.md §15) reduced to its core.
+//
+// Labeled `proptest`; scale with RLBLH_PROPTEST_ITERS, replay with
+// RLBLH_PROPTEST_SEED.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "battery/battery.h"
+#include "core/rlblh_policy.h"
+#include "core/serialize.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "sim/engine.h"
+#include "sim/proptest_domains.h"
+#include "sim/stream_engine.h"
+#include "util/proptest.h"
+
+namespace rlblh {
+namespace {
+
+using proptest::for_all;
+using proptest::PropertyOptions;
+
+PropertyOptions suite_options(std::uint64_t stream) {
+  PropertyOptions options;
+  options.iterations = 60;
+  options.base_seed = 0x57e4d1ffull + stream;
+  return options;
+}
+
+constexpr int kDaysPerCase = 3;
+
+class ReplaySource final : public TraceSource {
+ public:
+  ReplaySource(std::vector<DayTrace> days, double cap)
+      : days_(std::move(days)), cap_(cap) {}
+
+  DayTrace next_day() override { return days_[next_++ % days_.size()]; }
+  std::size_t intervals() const override { return days_.front().intervals(); }
+  double usage_cap() const override { return cap_; }
+
+ private:
+  std::vector<DayTrace> days_;
+  double cap_ = 0.0;
+  std::size_t next_ = 0;
+};
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+std::string diff_message(const char* what, std::size_t day, std::size_t n,
+                         double streamed, double batch) {
+  return std::string(what) + " diverged on day " + std::to_string(day) +
+         " interval " + std::to_string(n) + ": streamed " +
+         std::to_string(streamed) + " vs batch " + std::to_string(batch);
+}
+
+void check_day_equal(const DayResult& streamed, const DayResult& batch,
+                     std::size_t d) {
+  const std::size_t n_m = batch.usage.intervals();
+  PROPTEST_CHECK(streamed.usage.intervals() == n_m &&
+                     streamed.readings.intervals() == n_m &&
+                     streamed.battery_levels.size() == n_m,
+                 "streamed day has wrong-length outputs");
+  for (std::size_t n = 0; n < n_m; ++n) {
+    PROPTEST_CHECK(same_bits(streamed.readings.at(n), batch.readings.at(n)),
+                   diff_message("reading", d, n, streamed.readings.at(n),
+                                batch.readings.at(n)));
+    PROPTEST_CHECK(
+        same_bits(streamed.battery_levels[n], batch.battery_levels[n]),
+        diff_message("battery level", d, n, streamed.battery_levels[n],
+                     batch.battery_levels[n]));
+  }
+  PROPTEST_CHECK(same_bits(streamed.savings_cents, batch.savings_cents),
+                 diff_message("savings_cents", d, 0, streamed.savings_cents,
+                              batch.savings_cents));
+  PROPTEST_CHECK(same_bits(streamed.bill_cents, batch.bill_cents),
+                 diff_message("bill_cents", d, 0, streamed.bill_cents,
+                              batch.bill_cents));
+  PROPTEST_CHECK(
+      same_bits(streamed.usage_cost_cents, batch.usage_cost_cents),
+      diff_message("usage_cost_cents", d, 0, streamed.usage_cost_cents,
+                   batch.usage_cost_cents));
+  PROPTEST_CHECK(streamed.battery_violations == batch.battery_violations,
+                 "battery_violations diverged on day " + std::to_string(d));
+}
+
+struct ScenarioParts {
+  TouSchedule prices;
+  std::vector<DayTrace> days;
+};
+
+ScenarioParts gen_scenario(std::size_t intervals, double cap, int day_count,
+                           Rng& rng) {
+  ScenarioParts parts{proptest::gen_tou_schedule(intervals, rng), {}};
+  parts.days.reserve(static_cast<std::size_t>(day_count));
+  for (int d = 0; d < day_count; ++d) {
+    parts.days.push_back(proptest::gen_usage_trace(intervals, cap, rng));
+  }
+  return parts;
+}
+
+TEST(StreamDiffProptest, StreamedMatchesBatchBitwise) {
+  const auto result = for_all(
+      "streamed day loop == batch day loop", proptest::rlblh_config_domain(),
+      [](const RlBlhConfig& config, Rng& rng) {
+        const ScenarioParts parts = gen_scenario(
+            config.intervals_per_day, config.usage_cap, kDaysPerCase, rng);
+        const double initial = rng.uniform(0.0, config.battery_capacity);
+
+        RlBlhPolicy batch_policy(config);
+        RlBlhPolicy stream_policy(config);
+        Battery batch_battery(config.battery_capacity, initial);
+        Battery stream_battery(config.battery_capacity, initial);
+        ReplaySource source(parts.days, config.usage_cap);
+        SimEngine batch;
+        StreamEngine stream;
+
+        for (std::size_t d = 0; d < parts.days.size(); ++d) {
+          const DayResult& expected =
+              batch.run_day(source, parts.prices, batch_battery, batch_policy);
+          stream.begin_day(parts.prices, stream_battery, stream_policy);
+          const DayTrace& day = parts.days[d];
+          for (std::size_t n = 0; n < day.intervals(); ++n) {
+            stream.push(day.at(n));
+          }
+          check_day_equal(stream.finish_day(), expected, d);
+          PROPTEST_CHECK(
+              same_bits(batch_battery.level(), stream_battery.level()),
+              "end-of-day battery level diverged on day " + std::to_string(d));
+        }
+        // Terminal states (weights, RNG, usage stats) must also agree.
+        std::stringstream batch_state, stream_state;
+        batch_policy.save_state(batch_state);
+        stream_policy.save_state(stream_state);
+        PROPTEST_CHECK(batch_state.str() == stream_state.str(),
+                       "terminal policy state diverged");
+      },
+      suite_options(1));
+  ASSERT_TRUE(result.success) << result.message;
+  EXPECT_GE(result.iterations_run, 1u);
+}
+
+TEST(StreamDiffProptest, CheckpointEveryDayBoundaryMatchesBatchBitwise) {
+  const auto result = for_all(
+      "restore at every day boundary == uninterrupted",
+      proptest::rlblh_config_domain(),
+      [](const RlBlhConfig& config, Rng& rng) {
+        const ScenarioParts parts = gen_scenario(
+            config.intervals_per_day, config.usage_cap, kDaysPerCase, rng);
+        const double initial = rng.uniform(0.0, config.battery_capacity);
+
+        RlBlhPolicy batch_policy(config);
+        Battery batch_battery(config.battery_capacity, initial);
+        ReplaySource source(parts.days, config.usage_cap);
+        SimEngine batch;
+
+        // The interrupted run: after every day, the policy and battery are
+        // serialized and reloaded into freshly constructed objects — the
+        // daemon's kill-at-day-boundary + restart path.
+        auto stream_policy = std::make_unique<RlBlhPolicy>(config);
+        auto stream_battery =
+            std::make_unique<Battery>(config.battery_capacity, initial);
+        StreamEngine stream;
+
+        for (std::size_t d = 0; d < parts.days.size(); ++d) {
+          const DayResult& expected =
+              batch.run_day(source, parts.prices, batch_battery, batch_policy);
+          stream.begin_day(parts.prices, *stream_battery, *stream_policy);
+          const DayTrace& day = parts.days[d];
+          for (std::size_t n = 0; n < day.intervals(); ++n) {
+            stream.push(day.at(n));
+          }
+          check_day_equal(stream.finish_day(), expected, d);
+
+          std::stringstream checkpoint;
+          stream_policy->save_state(checkpoint);
+          save_battery(checkpoint, *stream_battery);
+
+          stream_policy = std::make_unique<RlBlhPolicy>(config);
+          stream_battery = std::make_unique<Battery>(
+              config.battery_capacity, config.battery_capacity);
+          stream_policy->load_state(checkpoint);
+          load_battery(checkpoint, *stream_battery);
+          PROPTEST_CHECK(
+              same_bits(batch_battery.level(), stream_battery->level()),
+              "restored battery level diverged on day " + std::to_string(d));
+        }
+        std::stringstream batch_state, stream_state;
+        batch_policy.save_state(batch_state);
+        stream_policy->save_state(stream_state);
+        PROPTEST_CHECK(batch_state.str() == stream_state.str(),
+                       "restored terminal policy state diverged");
+      },
+      suite_options(2));
+  ASSERT_TRUE(result.success) << result.message;
+}
+
+}  // namespace
+}  // namespace rlblh

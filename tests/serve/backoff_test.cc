@@ -1,0 +1,70 @@
+// Tests for the decorrelated-jitter reconnect backoff: every sleep stays in
+// [base, cap], growth is bounded by 3x the previous sleep, reset() returns
+// to the base, and two clients with different seeds decorrelate.
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/backoff.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(BackoffTest, SleepsStayWithinBaseAndCap) {
+  DecorrelatedJitterBackoff backoff(milliseconds(10), milliseconds(500),
+                                    Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    const milliseconds sleep = backoff.next();
+    EXPECT_GE(sleep, milliseconds(10));
+    EXPECT_LE(sleep, milliseconds(500));
+  }
+}
+
+TEST(BackoffTest, GrowthBoundedByThreeTimesPrevious) {
+  DecorrelatedJitterBackoff backoff(milliseconds(10), milliseconds(100000),
+                                    Rng(2));
+  milliseconds prev = backoff.base();
+  for (int i = 0; i < 50; ++i) {
+    const milliseconds sleep = backoff.next();
+    EXPECT_LE(sleep.count(), 3 * prev.count());
+    prev = sleep;
+  }
+}
+
+TEST(BackoffTest, ResetReturnsToBaseWindow) {
+  DecorrelatedJitterBackoff backoff(milliseconds(10), milliseconds(100000),
+                                    Rng(3));
+  for (int i = 0; i < 20; ++i) backoff.next();  // grow the window
+  backoff.reset();
+  // The first post-reset sleep is drawn from [base, 3 * base].
+  const milliseconds sleep = backoff.next();
+  EXPECT_GE(sleep, milliseconds(10));
+  EXPECT_LE(sleep, milliseconds(30));
+}
+
+TEST(BackoffTest, DistinctSeedsDecorrelate) {
+  DecorrelatedJitterBackoff a(milliseconds(10), milliseconds(100000), Rng(4));
+  DecorrelatedJitterBackoff b(milliseconds(10), milliseconds(100000), Rng(5));
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(BackoffTest, RejectsInvalidWindow) {
+  EXPECT_THROW(DecorrelatedJitterBackoff(milliseconds(0), milliseconds(10),
+                                         Rng(6)),
+               ConfigError);
+  EXPECT_THROW(DecorrelatedJitterBackoff(milliseconds(20), milliseconds(10),
+                                         Rng(7)),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace rlblh::serve

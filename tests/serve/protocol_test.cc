@@ -1,0 +1,259 @@
+// Wire-protocol tests: every message type round-trips through its encoder
+// and decode_payload; every class of malformation raises DataError; the
+// incremental FrameReader reassembles frames from arbitrary byte
+// fragmentation and rejects unrecoverable length prefixes.
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+
+namespace rlblh::serve {
+namespace {
+
+/// Splits an encoded frame into its length prefix and payload.
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame) {
+  EXPECT_GE(frame.size(), 4u + 2u);
+  std::uint32_t length = 0;
+  std::memcpy(&length, frame.data(), 4);
+  EXPECT_EQ(length, frame.size() - 4);
+  return {frame.begin() + 4, frame.end()};
+}
+
+Frame decode_frame(const std::vector<std::uint8_t>& frame) {
+  const std::vector<std::uint8_t> payload = payload_of(frame);
+  return decode_payload(payload.data(), payload.size());
+}
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.household_id = 0x0123456789abcdefull;
+  msg.spec = "policy=rlblh;battery=5;seed=21";
+  std::vector<std::uint8_t> frame;
+  encode_hello(frame, msg);
+
+  const Frame decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kHello);
+  EXPECT_EQ(decoded.hello.household_id, msg.household_id);
+  EXPECT_EQ(decoded.hello.spec, msg.spec);
+}
+
+TEST(ProtocolTest, HelloAckRoundTrip) {
+  HelloAckMsg msg;
+  msg.household_id = 42;
+  msg.days_completed = 7;
+  msg.next_interval = 481;
+  msg.day_open = 1;
+  msg.resumed = 1;
+  std::vector<std::uint8_t> frame;
+  encode_hello_ack(frame, msg);
+
+  const Frame decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kHelloAck);
+  EXPECT_EQ(decoded.hello_ack.household_id, 42u);
+  EXPECT_EQ(decoded.hello_ack.days_completed, 7u);
+  EXPECT_EQ(decoded.hello_ack.next_interval, 481u);
+  EXPECT_EQ(decoded.hello_ack.day_open, 1);
+  EXPECT_EQ(decoded.hello_ack.resumed, 1);
+}
+
+TEST(ProtocolTest, ReadingsRoundTrip) {
+  ReadingsMsg msg;
+  msg.household_id = 9;
+  msg.day = 3;
+  msg.first_interval = 240;
+  msg.values = {0.0, 0.125, 1.75, 0.333251953125};
+  std::vector<std::uint8_t> frame;
+  encode_readings(frame, msg);
+
+  const Frame decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kReadings);
+  EXPECT_EQ(decoded.readings.household_id, 9u);
+  EXPECT_EQ(decoded.readings.day, 3u);
+  EXPECT_EQ(decoded.readings.first_interval, 240u);
+  EXPECT_EQ(decoded.readings.values, msg.values);
+}
+
+TEST(ProtocolTest, ReadingsAckRoundTrip) {
+  ReadingsAckMsg msg;
+  msg.household_id = 9;
+  msg.day = 3;
+  msg.next_interval = 244;
+  msg.day_completed = 1;
+  std::vector<std::uint8_t> frame;
+  encode_readings_ack(frame, msg);
+
+  const Frame decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kReadingsAck);
+  EXPECT_EQ(decoded.readings_ack.household_id, 9u);
+  EXPECT_EQ(decoded.readings_ack.day, 3u);
+  EXPECT_EQ(decoded.readings_ack.next_interval, 244u);
+  EXPECT_EQ(decoded.readings_ack.day_completed, 1);
+}
+
+TEST(ProtocolTest, CheckpointAndStatsAndByeRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  encode_checkpoint(frame, CheckpointMsg{77});
+  Frame decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kCheckpoint);
+  EXPECT_EQ(decoded.checkpoint.household_id, 77u);
+
+  frame.clear();
+  encode_checkpoint_ack(frame, CheckpointAckMsg{77, 12});
+  decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kCheckpointAck);
+  EXPECT_EQ(decoded.checkpoint_ack.days_completed, 12u);
+
+  frame.clear();
+  encode_stats(frame, StatsMsg{77});
+  decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kStats);
+
+  frame.clear();
+  StatsAckMsg stats_ack;
+  stats_ack.household_id = 77;
+  stats_ack.days_completed = 12;
+  stats_ack.savings_cents = 123.4375;
+  stats_ack.bill_cents = -0.5;
+  stats_ack.usage_cost_cents = 9001.0;
+  stats_ack.battery_level_kwh = 2.5;
+  encode_stats_ack(frame, stats_ack);
+  decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kStatsAck);
+  EXPECT_EQ(decoded.stats_ack.savings_cents, 123.4375);
+  EXPECT_EQ(decoded.stats_ack.bill_cents, -0.5);
+  EXPECT_EQ(decoded.stats_ack.usage_cost_cents, 9001.0);
+  EXPECT_EQ(decoded.stats_ack.battery_level_kwh, 2.5);
+
+  frame.clear();
+  encode_bye(frame, ByeMsg{77});
+  decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kBye);
+
+  frame.clear();
+  encode_bye_ack(frame, ByeAckMsg{77});
+  decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kByeAck);
+  EXPECT_EQ(decoded.bye_ack.household_id, 77u);
+}
+
+TEST(ProtocolTest, ErrorRoundTrip) {
+  ErrorMsg msg;
+  msg.code = ErrorCode::kOutOfOrder;
+  msg.message = "expected interval 480";
+  std::vector<std::uint8_t> frame;
+  encode_error(frame, msg);
+
+  const Frame decoded = decode_frame(frame);
+  ASSERT_EQ(decoded.type, MessageType::kError);
+  EXPECT_EQ(decoded.error.code, ErrorCode::kOutOfOrder);
+  EXPECT_EQ(decoded.error.message, msg.message);
+}
+
+TEST(ProtocolTest, RejectsWrongVersion) {
+  std::vector<std::uint8_t> frame;
+  encode_bye(frame, ByeMsg{1});
+  std::vector<std::uint8_t> payload = payload_of(frame);
+  payload[0] = kProtocolVersion + 1;
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()), DataError);
+}
+
+TEST(ProtocolTest, RejectsUnknownType) {
+  std::vector<std::uint8_t> frame;
+  encode_bye(frame, ByeMsg{1});
+  std::vector<std::uint8_t> payload = payload_of(frame);
+  payload[1] = 200;  // not a MessageType
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()), DataError);
+}
+
+TEST(ProtocolTest, RejectsTruncatedBody) {
+  std::vector<std::uint8_t> frame;
+  encode_readings(frame, ReadingsMsg{5, 0, 0, {1.0, 2.0}});
+  std::vector<std::uint8_t> payload = payload_of(frame);
+  payload.resize(payload.size() - 3);
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()), DataError);
+}
+
+TEST(ProtocolTest, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> frame;
+  encode_bye(frame, ByeMsg{1});
+  std::vector<std::uint8_t> payload = payload_of(frame);
+  payload.push_back(0);
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()), DataError);
+}
+
+TEST(ProtocolTest, RejectsEmptyAndHeaderlessPayloads) {
+  EXPECT_THROW(decode_payload(nullptr, 0), DataError);
+  const std::uint8_t just_version[] = {kProtocolVersion};
+  EXPECT_THROW(decode_payload(just_version, 1), DataError);
+}
+
+TEST(ProtocolTest, RejectsNonFiniteReadings) {
+  ReadingsMsg msg;
+  msg.household_id = 1;
+  msg.values = {1.0, std::numeric_limits<double>::infinity()};
+  std::vector<std::uint8_t> frame;
+  encode_readings(frame, msg);
+  const std::vector<std::uint8_t> payload = payload_of(frame);
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()), DataError);
+}
+
+TEST(FrameReaderTest, ReassemblesByteAtATime) {
+  ReadingsMsg msg;
+  msg.household_id = 3;
+  msg.day = 1;
+  msg.first_interval = 96;
+  for (int i = 0; i < 50; ++i) msg.values.push_back(0.01 * i);
+  std::vector<std::uint8_t> stream;
+  encode_readings(stream, msg);
+  encode_bye(stream, ByeMsg{3});
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  std::vector<std::uint8_t> payload;
+  for (const std::uint8_t byte : stream) {
+    reader.append(&byte, 1);
+    while (reader.take(payload)) {
+      frames.push_back(decode_payload(payload.data(), payload.size()));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kReadings);
+  EXPECT_EQ(frames[0].readings.values, msg.values);
+  EXPECT_EQ(frames[1].type, MessageType::kBye);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReaderTest, ReassemblesConcatenatedFramesInOneAppend) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    encode_stats(stream, StatsMsg{id});
+  }
+  FrameReader reader;
+  reader.append(stream.data(), stream.size());
+  std::vector<std::uint8_t> payload;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(reader.take(payload));
+    const Frame frame = decode_payload(payload.data(), payload.size());
+    ASSERT_EQ(frame.type, MessageType::kStats);
+    EXPECT_EQ(frame.stats.household_id, id);
+  }
+  EXPECT_FALSE(reader.take(payload));
+}
+
+TEST(FrameReaderTest, ThrowsOnOversizedLengthPrefix) {
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &huge, 4);
+  FrameReader reader;
+  reader.append(prefix, 4);
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(reader.take(payload), DataError);
+}
+
+}  // namespace
+}  // namespace rlblh::serve

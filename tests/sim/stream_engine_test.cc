@@ -1,0 +1,165 @@
+// Unit tests for StreamEngine: protocol errors, both policy paths, and
+// spot equality with SimEngine (the exhaustive bitwise sweep lives in
+// tests/proptest/stream_diff_proptest.cc).
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lowpass.h"
+#include "battery/battery.h"
+#include "core/config.h"
+#include "core/rlblh_policy.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "sim/engine.h"
+#include "sim/stream_engine.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rlblh {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+RlBlhConfig small_config() {
+  RlBlhConfig config;
+  config.intervals_per_day = 96;
+  config.decision_interval = 8;
+  config.seed = 42;
+  return config;
+}
+
+DayTrace random_day(std::size_t intervals, Rng& rng) {
+  DayTrace day(intervals);
+  for (std::size_t n = 0; n < intervals; ++n) {
+    day.set(n, rng.uniform(0.0, 1.0));
+  }
+  return day;
+}
+
+class SingleDaySource final : public TraceSource {
+ public:
+  explicit SingleDaySource(DayTrace day) : day_(std::move(day)) {}
+  DayTrace next_day() override { return day_; }
+  std::size_t intervals() const override { return day_.intervals(); }
+  double usage_cap() const override { return 1.0; }
+
+ private:
+  DayTrace day_;
+};
+
+TEST(StreamEngineTest, LifecycleErrors) {
+  const RlBlhConfig config = small_config();
+  const TouSchedule prices = TouSchedule::flat(config.intervals_per_day, 8.0);
+  RlBlhPolicy policy(config);
+  Battery battery(config.battery_capacity, config.battery_capacity / 2.0);
+  StreamEngine engine;
+
+  EXPECT_THROW(engine.push(0.5), ConfigError);
+  EXPECT_THROW(engine.finish_day(), ConfigError);
+
+  engine.begin_day(prices, battery, policy);
+  EXPECT_TRUE(engine.day_open());
+  EXPECT_THROW(engine.begin_day(prices, battery, policy), ConfigError);
+  EXPECT_THROW(engine.finish_day(), ConfigError);  // no interval pushed yet
+  EXPECT_THROW(engine.push(-1.0), ConfigError);
+
+  for (std::size_t n = 0; n < config.intervals_per_day; ++n) {
+    engine.push(0.25);
+  }
+  EXPECT_THROW(engine.push(0.25), ConfigError);  // day is full
+  const DayResult& result = engine.finish_day();
+  EXPECT_EQ(result.usage.intervals(), config.intervals_per_day);
+  EXPECT_FALSE(engine.day_open());
+}
+
+TEST(StreamEngineTest, MatchesSimEngineBitwiseOnBlockedPolicy) {
+  const RlBlhConfig config = small_config();
+  const TouSchedule prices =
+      TouSchedule::two_zone(config.intervals_per_day, 60, 7.04, 21.09);
+  Rng rng(17);
+
+  RlBlhPolicy batch_policy(config);
+  RlBlhPolicy stream_policy(config);
+  Battery batch_battery(config.battery_capacity,
+                        config.battery_capacity / 2.0);
+  Battery stream_battery(config.battery_capacity,
+                         config.battery_capacity / 2.0);
+  SimEngine batch;
+  StreamEngine stream;
+
+  for (int d = 0; d < 4; ++d) {
+    const DayTrace day = random_day(config.intervals_per_day, rng);
+    SingleDaySource source(day);
+    const DayResult& expected =
+        batch.run_day(source, prices, batch_battery, batch_policy);
+
+    stream.begin_day(prices, stream_battery, stream_policy);
+    for (std::size_t n = 0; n < day.intervals(); ++n) {
+      stream.push(day.at(n));
+    }
+    const DayResult& actual = stream.finish_day();
+
+    for (std::size_t n = 0; n < day.intervals(); ++n) {
+      ASSERT_TRUE(same_bits(expected.readings.at(n), actual.readings.at(n)))
+          << "reading " << n << " day " << d;
+      ASSERT_TRUE(
+          same_bits(expected.battery_levels[n], actual.battery_levels[n]))
+          << "level " << n << " day " << d;
+    }
+    EXPECT_TRUE(same_bits(expected.savings_cents, actual.savings_cents));
+    EXPECT_TRUE(same_bits(expected.bill_cents, actual.bill_cents));
+    EXPECT_TRUE(
+        same_bits(expected.usage_cost_cents, actual.usage_cost_cents));
+    EXPECT_EQ(expected.battery_violations, actual.battery_violations);
+    EXPECT_TRUE(same_bits(batch_battery.level(), stream_battery.level()));
+  }
+}
+
+TEST(StreamEngineTest, PassthroughPolicyMetersUsageDirectly) {
+  const std::size_t n_m = 48;
+  const TouSchedule prices = TouSchedule::flat(n_m, 10.0);
+  PassthroughPolicy policy;
+  Battery battery(5.0, 2.5);
+  StreamEngine engine;
+  Rng rng(3);
+  const DayTrace day = random_day(n_m, rng);
+
+  engine.begin_day(prices, battery, policy);
+  for (std::size_t n = 0; n < n_m; ++n) engine.push(day.at(n));
+  const DayResult& result = engine.finish_day();
+
+  for (std::size_t n = 0; n < n_m; ++n) {
+    EXPECT_TRUE(same_bits(result.readings.at(n), day.at(n)));
+  }
+  EXPECT_TRUE(same_bits(result.savings_cents, 0.0));
+  EXPECT_TRUE(same_bits(battery.level(), 2.5));  // untouched
+}
+
+TEST(StreamEngineTest, InvariantChecksRunOnFinish) {
+  const RlBlhConfig config = small_config();
+  const TouSchedule prices = TouSchedule::flat(config.intervals_per_day, 8.0);
+  RlBlhPolicy policy(config);
+  Battery battery(config.battery_capacity, config.battery_capacity / 2.0);
+  StreamEngine engine;
+  InvariantCheckConfig check;
+  check.battery_capacity = config.battery_capacity;
+  check.usage_cap = config.usage_cap;
+  check.expect_feasible = false;  // an untrained policy clips freely
+  engine.enable_invariant_checks(check);
+  EXPECT_TRUE(engine.invariant_checks_enabled());
+
+  Rng rng(9);
+  engine.begin_day(prices, battery, policy);
+  for (std::size_t n = 0; n < config.intervals_per_day; ++n) {
+    engine.push(rng.uniform(0.0, 1.0));
+  }
+  EXPECT_NO_THROW(engine.finish_day());
+}
+
+}  // namespace
+}  // namespace rlblh
