@@ -14,9 +14,12 @@
 //                         the per-interval engine bit for bit)
 #include "bench_main.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <span>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +33,7 @@
 #include "sim/batch_engine.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -115,7 +119,34 @@ class ReplaySource final : public TraceSource {
   }
   void next_day_into_lane(TraceLane out) override {
     const DayTrace& day = (*days_)[next_++ % days_->size()];
-    for (std::size_t n = 0; n < day.intervals(); ++n) out[n] = day.at(n);
+    const double* src = day.values().data();
+    if (out.stride() == 1) {
+      std::memcpy(out.data(), src, day.intervals() * sizeof(double));
+    } else {
+      for (std::size_t n = 0; n < day.intervals(); ++n) out[n] = src[n];
+    }
+  }
+  // Lane-native replay: the pool days are already contiguous, so the block
+  // fills tile by tile — inside a tile the lane loop rewrites the same few
+  // cache lines, so each line of the interval-major block is filled once
+  // instead of once per lane. Values per lane are the strided default's.
+  void next_days_into_lanes(std::span<TraceSource* const> sources,
+                            double* data, std::size_t intervals) override {
+    const std::size_t width = sources.size();
+    constexpr std::size_t kTile = 32;
+    for (std::size_t t = 0; t < intervals; t += kTile) {
+      const std::size_t tile_end = std::min(intervals, t + kTile);
+      for (std::size_t k = 0; k < width; ++k) {
+        auto& lane = static_cast<ReplaySource&>(*sources[k]);
+        const DayTrace& day = (*lane.days_)[lane.next_ % lane.days_->size()];
+        const double* src = day.values().data();
+        double* out = data + k;
+        for (std::size_t n = t; n < tile_end; ++n) out[n * width] = src[n];
+      }
+    }
+    for (std::size_t k = 0; k < width; ++k) {
+      ++static_cast<ReplaySource&>(*sources[k]).next_;
+    }
   }
   std::size_t intervals() const override {
     return days_->front().intervals();
@@ -157,7 +188,7 @@ void run_batch_section(BenchContext& ctx) {
   TablePrinter table({"workload", "seconds", "days/sec", "savings cents"});
   constexpr std::size_t kMaxWidth = 16;
   const int kPoolDays = 32;
-  const int kTimedDays = ctx.days(2000, 40);
+  const int kTimedDays = ctx.days(2000, 400);
 
   // Per-lane day pools, synthesized once outside every timed window.
   std::vector<std::vector<DayTrace>> pools(kMaxWidth);
@@ -171,23 +202,46 @@ void run_batch_section(BenchContext& ctx) {
   }
   const TouSchedule prices = TouSchedule::srp_plan();
 
+  // Both sides of the speedup ratio are timed best-of-kReps: each
+  // repetition restarts from fresh per-lane state (so its cents are
+  // bitwise the first repetition's — asserted below), and the fastest
+  // repetition stands. The ratio gates CI at a fixed floor, so a single
+  // frequency dip on either side must not be able to fail (or pass) the
+  // gate; the minimum over repetitions is the standard estimator for
+  // that. The first repetition also pre-faults every engine buffer, so
+  // the surviving windows time steady-state work only.
+  constexpr int kReps = 3;
+
   // Scalar anchor: every lane's replay through SimEngine, one at a time.
   SimEngine scalar_engine;
   std::vector<double> scalar_cents(kMaxWidth);
-  const auto scalar_start = std::chrono::steady_clock::now();
-  for (std::size_t k = 0; k < kMaxWidth; ++k) {
-    scalar_cents[k] =
-        run_batch_lane_scalar(scalar_engine, &pools[k], prices, k, kTimedDays);
+  double scalar_seconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<double> rep_cents(kMaxWidth);
+    const auto scalar_start = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < kMaxWidth; ++k) {
+      rep_cents[k] =
+          run_batch_lane_scalar(scalar_engine, &pools[k], prices, k,
+                                kTimedDays);
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scalar_start)
+            .count();
+    if (rep == 0) {
+      scalar_cents = rep_cents;
+      scalar_seconds = seconds;
+    } else {
+      RLBLH_REQUIRE(rep_cents == scalar_cents,
+                    "micro_engine: scalar replay not deterministic");
+      scalar_seconds = std::min(scalar_seconds, seconds);
+    }
+    ctx.count_days(static_cast<std::size_t>(kTimedDays) * kMaxWidth);
   }
-  const double scalar_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    scalar_start)
-          .count();
   const double scalar_total_days =
       static_cast<double>(kTimedDays) * static_cast<double>(kMaxWidth);
   const double scalar_days_per_sec =
       scalar_seconds > 0.0 ? scalar_total_days / scalar_seconds : 0.0;
-  ctx.count_days(static_cast<std::size_t>(scalar_total_days));
   ctx.metric("batch_scalar_days_per_sec", scalar_days_per_sec);
   double scalar_cents_total = 0.0;
   for (const double cents : scalar_cents) scalar_cents_total += cents;
@@ -197,37 +251,50 @@ void run_batch_section(BenchContext& ctx) {
 
   std::size_t lane_mismatches = 0;
   for (const std::size_t width : {std::size_t{8}, kMaxWidth}) {
-    std::vector<ReplaySource> sources;
-    std::vector<std::unique_ptr<RandomPulsePolicy>> policies;
-    std::vector<TraceSource*> source_ptrs;
-    std::vector<BlhPolicy*> policy_ptrs;
-    sources.reserve(width);
-    for (std::size_t k = 0; k < width; ++k) {
-      sources.emplace_back(&pools[k]);
-      policies.push_back(make_batch_policy(k));
-      policy_ptrs.push_back(policies.back().get());
-    }
-    for (ReplaySource& source : sources) source_ptrs.push_back(&source);
-    BatteryLanes batteries;
-    batteries.reset(width, 5.0, 2.5);
     BatchEngine engine;
     std::vector<double> batch_cents(width, 0.0);
-    const auto start = std::chrono::steady_clock::now();
-    for (int d = 0; d < kTimedDays; ++d) {
-      const BatchDay& day =
-          engine.run_day(source_ptrs, prices, batteries, policy_ptrs);
+    double seconds = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      std::vector<ReplaySource> sources;
+      std::vector<std::unique_ptr<RandomPulsePolicy>> policies;
+      std::vector<TraceSource*> source_ptrs;
+      std::vector<BlhPolicy*> policy_ptrs;
+      sources.reserve(width);
       for (std::size_t k = 0; k < width; ++k) {
-        batch_cents[k] += day.savings_cents[k];
+        sources.emplace_back(&pools[k]);
+        policies.push_back(make_batch_policy(k));
+        policy_ptrs.push_back(policies.back().get());
       }
+      for (ReplaySource& source : sources) source_ptrs.push_back(&source);
+      BatteryLanes batteries;
+      batteries.reset(width, 5.0, 2.5);
+      std::vector<double> rep_cents(width, 0.0);
+      const auto start = std::chrono::steady_clock::now();
+      for (int d = 0; d < kTimedDays; ++d) {
+        const BatchDay& day =
+            engine.run_day(source_ptrs, prices, batteries, policy_ptrs);
+        for (std::size_t k = 0; k < width; ++k) {
+          rep_cents[k] += day.savings_cents[k];
+        }
+      }
+      const double rep_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (rep == 0) {
+        batch_cents = rep_cents;
+        seconds = rep_seconds;
+      } else {
+        RLBLH_REQUIRE(rep_cents == batch_cents,
+                      "micro_engine: batch replay not deterministic");
+        seconds = std::min(seconds, rep_seconds);
+      }
+      ctx.count_days(static_cast<std::size_t>(kTimedDays) * width);
     }
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
     const double total_days =
         static_cast<double>(kTimedDays) * static_cast<double>(width);
     const double days_per_sec = seconds > 0.0 ? total_days / seconds : 0.0;
     ctx.count_cells(width);
-    ctx.count_days(static_cast<std::size_t>(total_days));
 
     // Lane-level bit check against the scalar anchor: per-lane cents sum in
     // day order on both sides, so any engine divergence shows up here.

@@ -12,6 +12,7 @@
 //                [--plan srp|flat|three-zone|tou2|rtp]
 //                [--battery KWH] [--nd MINUTES] [--seed N]
 //                [--train DAYS] [--eval DAYS]
+//                [--fleet N] [--threads T] [--batch-width W]
 //                [--trace-in usage.csv] [--trace-out day.csv]
 //                [--load-weights w.txt] [--save-weights w.txt]
 //                [--check-invariants] [--obs [--obs-out run.json]]
@@ -22,11 +23,13 @@
 //   simulate_cli --list                           # registered components
 //   simulate_cli --train 60 --save-weights w.txt  # learn, persist
 //   simulate_cli --train 0 --load-weights w.txt   # deploy learned weights
+//   simulate_cli --fleet 1000 --batch-width 8     # 1000 households, SoA
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include <iostream>
 
@@ -40,6 +43,7 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "pricing/pricing_registry.h"
+#include "sim/fleet.h"
 #include "sim/scenario.h"
 #include "util/csv.h"
 
@@ -57,6 +61,9 @@ struct Options {
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> train;
   std::optional<std::size_t> eval;
+  std::size_t fleet = 0;
+  std::size_t threads = 0;
+  std::size_t batch_width = 0;
   std::string trace_in;
   std::string trace_out;
   std::string load_weights;
@@ -73,14 +80,19 @@ struct Options {
                "          [--plan srp|flat|three-zone|tou2|rtp]\n"
                "          [--battery KWH]\n"
                "          [--nd MINUTES] [--seed N] [--train DAYS]\n"
-               "          [--eval DAYS] [--trace-in usage.csv]\n"
+               "          [--eval DAYS] [--fleet N] [--threads T]\n"
+               "          [--batch-width W] [--trace-in usage.csv]\n"
                "          [--trace-out day.csv] [--load-weights w.txt]\n"
                "          [--save-weights w.txt] [--check-invariants]\n"
                "          [--obs] [--obs-out run.json]\n"
                "SPEC is `key=value;...` — e.g. \"policy=rlblh;"
                "household=weekday_heavy;pricing=tou2;battery=13.5\";\n"
                "dotted keys (policy.alpha=0.01, pricing.rate=11, "
-               "household.scale=1.2) reach the component factories.\n",
+               "household.scale=1.2) reach the component factories.\n"
+               "--fleet N runs N households of the resolved spec through\n"
+               "FleetSimulator (per-household seeds derived from --seed);\n"
+               "--batch-width W adds the lockstep SoA BatchEngine, W lanes\n"
+               "at a time — bitwise identical to the scalar engine.\n",
                argv0);
   std::exit(2);
 }
@@ -111,6 +123,12 @@ Options parse(int argc, char** argv) {
       options.train = std::stoul(value());
     } else if (flag == "--eval") {
       options.eval = std::stoul(value());
+    } else if (flag == "--fleet") {
+      options.fleet = std::stoul(value());
+    } else if (flag == "--threads") {
+      options.threads = std::stoul(value());
+    } else if (flag == "--batch-width") {
+      options.batch_width = std::stoul(value());
     } else if (flag == "--trace-in") {
       options.trace_in = value();
     } else if (flag == "--trace-out") {
@@ -179,6 +197,36 @@ bool pulse_shaped_policy(const std::string& name) {
          name == "random-pulse" || name == "random";
 }
 
+/// --fleet N: N households of the resolved spec through FleetSimulator.
+/// FleetSimulator re-seeds every household from (--seed, index), so the
+/// fleet is reproducible from the same one number as the single run; the
+/// homogeneous specs share one blueprint, so --batch-width W groups them
+/// into W-lane lockstep BatchEngine passes (bitwise invisible by contract).
+int run_fleet(const Options& options, const ScenarioSpec& spec) {
+  FleetOptions run;
+  run.threads = options.threads;
+  run.batch_width = options.batch_width;
+  run.keep_households = false;
+  FleetSimulator fleet(std::vector<ScenarioSpec>(options.fleet, spec), run);
+
+  std::printf("fleet of %zu x [%s] | threads %zu | batch width %zu (%s)\n",
+              fleet.size(), spec.canonical().c_str(), options.threads,
+              options.batch_width,
+              options.batch_width > 1 ? "lockstep SoA engine"
+                                      : "scalar engine");
+  const FleetResult r = fleet.run(spec.seed);
+  std::printf("over %zu evaluation day(s) per household:\n", spec.eval_days);
+  std::printf("  saving ratio : mean %6.2f %% | p50 %6.2f %% | p95 %6.2f %%\n",
+              100.0 * r.saving_ratio.mean, 100.0 * r.saving_ratio.p50,
+              100.0 * r.saving_ratio.p95);
+  std::printf("  CC           : mean %7.4f | p50 %7.4f | p95 %7.4f\n",
+              r.mean_cc.mean, r.mean_cc.p50, r.mean_cc.p95);
+  std::printf("  MI           : mean %7.4f | p50 %7.4f | p95 %7.4f\n",
+              r.normalized_mi.mean, r.normalized_mi.p50, r.normalized_mi.p95);
+  std::printf("  violations   : %zu\n", r.battery_violations);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +245,20 @@ int main(int argc, char** argv) {
       obs::set_enabled(true);
     }
     const ScenarioSpec spec = resolve_spec(options);
+    if (options.batch_width > 1 && options.fleet == 0) {
+      std::fprintf(stderr, "--batch-width needs --fleet N (the lockstep "
+                           "engine batches households, not days)\n");
+      return 2;
+    }
+    if (options.fleet > 0) {
+      if (!options.trace_out.empty() || !options.load_weights.empty() ||
+          !options.save_weights.empty() || options.check_invariants) {
+        std::fprintf(stderr, "--fleet is incompatible with --trace-out, "
+                             "--load/save-weights and --check-invariants\n");
+        return 2;
+      }
+      return run_fleet(options, spec);
+    }
     Scenario scenario = build_scenario(spec);
     Simulator& sim = scenario.simulator;
     const TouSchedule& prices = sim.prices();

@@ -18,7 +18,14 @@ current run must provide a matching BENCH_<name>.json whose
     --no-scaling below), and
   * for benches that emit batch_days_per_sec_w<W> records, the W=8 figure
     is at least --batch-speedup times the baseline's overall scalar
-    days_per_sec, rescaled by the machine-speed ratio (see --no-batch).
+    days_per_sec, rescaled by the machine-speed ratio (see --no-batch), and
+  * when the current record also carries an in-run scalar anchor
+    (batch_scalar_days_per_sec: the identical replay workload through the
+    scalar engine, measured in the same run), the W=8 figure is at least
+    --batch-anchor-speedup times that anchor. Both numbers come from one
+    process on one machine, so no machine rescaling applies — this is the
+    sharp "is batching worth it" gate; the baseline-relative gate above is
+    the coarse cross-machine one.
 
 Exit status is non-zero on any failure. A summary table is printed to
 stdout and, when the GITHUB_STEP_SUMMARY environment variable points at a
@@ -136,12 +143,16 @@ def compare_scaling(name: str, base: dict, cur: dict, tolerance: float):
 
 
 def compare_batch(name: str, base: dict, cur: dict, min_speedup: float,
-                  machine_speedup: float):
-    """Gates lockstep-batch throughput: the current batch_days_per_sec_w8
-    must be at least `min_speedup` times the committed baseline's overall
-    scalar day-loop rate (the scalar_days_per_sec metric; the record-level
-    days_per_sec is the fallback for old records), rescaled to this
-    machine's speed. Other widths are reported but not gated. Returns
+                  machine_speedup: float, min_anchor_speedup: float):
+    """Gates lockstep-batch throughput two ways. Cross-machine: the current
+    batch_days_per_sec_w8 must be at least `min_speedup` times the committed
+    baseline's overall scalar day-loop rate (the scalar_days_per_sec metric;
+    the record-level days_per_sec is the fallback for old records), rescaled
+    to this machine's speed. In-run: when the current record carries a
+    batch_scalar_days_per_sec anchor (the same replay workload through the
+    scalar engine, same run, same machine), the W=8 figure must be at least
+    `min_anchor_speedup` times that anchor — no rescaling, because both
+    numbers share the run. Other widths are reported but not gated. Returns
     (failures, info_lines)."""
     failures, info = [], []
     scalar = float(
@@ -149,7 +160,8 @@ def compare_batch(name: str, base: dict, cur: dict, min_speedup: float,
             "scalar_days_per_sec", base.get("days_per_sec", 0.0)
         )
     )
-    if scalar <= 0.0 or machine_speedup <= 0.0:
+    anchor = float(cur.get("metrics", {}).get("batch_scalar_days_per_sec", 0.0))
+    if (scalar <= 0.0 or machine_speedup <= 0.0) and anchor <= 0.0:
         return failures, info
     for key in sorted(cur.get("metrics", {})):
         match = BATCH_METRIC.match(key)
@@ -157,21 +169,41 @@ def compare_batch(name: str, base: dict, cur: dict, min_speedup: float,
             continue
         width = int(match.group(1))
         batch = float(cur["metrics"][key])
-        floor = min_speedup * scalar * machine_speedup
-        ratio = batch / (scalar * machine_speedup)
         gated = width == 8
-        status = "ok" if batch >= floor else ("FAIL" if gated else "info")
-        info.append(
-            f"{name} W={width}: batch {batch:.0f} days/s = {ratio:.2f}x the "
-            f"scalar baseline ({scalar:.0f} x machine {machine_speedup:.2f}"
-            f"x; floor {min_speedup:.1f}x) {status}"
-        )
-        if gated and batch < floor:
-            failures.append(
-                f"{name}: batch throughput below floor: '{key}' = "
-                f"{batch:.0f} days/s, need >= {min_speedup:.1f}x the "
-                f"baseline scalar rate ({floor:.0f} days/s on this machine)"
+        if scalar > 0.0 and machine_speedup > 0.0:
+            floor = min_speedup * scalar * machine_speedup
+            ratio = batch / (scalar * machine_speedup)
+            status = "ok" if batch >= floor else ("FAIL" if gated else "info")
+            info.append(
+                f"{name} W={width}: batch {batch:.0f} days/s = {ratio:.2f}x "
+                f"the scalar baseline ({scalar:.0f} x machine "
+                f"{machine_speedup:.2f}x; floor {min_speedup:.1f}x) {status}"
             )
+            if gated and batch < floor:
+                failures.append(
+                    f"{name}: batch throughput below floor: '{key}' = "
+                    f"{batch:.0f} days/s, need >= {min_speedup:.1f}x the "
+                    f"baseline scalar rate ({floor:.0f} days/s on this "
+                    f"machine)"
+                )
+        if anchor > 0.0:
+            anchor_ratio = batch / anchor
+            anchor_ok = anchor_ratio >= min_anchor_speedup
+            status = "ok" if anchor_ok else ("FAIL" if gated else "info")
+            info.append(
+                f"{name} W={width}: batch {batch:.0f} days/s = "
+                f"{anchor_ratio:.2f}x the in-run scalar anchor "
+                f"({anchor:.0f} days/s; floor {min_anchor_speedup:.1f}x) "
+                f"{status}"
+            )
+            if gated and not anchor_ok:
+                failures.append(
+                    f"{name}: batch throughput below the in-run anchor "
+                    f"floor: '{key}' = {batch:.0f} days/s is only "
+                    f"{anchor_ratio:.2f}x the same-run scalar rate "
+                    f"({anchor:.0f} days/s), need >= "
+                    f"{min_anchor_speedup:.1f}x"
+                )
     return failures, info
 
 
@@ -268,6 +300,13 @@ def main() -> int:
         "scalar days_per_sec, machine-ratio scaled (default 2.0)",
     )
     parser.add_argument(
+        "--batch-anchor-speedup",
+        type=float,
+        default=1.2,
+        help="required batch_days_per_sec_w8 multiple of the same run's "
+        "batch_scalar_days_per_sec anchor, unscaled (default 1.2)",
+    )
+    parser.add_argument(
         "--no-batch",
         action="store_true",
         help="skip the lockstep-batch throughput comparison",
@@ -329,7 +368,8 @@ def main() -> int:
             scaling_lines.extend(info)
         if not args.no_batch:
             batch_failures, info = compare_batch(
-                name, base, cur, args.batch_speedup, machine_speedup
+                name, base, cur, args.batch_speedup, machine_speedup,
+                args.batch_anchor_speedup
             )
             failures.extend(batch_failures)
             batch_lines.extend(info)
@@ -409,7 +449,9 @@ def main() -> int:
             if batch_lines:
                 summary.write(
                     "\n**Lockstep-batch throughput** (W=8 gated at "
-                    f"{args.batch_speedup:.1f}x the scalar baseline)\n\n"
+                    f"{args.batch_speedup:.1f}x the scalar baseline and "
+                    f"{args.batch_anchor_speedup:.1f}x the in-run scalar "
+                    "anchor)\n\n"
                 )
                 for line in batch_lines:
                     summary.write(f"- {line}\n")

@@ -290,6 +290,47 @@ class BatchGateTest(GateHarness):
         code, out = self.run_gate("--no-wall", "--batch-speedup", "2.0")
         self.assertEqual(code, 0, out)
 
+    def test_batch_below_in_run_anchor_fails(self):
+        # The cross-machine floor passes (2.5x the committed scalar rate),
+        # but the same-run anchor says batching is slower than scalar.
+        rec_base = record(
+            "engine",
+            metrics={
+                "scalar_days_per_sec": 1000.0,
+                "batch_days_per_sec_w8": 2500.0,
+            },
+        )
+        rec_cur = record(
+            "engine",
+            metrics={
+                "scalar_days_per_sec": 1000.0,
+                "batch_scalar_days_per_sec": 3000.0,
+                "batch_days_per_sec_w8": 2500.0,
+            },
+        )
+        self.write(self.baseline_dir, rec_base)
+        self.write(self.current_dir, rec_cur)
+        code, out = self.run_gate("--no-wall", "--batch-speedup", "2.0",
+                                  "--batch-anchor-speedup", "1.2")
+        self.assertNotEqual(code, 0)
+        self.assertIn("in-run anchor floor", out)
+
+    def test_batch_above_in_run_anchor_passes(self):
+        rec = record(
+            "engine",
+            metrics={
+                "scalar_days_per_sec": 1000.0,
+                "batch_scalar_days_per_sec": 2000.0,
+                "batch_days_per_sec_w8": 2500.0,
+            },
+        )
+        self.write(self.baseline_dir, rec)
+        self.write(self.current_dir, rec)
+        code, out = self.run_gate("--no-wall", "--batch-speedup", "2.0",
+                                  "--batch-anchor-speedup", "1.2")
+        self.assertEqual(code, 0, out)
+        self.assertIn("in-run scalar anchor", out)
+
 
 class MalformedInputTest(GateHarness):
     def test_unreadable_record_fails_not_crashes(self):

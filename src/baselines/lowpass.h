@@ -71,8 +71,17 @@ class PassthroughPolicy final : public BlhPolicy {
                     double /*battery_level*/) override {
     return 0.0;  // ignored: the simulator substitutes x_n for passthrough
   }
-  void observe_block(std::size_t /*n0*/,
-                     std::span<const double> /*usage*/) override {}
+  void observe_block(std::size_t /*n0*/, ConstTraceLane /*usage*/) override {}
+
+  // Lane-native batch entry points: nothing to decide or learn per lane.
+  void fill_lanes(std::span<BlhPolicy* const> lanes, std::size_t /*n0*/,
+                  std::size_t /*width*/, const double* /*levels*/,
+                  double* y_out) override {
+    for (std::size_t k = 0; k < lanes.size(); ++k) y_out[k] = 0.0;
+  }
+  void observe_lanes(std::span<BlhPolicy* const> /*lanes*/,
+                     std::size_t /*n0*/, const LaneBlock& /*usage*/) override {
+  }
 };
 
 }  // namespace rlblh

@@ -116,6 +116,36 @@ void HouseholdModel::generate_into_zeroed(TraceLane out,
   }
 }
 
+void HouseholdTraceSource::next_days_into_lanes(
+    std::span<TraceSource* const> sources, double* data,
+    std::size_t intervals) {
+  const std::size_t width = sources.size();
+  RLBLH_REQUIRE(width >= 1, "HouseholdTraceSource: need at least one lane");
+  // Stage contiguously: every lane's generation (occupancy draws + the full
+  // appliance read-modify-write composition) runs against its own day-sized
+  // buffer instead of a strided lane of the W-wide block.
+  for (std::size_t k = 0; k < width; ++k) {
+    auto& lane = static_cast<HouseholdTraceSource&>(*sources[k]);
+    RLBLH_REQUIRE(lane.intervals() == intervals,
+                  "HouseholdTraceSource: lane length must match the day");
+    lane.model_.generate_day_into(lane.lane_scratch_);
+  }
+  // Scatter interval-major, tile by tile: inside a tile the lane loop
+  // rewrites the same few cache lines, so each line of the block is filled
+  // once instead of once per lane. Values and per-lane store order are
+  // exactly the strided default's.
+  constexpr std::size_t kScatterTile = 32;
+  for (std::size_t t = 0; t < intervals; t += kScatterTile) {
+    const std::size_t tile_end = std::min(intervals, t + kScatterTile);
+    for (std::size_t k = 0; k < width; ++k) {
+      const auto& lane = static_cast<HouseholdTraceSource&>(*sources[k]);
+      const double* day = lane.lane_scratch_.values().data();
+      double* out = data + k;
+      for (std::size_t n = t; n < tile_end; ++n) out[n * width] = day[n];
+    }
+  }
+}
+
 void HouseholdModel::set_config(const HouseholdConfig& config) {
   config.validate();
   RLBLH_REQUIRE(config.intervals == config_.intervals,

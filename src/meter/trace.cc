@@ -9,15 +9,12 @@
 
 namespace rlblh {
 
-TraceLane::TraceLane(double* data, std::size_t stride, std::size_t intervals)
-    : data_(data), stride_(stride), intervals_(intervals) {
-  RLBLH_REQUIRE(data != nullptr, "TraceLane: base pointer must be non-null");
-  RLBLH_REQUIRE(stride >= 1, "TraceLane: stride must be >= 1");
-  RLBLH_REQUIRE(intervals >= 1, "TraceLane: need at least one interval");
-}
-
 TraceLane::TraceLane(DayTrace& trace)
     : data_(trace.mutable_data()), stride_(1), intervals_(trace.intervals()) {}
+
+ConstTraceLane::ConstTraceLane(const DayTrace& trace)
+    : data_(trace.values().data()), stride_(1),
+      intervals_(trace.intervals()) {}
 
 void TraceLane::fill_zero() const {
   if (stride_ == 1) {
@@ -110,6 +107,15 @@ void TraceSource::next_day_into_lane(TraceLane out) {
                 "TraceSource: lane length must match the day length");
   const double* values = day.values().data();
   for (std::size_t n = 0; n < out.intervals(); ++n) out[n] = values[n];
+}
+
+void TraceSource::next_days_into_lanes(std::span<TraceSource* const> sources,
+                                       double* data, std::size_t intervals) {
+  const std::size_t width = sources.size();
+  RLBLH_REQUIRE(width >= 1, "TraceSource: need at least one lane");
+  for (std::size_t k = 0; k < width; ++k) {
+    sources[k]->next_day_into_lane(TraceLane(data + k, width, intervals));
+  }
 }
 
 CsvTraceSource::CsvTraceSource(const std::string& path,

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace rlblh {
@@ -38,8 +40,15 @@ class DayTrace;
 class TraceLane {
  public:
   /// Views `intervals` slots at data[0], data[stride], ... Requires a
-  /// non-null base, stride >= 1 and intervals >= 1.
-  TraceLane(double* data, std::size_t stride, std::size_t intervals);
+  /// non-null base, stride >= 1 and intervals >= 1. Defined inline: the
+  /// scalar engine builds one view per decision block, so the validation
+  /// must fold into the caller rather than cost a call per block.
+  TraceLane(double* data, std::size_t stride, std::size_t intervals)
+      : data_(data), stride_(stride), intervals_(intervals) {
+    RLBLH_REQUIRE(data != nullptr, "TraceLane: base pointer must be non-null");
+    RLBLH_REQUIRE(stride >= 1, "TraceLane: stride must be >= 1");
+    RLBLH_REQUIRE(intervals >= 1, "TraceLane: need at least one interval");
+  }
 
   /// Stride-1 view over a whole DayTrace (implicit: lets existing DayTrace
   /// call sites reach the lane-based generator APIs unchanged).
@@ -69,6 +78,60 @@ class TraceLane {
 
  private:
   double* data_;
+  std::size_t stride_;
+  std::size_t intervals_;
+};
+
+/// Read-only counterpart of TraceLane: a strided const view of one day's
+/// series inside a larger buffer (interval n lives at data[n * stride]).
+/// This is how consumers — observe_block, the usage statistics, the privacy
+/// metrics — read one lane of the batch engine's interval-major SoA day
+/// without a per-lane copy. A DayTrace, a TraceLane or a contiguous span
+/// converts implicitly to a stride-1 view, so scalar call sites keep their
+/// single code path (and the strided and contiguous reads share every
+/// expression, which is what keeps batch lanes bitwise scalar-equal).
+class ConstTraceLane {
+ public:
+  /// Views `intervals` slots at data[0], data[stride], ... Requires a
+  /// non-null base, stride >= 1 and intervals >= 1. Inline for the same
+  /// reason as TraceLane: one view is built per observe block on the
+  /// scalar hot path.
+  ConstTraceLane(const double* data, std::size_t stride,
+                 std::size_t intervals)
+      : data_(data), stride_(stride), intervals_(intervals) {}
+
+  /// Stride-1 view over a whole DayTrace.
+  ConstTraceLane(const DayTrace& trace);  // NOLINT(google-explicit-constructor)
+
+  /// Stride-1 view over a contiguous span (nonempty).
+  ConstTraceLane(std::span<const double> values)  // NOLINT
+      : data_(values.data()), stride_(1), intervals_(values.size()) {
+    RLBLH_REQUIRE(!values.empty(),
+                  "ConstTraceLane: need at least one interval");
+  }
+
+  /// Read view of a mutable lane.
+  ConstTraceLane(TraceLane lane)  // NOLINT(google-explicit-constructor)
+      : data_(lane.data()), stride_(lane.stride()),
+        intervals_(lane.intervals()) {}
+
+  /// Number of measurement intervals viewed.
+  std::size_t intervals() const { return intervals_; }
+
+  /// Alias for intervals(); keeps span-shaped call sites readable.
+  std::size_t size() const { return intervals_; }
+
+  /// Distance in doubles between consecutive intervals.
+  std::size_t stride() const { return stride_; }
+
+  /// Base pointer (interval n is data()[n * stride()]).
+  const double* data() const { return data_; }
+
+  /// Value at interval n. Requires n < intervals().
+  double operator[](std::size_t n) const { return data_[n * stride_]; }
+
+ private:
+  const double* data_;
   std::size_t stride_;
   std::size_t intervals_;
 };
@@ -150,6 +213,21 @@ class TraceSource {
   /// sources rarely run batched — while the synthetic household source
   /// overrides it to generate straight into the lane, allocation-free.
   virtual void next_day_into_lane(TraceLane out);
+
+  /// Lane-native batch synthesis: produces the next day of every source in
+  /// `sources` (index-aligned lanes, W = sources.size()) into one
+  /// interval-major block — lane k's interval n lives at data[n * W + k],
+  /// and every lane spans `intervals` slots. The batch engine calls this
+  /// once per day on sources[0] after verifying all lanes share lane 0's
+  /// dynamic type, so native overrides may static_cast the peers to their
+  /// own concrete type. The default loops lanes through
+  /// next_day_into_lane — same draws, same values, same per-lane store
+  /// order — so overriding is purely a memory-access optimization: a
+  /// lane-at-a-time pass over a W-wide day touches every cache line of the
+  /// block once per lane, while a native override can tile the interval
+  /// dimension and touch each line once.
+  virtual void next_days_into_lanes(std::span<TraceSource* const> sources,
+                                    double* data, std::size_t intervals);
 
   /// Number of intervals per produced day.
   virtual std::size_t intervals() const = 0;

@@ -26,8 +26,10 @@ class UsageStatsTracker {
   UsageStatsTracker(std::size_t intervals, double usage_cap,
                     std::size_t bins = 24, std::size_t reservoir = 48);
 
-  /// Folds one observed day into the per-interval distributions.
-  void observe_day(const DayTrace& day, Rng& rng);
+  /// Folds one observed day into the per-interval distributions. Accepts
+  /// any read-only lane view (a DayTrace converts implicitly), so the RL
+  /// observe path can feed its day buffer without a validating copy.
+  void observe_day(ConstTraceLane day, Rng& rng);
 
   /// Number of days observed so far.
   std::size_t days_observed() const { return days_; }

@@ -6,9 +6,8 @@
 
 namespace rlblh {
 
-double pearson_correlation(const std::vector<double>& x,
-                           const std::vector<double>& y) {
-  RLBLH_REQUIRE(x.size() == y.size() && !x.empty(),
+double pearson_correlation(ConstTraceLane x, ConstTraceLane y) {
+  RLBLH_REQUIRE(x.size() == y.size(),
                 "pearson_correlation: series must be nonempty and equal length");
   const auto n = static_cast<double>(x.size());
   double sx = 0.0, sy = 0.0;
@@ -30,12 +29,16 @@ double pearson_correlation(const std::vector<double>& x,
   return sxy / std::sqrt(sxx * syy);
 }
 
-double pearson_correlation(const DayTrace& x, const DayTrace& y) {
-  return pearson_correlation(x.values(), y.values());
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  RLBLH_REQUIRE(x.size() == y.size() && !x.empty(),
+                "pearson_correlation: series must be nonempty and equal length");
+  return pearson_correlation(ConstTraceLane(x.data(), 1, x.size()),
+                             ConstTraceLane(y.data(), 1, y.size()));
 }
 
-void CorrelationAccumulator::observe_day(const DayTrace& usage,
-                                         const DayTrace& readings) {
+void CorrelationAccumulator::observe_day(ConstTraceLane usage,
+                                         ConstTraceLane readings) {
   stats_.add(pearson_correlation(usage, readings));
 }
 

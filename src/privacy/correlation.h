@@ -15,21 +15,23 @@
 
 namespace rlblh {
 
-/// Pearson correlation coefficient of two equal-length series. Returns 0
-/// when either series is constant (zero variance), matching the convention
-/// that a flat series carries no linear relationship.
+/// Pearson correlation coefficient of two equal-length series (read-only
+/// lane views; a DayTrace converts implicitly and a strided batch lane is
+/// consumed without a copy). Returns 0 when either series is constant
+/// (zero variance), matching the convention that a flat series carries no
+/// linear relationship.
+double pearson_correlation(ConstTraceLane x, ConstTraceLane y);
+
+/// Convenience overload on plain vectors (throws on empty input).
 double pearson_correlation(const std::vector<double>& x,
                            const std::vector<double>& y);
-
-/// Convenience overload on day traces.
-double pearson_correlation(const DayTrace& x, const DayTrace& y);
 
 /// Accumulates the per-day CC over an evaluation run and reports its mean,
 /// the statistic plotted in the paper's Figures 5a, 8b and 9b.
 class CorrelationAccumulator {
  public:
   /// Folds in one evaluation day.
-  void observe_day(const DayTrace& usage, const DayTrace& readings);
+  void observe_day(ConstTraceLane usage, ConstTraceLane readings);
 
   /// Mean per-day CC; 0 when no days observed.
   double mean_cc() const;

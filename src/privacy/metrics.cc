@@ -4,29 +4,43 @@
 
 namespace rlblh {
 
-double daily_savings_cents(const DayTrace& usage, const DayTrace& readings,
+double daily_savings_cents(ConstTraceLane usage, ConstTraceLane readings,
                            const TouSchedule& prices) {
   RLBLH_REQUIRE(usage.intervals() == readings.intervals() &&
                     usage.intervals() == prices.intervals(),
                 "daily_savings_cents: series lengths must match");
   double s = 0.0;
   for (std::size_t n = 0; n < usage.intervals(); ++n) {
-    s += prices.rate(n) * (usage.at(n) - readings.at(n));
+    s += prices.rate(n) * (usage[n] - readings[n]);
   }
   return s;
 }
 
-double daily_bill_cents(const DayTrace& readings, const TouSchedule& prices) {
-  return prices.cost(readings.values());
+double daily_bill_cents(ConstTraceLane readings, const TouSchedule& prices) {
+  // Same in-order rate * value accumulation as TouSchedule::cost, expressed
+  // over a (possibly strided) view — term-for-term the same sum.
+  RLBLH_REQUIRE(readings.intervals() == prices.intervals(),
+                "daily_bill_cents: series length must match the schedule");
+  double total = 0.0;
+  for (std::size_t n = 0; n < readings.intervals(); ++n) {
+    total += prices.rate(n) * readings[n];
+  }
+  return total;
 }
 
-double daily_usage_cost_cents(const DayTrace& usage,
-                              const TouSchedule& prices) {
-  return prices.cost(usage.values());
+double daily_usage_cost_cents(ConstTraceLane usage, const TouSchedule& prices) {
+  RLBLH_REQUIRE(usage.intervals() == prices.intervals(),
+                "daily_usage_cost_cents: series length must match the "
+                "schedule");
+  double total = 0.0;
+  for (std::size_t n = 0; n < usage.intervals(); ++n) {
+    total += prices.rate(n) * usage[n];
+  }
+  return total;
 }
 
-void SavingRatioAccumulator::observe_day(const DayTrace& usage,
-                                         const DayTrace& readings,
+void SavingRatioAccumulator::observe_day(ConstTraceLane usage,
+                                         ConstTraceLane readings,
                                          const TouSchedule& prices) {
   const double cost = daily_usage_cost_cents(usage, prices);
   if (cost <= 0.0) return;

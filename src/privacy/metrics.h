@@ -9,15 +9,20 @@
 
 namespace rlblh {
 
+// All series parameters are read-only lane views: a DayTrace converts
+// implicitly, and a strided lane of a batch day's interval-major buffer is
+// consumed without a copy. The loops run interval-ascending regardless of
+// stride, so the accumulated sums are bitwise independent of the layout.
+
 /// Daily cost savings S = sum_n r_n (x_n - y_n) in cents (paper Eq. 3).
-double daily_savings_cents(const DayTrace& usage, const DayTrace& readings,
+double daily_savings_cents(ConstTraceLane usage, ConstTraceLane readings,
                            const TouSchedule& prices);
 
 /// Daily bill sum_n r_n y_n in cents.
-double daily_bill_cents(const DayTrace& readings, const TouSchedule& prices);
+double daily_bill_cents(ConstTraceLane readings, const TouSchedule& prices);
 
 /// Daily cost of actual consumption sum_n r_n x_n in cents.
-double daily_usage_cost_cents(const DayTrace& usage, const TouSchedule& prices);
+double daily_usage_cost_cents(ConstTraceLane usage, const TouSchedule& prices);
 
 /// Accumulates the saving ratio SR = E[ S / (sum_n r_n x_n) ] over days
 /// (paper Eq. 22, the statistic of Figures 5c, 7c, 8a and 9a).
@@ -25,7 +30,7 @@ class SavingRatioAccumulator {
  public:
   /// Folds in one evaluation day. Days with zero usage cost are skipped
   /// (the ratio is undefined for them).
-  void observe_day(const DayTrace& usage, const DayTrace& readings,
+  void observe_day(ConstTraceLane usage, ConstTraceLane readings,
                    const TouSchedule& prices);
 
   /// Mean per-day saving ratio (dimensionless; multiply by 100 for %).

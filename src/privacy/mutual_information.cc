@@ -73,16 +73,16 @@ PairwiseMiEstimator::PairwiseMiEstimator(std::size_t intervals,
   joint_touched_.resize(intervals - 1);
 }
 
-void PairwiseMiEstimator::observe_day(const DayTrace& usage,
-                                      const DayTrace& readings) {
+void PairwiseMiEstimator::observe_day(ConstTraceLane usage,
+                                      ConstTraceLane readings) {
   RLBLH_REQUIRE(usage.intervals() == intervals_ &&
                     readings.intervals() == intervals_,
                 "PairwiseMiEstimator: day length mismatch");
   for (std::size_t n = 0; n + 1 < intervals_; ++n) {
-    const std::size_t xi = pair_index(qx_.index(usage.at(n)),
-                                      qx_.index(usage.at(n + 1)));
-    const std::size_t yi = pair_index(qy_.index(readings.at(n)),
-                                      qy_.index(readings.at(n + 1)));
+    const std::size_t xi = pair_index(qx_.index(usage[n]),
+                                      qx_.index(usage[n + 1]));
+    const std::size_t yi = pair_index(qy_.index(readings[n]),
+                                      qy_.index(readings[n + 1]));
     ++x_counts_[n * pair_cells_ + xi];
     const std::size_t cell = xi * pair_cells_ + yi;
     std::uint32_t& joint = joint_counts_[n * joint_cells_ + cell];

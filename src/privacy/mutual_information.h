@@ -43,8 +43,10 @@ class PairwiseMiEstimator {
   PairwiseMiEstimator(std::size_t intervals, std::size_t levels, double x_cap,
                       double y_cap);
 
-  /// Folds in one evaluation day of usage x and meter readings y.
-  void observe_day(const DayTrace& usage, const DayTrace& readings);
+  /// Folds in one evaluation day of usage x and meter readings y (read-only
+  /// lane views; a DayTrace converts implicitly, a strided batch lane is
+  /// consumed without a copy).
+  void observe_day(ConstTraceLane usage, ConstTraceLane readings);
 
   /// Number of days observed.
   std::size_t days() const { return days_; }

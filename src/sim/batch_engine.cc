@@ -1,8 +1,9 @@
 #include "sim/batch_engine.h"
 
 #include <algorithm>
+#include <typeinfo>
 
-#if defined(RLBLH_SIMD) && defined(__x86_64__)
+#if defined(RLBLH_SIMD) && defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
 #endif
 
@@ -19,13 +20,14 @@ void BatchDay::extract_lane(std::size_t k, DayResult& out) const {
   if (out.usage.intervals() != intervals) out.usage = DayTrace(intervals);
   if (out.readings.intervals() != intervals) out.readings = DayTrace(intervals);
   out.battery_levels.resize(intervals);
-  const double* lane = usage_lanes.data() + k * intervals;
-  std::copy(lane, lane + intervals, out.usage.mutable_data());
+  double* u = out.usage.mutable_data();
   double* r = out.readings.mutable_data();
   double* l = out.battery_levels.data();
+  const double* soa_usage = usage.data() + k;
   const double* soa_readings = readings.data() + k;
   const double* soa_levels = levels.data() + k;
   for (std::size_t n = 0; n < intervals; ++n) {
+    u[n] = soa_usage[n * width];
     r[n] = soa_readings[n * width];
     l[n] = soa_levels[n * width];
   }
@@ -99,7 +101,7 @@ void run_segment_portable(const SegmentArgs& a, std::size_t k0, std::size_t k1,
   }
 }
 
-#if defined(RLBLH_SIMD) && defined(__x86_64__)
+#if defined(RLBLH_SIMD) && defined(__x86_64__) && defined(__GNUC__)
 
 /// Explicit AVX2 segment kernel, engaged at runtime when the CPU has AVX2
 /// (see run_segment below). Four lanes per vector, accumulators held in
@@ -171,7 +173,7 @@ using SegmentFn = void (*)(const SegmentArgs&, std::size_t, std::size_t,
                            std::size_t, std::size_t, double);
 
 SegmentFn resolve_segment_fn() {
-#if defined(RLBLH_SIMD) && defined(__x86_64__)
+#if defined(RLBLH_SIMD) && defined(__x86_64__) && defined(__GNUC__)
   if (__builtin_cpu_supports("avx2")) return run_segment_avx2;
 #endif
   return run_segment_portable;
@@ -215,9 +217,18 @@ const BatchDay& BatchEngine::run_day(std::span<TraceSource* const> sources,
   RLBLH_REQUIRE(pulse > 0,
                 "BatchEngine: policies must support the pulse-block protocol");
   const bool is_passthrough = policies[0]->passthrough();
+  const std::string_view policy_name = policies[0]->name();
   for (std::size_t k = 1; k < width; ++k) {
     RLBLH_REQUIRE(sources[k]->intervals() == n_m,
                   "BatchEngine: lanes must share one day length");
+    // The homogeneity checks back the lane-native protocol: the batched
+    // entry points (next_days_into_lanes, fill_lanes, observe_lanes) run on
+    // lane 0, whose native override may static_cast the peers to its own
+    // concrete type.
+    RLBLH_REQUIRE(typeid(*sources[k]) == typeid(*sources[0]),
+                  "BatchEngine: lanes must share one trace source type");
+    RLBLH_REQUIRE(policies[k]->name() == policy_name,
+                  "BatchEngine: lanes must share one policy type");
     RLBLH_REQUIRE(policies[k]->pulse_width() == pulse,
                   "BatchEngine: lanes must share one pulse width");
     RLBLH_REQUIRE(policies[k]->passthrough() == is_passthrough,
@@ -227,7 +238,6 @@ const BatchDay& BatchEngine::run_day(std::span<TraceSource* const> sources,
   BatchDay& day = scratch_;
   day.width = width;
   day.intervals = n_m;
-  day.usage_lanes.resize(width * n_m);
   day.usage.resize(width * n_m);
   day.readings.resize(width * n_m);
   day.levels.resize(width * n_m);
@@ -237,23 +247,13 @@ const BatchDay& BatchEngine::run_day(std::span<TraceSource* const> sources,
   day.battery_violations.assign(width, 0);
   block_y_.resize(width);
 
-  // Synthesis: each lane generates its day contiguously (its own RNG, the
-  // exact scalar draw order), then one transpose lays usage out
-  // interval-major for the vector loop. Lane-major stays around for the
-  // zero-copy observe_block spans and lane extraction.
-  for (std::size_t k = 0; k < width; ++k) {
-    sources[k]->next_day_into_lane(
-        TraceLane(day.usage_lanes.data() + k * n_m, 1, n_m));
-  }
-  {
-    const double* lanes = day.usage_lanes.data();
-    double* soa = day.usage.data();
-    for (std::size_t n = 0; n < n_m; ++n) {
-      for (std::size_t k = 0; k < width; ++k) {
-        soa[n * width + k] = lanes[k * n_m + n];
-      }
-    }
-  }
+  // Synthesis: one lane-native call fills the whole interval-major block.
+  // The default writes each lane straight into its strided slot (its own
+  // RNG, the exact scalar draw order — only the store addresses differ from
+  // a contiguous day); native overrides may reorder the stores, never the
+  // values. No engine-side staging buffer, no transpose; the observe path
+  // reads the same layout back through strided lane views.
+  sources[0]->next_days_into_lanes(sources, day.usage.data(), n_m);
 
   for (std::size_t k = 0; k < width; ++k) policies[k]->begin_day(prices);
 
@@ -278,8 +278,9 @@ const BatchDay& BatchEngine::run_day(std::span<TraceSource* const> sources,
   for (std::size_t n0 = 0; n0 < n_m;) {
     const std::size_t block_width = std::min(pulse, n_m - n0);
     const std::size_t block_end = n0 + block_width;
+    // One lane-native virtual call decides every lane's pulse height.
+    policies[0]->fill_lanes(policies, n0, block_width, args.level, y);
     for (std::size_t k = 0; k < width; ++k) {
-      y[k] = policies[k]->fill_block(n0, block_width, args.level[k]);
       RLBLH_REQUIRE(y[k] >= 0.0,
                     "BatchEngine: policy produced a negative reading");
     }
@@ -328,11 +329,11 @@ const BatchDay& BatchEngine::run_day(std::span<TraceSource* const> sources,
         n = run_end;
       }
     }
-    for (std::size_t k = 0; k < width; ++k) {
-      policies[k]->observe_block(
-          n0, std::span<const double>(
-                  day.usage_lanes.data() + k * n_m + n0, block_width));
-    }
+    // One lane-native virtual call reports every lane's realized usage,
+    // straight from the interval-major buffer (no per-lane copy).
+    policies[0]->observe_lanes(
+        policies, n0,
+        LaneBlock{day.usage.data() + n0 * width, width, block_width});
     ++blocks;
     n0 = block_end;
   }

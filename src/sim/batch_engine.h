@@ -4,12 +4,17 @@
 // The scalar SimEngine lays one household's day out at a time; at fleet
 // scale the remaining cost is per-interval arithmetic that the compiler
 // cannot vectorize across households. BatchEngine transposes the layout:
-// battery levels, meter readings and money accumulators become contiguous
-// W-wide lanes indexed [n * W + k] (interval-major) so the per-interval
-// work of all W lanes is one vector op, while usage is synthesized
-// lane-major ([k * n_M + n], each lane contiguous) so per-lane generators
-// and observe_block spans stay zero-copy, then transposed once per day for
-// the inner loop.
+// usage, battery levels, meter readings and money accumulators all become
+// contiguous W-wide lanes indexed [n * W + k] (interval-major) so the
+// per-interval work of all W lanes is one vector op. Usage is synthesized
+// straight into its interval-major slot through a strided TraceLane (no
+// lane-major staging buffer, no daily transpose), and policies read it back
+// through strided ConstTraceLane views — the whole day is one layout.
+//
+// The policy side is lane-native (core/policy.h): per block the engine
+// makes ONE fill_lanes() and ONE observe_lanes() virtual call on lane 0
+// with the full lane span, so a batch day costs O(n_M / n_D) virtual calls
+// instead of O(W * n_M / n_D).
 //
 // Bit-identity contract: lane k of a batch day is bitwise equal to a
 // scalar SimEngine::run_day of household k — same RNG draw order (each
@@ -21,10 +26,12 @@
 // scalar engine; the fleet layer relies on it to make batching invisible.
 //
 // Requirements: every lane must share one day geometry and one battery
-// model, every policy must advertise the same pulse_width() > 0 (policies
-// without block support take the scalar engine instead), and either all or
-// none of the lanes may be passthrough. Per-day invariant checking is not
-// offered here — run the scalar engine when auditing.
+// model, every policy must advertise the same name(), the same
+// pulse_width() > 0 (policies without block support take the scalar engine
+// instead), and the same passthrough mode — the name check is what lets a
+// native fill_lanes/observe_lanes static_cast its peer lanes. Per-day
+// invariant checking is not offered here — run the scalar engine when
+// auditing.
 #pragma once
 
 #include <cstddef>
@@ -46,9 +53,7 @@ struct BatchDay {
   std::size_t width = 0;      ///< W, number of lanes
   std::size_t intervals = 0;  ///< n_M, measurement intervals per day
 
-  /// Usage x_n, lane-major: lane k's day is [k * intervals, (k+1) * intervals).
-  std::vector<double> usage_lanes;
-  /// Usage x_n, interval-major ([n * width + k]); transpose of usage_lanes.
+  /// Usage x_n, interval-major ([n * width + k]) — the only usage layout.
   std::vector<double> usage;
   /// Effective meter readings, interval-major.
   std::vector<double> readings;
@@ -60,9 +65,14 @@ struct BatchDay {
   std::vector<double> usage_cost_cents;  ///< per lane: sum r_n x_n
   std::vector<std::size_t> battery_violations;  ///< per lane, this day only
 
-  /// Lane k's contiguous usage series.
-  std::span<const double> usage_lane(std::size_t k) const {
-    return {usage_lanes.data() + k * intervals, intervals};
+  /// Lane k's usage series as a strided read-only view.
+  ConstTraceLane usage_lane(std::size_t k) const {
+    return ConstTraceLane(usage.data() + k, width, intervals);
+  }
+
+  /// Lane k's effective meter readings as a strided read-only view.
+  ConstTraceLane readings_lane(std::size_t k) const {
+    return ConstTraceLane(readings.data() + k, width, intervals);
   }
 
   /// Copies lane k into a scalar day record (the evaluation path feeds

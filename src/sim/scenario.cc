@@ -332,12 +332,15 @@ void run_blueprint_batch(const ScenarioSpec& spec, const ScenarioBlueprint& bp,
     accumulators[k] =
         &arena.lane_accumulator(k, intervals, spec.mi_levels, usage_cap);
   }
-  DayResult& scratch = arena.lane_scratch();
   for (std::size_t d = 0; d < spec.eval_days; ++d) {
     const BatchDay& day = engine.run_day(sources, prices, batteries, policies);
     for (std::size_t k = 0; k < width; ++k) {
-      day.extract_lane(k, scratch);
-      accumulators[k]->observe_day(scratch, prices);
+      // Copy-free: each accumulator reads its lane through strided views of
+      // the interval-major day and takes the money scalars the engine
+      // already summed per lane (the same values extract_lane would copy).
+      accumulators[k]->observe_day(day.usage_lane(k), day.readings_lane(k),
+                                   day.bill_cents[k], day.usage_cost_cents[k],
+                                   day.battery_violations[k], prices);
     }
   }
   for (std::size_t k = 0; k < width; ++k) out[k] = accumulators[k]->result();

@@ -187,16 +187,12 @@ class RunArena {
                                           std::size_t mi_levels,
                                           double usage_cap);
 
-  /// Scratch day record for BatchDay::extract_lane.
-  DayResult& lane_scratch() { return lane_scratch_; }
-
  private:
   SimEngine engine_;
   std::optional<EvaluationAccumulator> accumulator_;
   BatchEngine batch_engine_;
   BatteryLanes battery_lanes_;
   std::vector<std::unique_ptr<EvaluationAccumulator>> lane_accumulators_;
-  DayResult lane_scratch_;
 };
 
 /// Runs one household from a resolved blueprint: the blueprint supplies the

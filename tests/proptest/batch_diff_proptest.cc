@@ -304,6 +304,54 @@ TEST(BatchDiffProptest, PassthroughLanesMatchScalarEngine) {
   ASSERT_TRUE(result.success) << result.message;
 }
 
+// Deterministic non-divisor geometry sweep: n_D = 17 does not divide
+// n_M = 130 (7 full blocks + a truncated final block of 11 intervals), so
+// every batch day ends with a short block through fill_lanes/observe_lanes.
+// Unlike the randomized suites above, this pins the truncated-final-block
+// path at EVERY width in kWidths rather than whenever the domain happens
+// to draw a non-divisor pair — for both the RL policy (lane-batched
+// e-greedy draws) and the random-pulse baseline (per-block RNG draws).
+TEST(BatchDiffProptest, TruncatedFinalBlockAtEveryWidth) {
+  RlBlhConfig config;
+  config.intervals_per_day = 130;
+  config.decision_interval = 17;
+  config.usage_cap = 0.08;
+  config.battery_capacity =
+      2.0 * config.usage_cap * static_cast<double>(config.decision_interval);
+  ASSERT_NE(config.intervals_per_day % config.decision_interval, 0u)
+      << "geometry must leave a truncated final block";
+  for (const std::size_t width : kWidths) {
+    for (const bool use_rl : {true, false}) {
+      Rng rng(0xf17a1b10cull + width * 2 + (use_rl ? 1 : 0));
+      const TouSchedule prices =
+          proptest::gen_tou_schedule(config.intervals_per_day, rng);
+      const double initial = rng.uniform(0.0, config.battery_capacity);
+      std::vector<LanePair> lanes;
+      lanes.reserve(width);
+      for (std::size_t k = 0; k < width; ++k) {
+        add_replay_lane(lanes, config.intervals_per_day, config.usage_cap,
+                        rng);
+        RlBlhConfig lane_config = config;
+        lane_config.seed = config.seed + k;
+        if (use_rl) {
+          lanes.back().batch_policy = std::make_unique<RlBlhPolicy>(lane_config);
+          lanes.back().scalar_policy =
+              std::make_unique<RlBlhPolicy>(lane_config);
+        } else {
+          lanes.back().batch_policy =
+              std::make_unique<RandomPulsePolicy>(lane_config);
+          lanes.back().scalar_policy =
+              std::make_unique<RandomPulsePolicy>(lane_config);
+        }
+      }
+      SCOPED_TRACE("width " + std::to_string(width) +
+                   (use_rl ? " rlblh" : " random_pulse"));
+      check_batch_matches_scalar(lanes, prices, config.battery_capacity,
+                                 initial, kDaysPerCase);
+    }
+  }
+}
+
 // Pins the lane-strided synthesis path: each lane generates its usage
 // through its own appliance/HVAC model writing directly into the batch
 // engine's SoA buffer, and must reproduce the scalar run's RNG draw order

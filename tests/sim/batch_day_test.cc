@@ -1,0 +1,186 @@
+// BatchDay edge-case units: the W=1 degenerate batch and the truncated
+// final block, checked at the container level (strided lane views and
+// extract_lane) rather than through the randomized differential suite.
+//
+// These two geometries are where the transpose removal could silently go
+// wrong: at W=1 the interval-major layout collapses to the scalar layout
+// (stride 1), so any off-by-stride bug hides; with a non-divisor n_D the
+// last block is shorter than pulse_width(), so views and extraction must
+// agree over a day whose final fill/observe block was truncated.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/random_pulse.h"
+#include "battery/battery.h"
+#include "core/config.h"
+#include "core/policy.h"
+#include "meter/trace.h"
+#include "pricing/tou.h"
+#include "sim/batch_engine.h"
+#include "sim/engine.h"
+
+namespace rlblh {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Replays one fixed day forever; batch and scalar twins share the values.
+class FixedDaySource final : public TraceSource {
+ public:
+  FixedDaySource(std::vector<double> values, double cap)
+      : day_(values.size()), cap_(cap) {
+    for (std::size_t n = 0; n < values.size(); ++n) day_.set(n, values[n]);
+  }
+
+  DayTrace next_day() override { return day_; }
+  std::size_t intervals() const override { return day_.intervals(); }
+  double usage_cap() const override { return cap_; }
+
+ private:
+  DayTrace day_;
+  double cap_ = 0.0;
+};
+
+/// Deterministic per-lane usage: lane k's interval n is k + n/1000, so a
+/// misplaced stride or swapped lane shows up as a whole-unit difference.
+std::vector<double> lane_usage(std::size_t lane, std::size_t intervals,
+                               double cap) {
+  std::vector<double> values(intervals);
+  for (std::size_t n = 0; n < intervals; ++n) {
+    const double v = static_cast<double>(lane) +
+                     static_cast<double>(n) / 1000.0;
+    values[n] = v < cap ? v : cap;
+  }
+  return values;
+}
+
+struct BatchFixture {
+  std::vector<std::unique_ptr<TraceSource>> sources;
+  std::vector<std::unique_ptr<BlhPolicy>> policies;
+  std::vector<TraceSource*> source_ptrs;
+  std::vector<BlhPolicy*> policy_ptrs;
+  BatteryLanes batteries;
+  TouSchedule prices = TouSchedule::flat(1, 1.0);  // replaced per fixture
+};
+
+/// W lanes of RandomPulsePolicy over fixed per-lane days. The geometry is
+/// taken from `config` (intervals_per_day need not be a multiple of
+/// decision_interval).
+BatchFixture make_fixture(std::size_t width, const RlBlhConfig& config) {
+  BatchFixture f;
+  const double cap = config.usage_cap * 100.0;  // lane markers stay uncapped
+  for (std::size_t k = 0; k < width; ++k) {
+    f.sources.push_back(std::make_unique<FixedDaySource>(
+        lane_usage(k, config.intervals_per_day, cap), cap));
+    RlBlhConfig lane_config = config;
+    lane_config.seed = config.seed + k;
+    f.policies.push_back(std::make_unique<RandomPulsePolicy>(lane_config));
+  }
+  for (std::size_t k = 0; k < width; ++k) {
+    f.source_ptrs.push_back(f.sources[k].get());
+    f.policy_ptrs.push_back(f.policies[k].get());
+  }
+  f.batteries.reset(width, config.battery_capacity,
+                    config.battery_capacity / 2.0);
+  f.prices = TouSchedule::two_zone(config.intervals_per_day,
+                                   config.intervals_per_day / 3, 7.04, 21.09);
+  return f;
+}
+
+RlBlhConfig truncated_geometry() {
+  RlBlhConfig config;
+  config.intervals_per_day = 130;  // 7 * 17 + 11: last block is short
+  config.decision_interval = 17;
+  config.usage_cap = 0.08;
+  config.battery_capacity = 2.0 * config.usage_cap * 17.0;
+  return config;
+}
+
+TEST(BatchDayTest, LaneViewsMatchExtractLaneOnTruncatedFinalBlock) {
+  const RlBlhConfig config = truncated_geometry();
+  ASSERT_NE(config.intervals_per_day % config.decision_interval, 0u);
+  constexpr std::size_t kWidth = 5;
+  BatchFixture f = make_fixture(kWidth, config);
+
+  BatchEngine engine;
+  const BatchDay& day = engine.run_day(f.source_ptrs, f.prices, f.batteries,
+                                       f.policy_ptrs);
+  ASSERT_EQ(day.width, kWidth);
+  ASSERT_EQ(day.intervals, config.intervals_per_day);
+
+  DayResult extracted;
+  for (std::size_t k = 0; k < kWidth; ++k) {
+    const ConstTraceLane usage = day.usage_lane(k);
+    const ConstTraceLane readings = day.readings_lane(k);
+    ASSERT_EQ(usage.intervals(), day.intervals);
+    ASSERT_EQ(readings.intervals(), day.intervals);
+    day.extract_lane(k, extracted);
+    ASSERT_EQ(extracted.usage.intervals(), day.intervals);
+    for (std::size_t n = 0; n < day.intervals; ++n) {
+      // The view, the extraction and the raw SoA slot are the same value.
+      EXPECT_TRUE(same_bits(usage[n], day.usage[n * kWidth + k]));
+      EXPECT_TRUE(same_bits(extracted.usage.at(n), usage[n]));
+      EXPECT_TRUE(same_bits(readings[n], day.readings[n * kWidth + k]));
+      EXPECT_TRUE(same_bits(extracted.readings.at(n), readings[n]));
+      EXPECT_TRUE(
+          same_bits(extracted.battery_levels[n], day.levels[n * kWidth + k]));
+    }
+    // The lane marker survived synthesis: lane k's usage is k-offset.
+    EXPECT_GE(extracted.usage.at(day.intervals - 1),
+              static_cast<double>(k));
+    EXPECT_TRUE(same_bits(extracted.savings_cents, day.savings_cents[k]));
+    EXPECT_TRUE(same_bits(extracted.bill_cents, day.bill_cents[k]));
+    EXPECT_TRUE(
+        same_bits(extracted.usage_cost_cents, day.usage_cost_cents[k]));
+    EXPECT_EQ(extracted.battery_violations, day.battery_violations[k]);
+  }
+}
+
+TEST(BatchDayTest, WidthOneBatchIsBitwiseEqualToScalarEngine) {
+  for (const bool truncated : {false, true}) {
+    RlBlhConfig config = truncated_geometry();
+    if (!truncated) config.intervals_per_day = 136;  // 8 * 17, no remainder
+    BatchFixture batch_side = make_fixture(1, config);
+    BatchFixture scalar_side = make_fixture(1, config);
+
+    Battery scalar_battery(config.battery_capacity,
+                           config.battery_capacity / 2.0);
+    BatchEngine batch_engine;
+    SimEngine scalar_engine;
+    DayResult extracted;
+    for (int d = 0; d < 3; ++d) {
+      const DayResult& ref = scalar_engine.run_day(
+          *scalar_side.sources[0], scalar_side.prices, scalar_battery,
+          *scalar_side.policies[0]);
+      const BatchDay& day =
+          batch_engine.run_day(batch_side.source_ptrs, batch_side.prices,
+                               batch_side.batteries, batch_side.policy_ptrs);
+      ASSERT_EQ(day.width, 1u);
+      day.extract_lane(0, extracted);
+      for (std::size_t n = 0; n < day.intervals; ++n) {
+        ASSERT_TRUE(same_bits(extracted.usage.at(n), ref.usage.at(n)))
+            << "usage day " << d << " interval " << n;
+        ASSERT_TRUE(same_bits(extracted.readings.at(n), ref.readings.at(n)))
+            << "reading day " << d << " interval " << n;
+        ASSERT_TRUE(
+            same_bits(extracted.battery_levels[n], ref.battery_levels[n]))
+            << "battery day " << d << " interval " << n;
+        // At W=1 the strided view is the contiguous series.
+        ASSERT_TRUE(same_bits(day.usage_lane(0)[n], ref.usage.at(n)));
+      }
+      ASSERT_TRUE(same_bits(extracted.savings_cents, ref.savings_cents));
+      ASSERT_TRUE(same_bits(extracted.bill_cents, ref.bill_cents));
+      ASSERT_TRUE(
+          same_bits(batch_side.batteries.level(0), scalar_battery.level()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlblh
