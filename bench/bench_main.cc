@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "obs/json_writer.h"
 #include "obs/manifest.h"
@@ -100,6 +101,10 @@ bool write_json(const std::string& path, const BenchContext& context,
   json.begin_object();
   json.member("bench", kBenchName);
   json.member("threads", context.threads());
+  // Where the numbers came from: lets the comparer spot baselines recorded
+  // on machines that cannot show parallel scaling (e.g. single-core CI).
+  json.member("hardware_concurrency",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
   json.member("quick", quick);
   json.member("wall_seconds", wall_seconds);
   json.member("cells", context.total_cells());

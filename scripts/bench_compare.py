@@ -25,7 +25,19 @@ current run must provide a matching BENCH_<name>.json whose
     --batch-anchor-speedup times that anchor. Both numbers come from one
     process on one machine, so no machine rescaling applies — this is the
     sharp "is batching worth it" gate; the baseline-relative gate above is
-    the coarse cross-machine one.
+    the coarse cross-machine one, and
+  * for the serving bench's in-run capacity pairs, the event-loop daemon
+    must sustain --serve-conn-ratio times the connections of the
+    thread-per-conn daemon with its ping p99 inside --serve-p99-bound-ms,
+    and the batch-stepped close rate must be --serve-batch-speedup times
+    the same run's stream-close rate (see --no-serve). Like the in-run
+    batch anchor, both halves of each ratio come from one process on one
+    machine, so no rescaling applies.
+
+Baselines recorded on a single-core machine carry
+"hardware_concurrency": 1; the parallel-efficiency gate skips (loudly)
+rather than failing healthy multi-core runs against ratios that machine
+could never express.
 
 Exit status is non-zero on any failure. A summary table is printed to
 stdout and, when the GITHUB_STEP_SUMMARY environment variable points at a
@@ -113,6 +125,17 @@ def compare_scaling(name: str, base: dict, cur: dict, tolerance: float):
     fall more than `tolerance` below the baseline's ratio for the same
     workload. Returns (failures, info_lines)."""
     failures, info = [], []
+    # A baseline recorded on a single-core machine cannot express parallel
+    # scaling: every tN/t1 ratio in it is ~1/N noise, and gating against it
+    # would fail any healthy multi-core run. Skip loudly instead.
+    base_hw = base.get("hardware_concurrency")
+    if base_hw is not None and int(base_hw) <= 1:
+        info.append(
+            f"{name}: SKIPPED scaling gate — committed baseline was "
+            f"recorded on a single-core machine "
+            f"(hardware_concurrency={base_hw})"
+        )
+        return failures, info
     base_scales = per_core_scales(base.get("metrics", {}))
     cur_scales = per_core_scales(cur.get("metrics", {}))
     for suffix in sorted(base_scales):
@@ -204,6 +227,81 @@ def compare_batch(name: str, base: dict, cur: dict, min_speedup: float,
                     f"({anchor:.0f} days/s), need >= "
                     f"{min_anchor_speedup:.1f}x"
                 )
+    return failures, info
+
+
+def compare_serve(name: str, cur: dict, min_conn_ratio: float,
+                  p99_bound_ms: float, min_batch_speedup: float):
+    """Gates the serving-path capacity claims, both from in-run pairs (the
+    two numbers of each ratio come from the same process on the same
+    machine, so no baseline rescaling applies). Capacity: the event-loop
+    daemon must sustain at least `min_conn_ratio` times the connections of
+    the thread-per-conn daemon, with the event-loop ping p99 inside
+    `p99_bound_ms` — "10x the connections at bounded p99". Batching: the
+    batch-stepped household-days/sec figure must be at least
+    `min_batch_speedup` times the same run's stream-close figure — except
+    on a single-core machine, where every serving design serializes and
+    the ratio is skipped loudly (the compare_scaling rationale). Records
+    without the serve metrics are skipped. Returns (failures, info_lines)."""
+    failures, info = [], []
+    metrics = cur.get("metrics", {})
+    el_conns = float(metrics.get("serve_conns_sustained_eventloop", 0.0))
+    tpc_conns = float(metrics.get("serve_conns_sustained_threadperconn", 0.0))
+    if el_conns > 0.0 and tpc_conns > 0.0:
+        ratio = el_conns / tpc_conns
+        el_p99 = float(metrics.get("serve_conn_p99_ms_eventloop", 0.0))
+        ratio_ok = ratio >= min_conn_ratio
+        p99_ok = el_p99 <= p99_bound_ms
+        status = "ok" if (ratio_ok and p99_ok) else "FAIL"
+        info.append(
+            f"{name}: event loop sustains {el_conns:.0f} conns = "
+            f"{ratio:.1f}x thread-per-conn ({tpc_conns:.0f}; floor "
+            f"{min_conn_ratio:.0f}x) at ping p99 {el_p99:.3f} ms (bound "
+            f"{p99_bound_ms:.0f} ms) {status}"
+        )
+        if not ratio_ok:
+            failures.append(
+                f"{name}: serve capacity below floor: event loop sustained "
+                f"{el_conns:.0f} conns, only {ratio:.1f}x the "
+                f"thread-per-conn daemon ({tpc_conns:.0f}), need >= "
+                f"{min_conn_ratio:.0f}x"
+            )
+        if not p99_ok:
+            failures.append(
+                f"{name}: serve capacity p99 over bound: event-loop ping "
+                f"p99 {el_p99:.3f} ms exceeds {p99_bound_ms:.0f} ms — the "
+                f"sustained-connection count does not hold at bounded "
+                f"latency"
+            )
+    batch = float(metrics.get("serve_households_per_core_batch", 0.0))
+    stream = float(metrics.get("serve_households_per_core_stream", 0.0))
+    if batch > 0.0 and stream > 0.0:
+        speedup = batch / stream
+        cur_hw = cur.get("hardware_concurrency")
+        if cur_hw is not None and int(cur_hw) <= 1:
+            # On one core the reactor, the shard, and the client serialize,
+            # so the daemon's lane-batching payoff cannot be expressed —
+            # the same reasoning as the single-core skip in
+            # compare_scaling. Report the measured ratio but do not gate.
+            info.append(
+                f"{name}: SKIPPED batch-close gate — this run is on a "
+                f"single-core machine (hardware_concurrency={cur_hw}); "
+                f"measured {speedup:.2f}x"
+            )
+            return failures, info
+        ok = speedup >= min_batch_speedup
+        info.append(
+            f"{name}: batch-stepped closes {batch:.0f} household-days/s = "
+            f"{speedup:.2f}x the in-run stream figure ({stream:.0f}; floor "
+            f"{min_batch_speedup:.1f}x) {'ok' if ok else 'FAIL'}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: serve batch speedup below floor: "
+                f"{batch:.0f} household-days/s is only {speedup:.2f}x the "
+                f"same-run stream-close rate ({stream:.0f}), need >= "
+                f"{min_batch_speedup:.1f}x"
+            )
     return failures, info
 
 
@@ -311,6 +409,32 @@ def main() -> int:
         action="store_true",
         help="skip the lockstep-batch throughput comparison",
     )
+    parser.add_argument(
+        "--serve-conn-ratio",
+        type=float,
+        default=10.0,
+        help="required serve_conns_sustained_eventloop multiple of the "
+        "same run's thread-per-conn figure (default 10)",
+    )
+    parser.add_argument(
+        "--serve-p99-bound-ms",
+        type=float,
+        default=250.0,
+        help="event-loop ping p99 ceiling for the sustained-connection "
+        "claim, in milliseconds (default 250)",
+    )
+    parser.add_argument(
+        "--serve-batch-speedup",
+        type=float,
+        default=1.5,
+        help="required serve_households_per_core_batch multiple of the "
+        "same run's stream-close figure (default 1.5)",
+    )
+    parser.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the serving-path capacity comparison",
+    )
     args = parser.parse_args()
 
     failures = []
@@ -350,6 +474,7 @@ def main() -> int:
     rows = []
     scaling_lines = []
     batch_lines = []
+    serve_lines = []
     for name in unbaselined:
         rows.append((name, "NO BASELINE", "-", "-"))
     for name, base in sorted(baselines.items()):
@@ -373,6 +498,13 @@ def main() -> int:
             )
             failures.extend(batch_failures)
             batch_lines.extend(info)
+        if not args.no_serve:
+            serve_failures, info = compare_serve(
+                name, cur, args.serve_conn_ratio, args.serve_p99_bound_ms,
+                args.serve_batch_speedup
+            )
+            failures.extend(serve_failures)
+            serve_lines.extend(info)
 
         base_wall = float(base.get("wall_seconds", 0.0))
         cur_wall = float(cur.get("wall_seconds", 0.0))
@@ -399,10 +531,13 @@ def main() -> int:
                              for f in failures)
         batch_ok = not any(f.startswith(f"{name}: batch throughput")
                            for f in failures)
+        serve_ok = not any(f.startswith(f"{name}: serve")
+                           for f in failures)
         rows.append(
             (
                 name,
-                "ok" if (wall_ok and metrics_ok and scaling_ok and batch_ok)
+                "ok" if (wall_ok and metrics_ok and scaling_ok and batch_ok
+                         and serve_ok)
                 else "FAIL",
                 f"{base_wall:.3f}s -> {cur_wall:.3f}s",
                 "ok" if metrics_ok else "drift",
@@ -424,6 +559,10 @@ def main() -> int:
     if batch_lines:
         print("\nlockstep-batch throughput (vs scalar baseline):")
         for line in batch_lines:
+            print(f"  {line}")
+    if serve_lines:
+        print("\nserving-path capacity (in-run pairs):")
+        for line in serve_lines:
             print(f"  {line}")
 
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -454,6 +593,16 @@ def main() -> int:
                     "anchor)\n\n"
                 )
                 for line in batch_lines:
+                    summary.write(f"- {line}\n")
+            if serve_lines:
+                summary.write(
+                    "\n**Serving-path capacity** (event loop gated at "
+                    f"{args.serve_conn_ratio:.0f}x thread-per-conn "
+                    f"connections under {args.serve_p99_bound_ms:.0f} ms "
+                    f"ping p99; batch closes at "
+                    f"{args.serve_batch_speedup:.1f}x the stream rate)\n\n"
+                )
+                for line in serve_lines:
                     summary.write(f"- {line}\n")
             if unbaselined:
                 summary.write(

@@ -239,6 +239,27 @@ class ScalingGateTest(GateHarness):
         code, out = self.run_gate("--no-wall", "--no-scaling")
         self.assertEqual(code, 0, out)
 
+    def test_single_core_baseline_skips_loudly(self):
+        # A baseline recorded on a single-core machine cannot express
+        # parallel scaling; the gate must skip it (with a visible line)
+        # instead of failing a healthy multi-core run.
+        base = self.scaling_record(100.0, 12.0)
+        base["hardware_concurrency"] = 1
+        self.write(self.baseline_dir, base)
+        self.write(self.current_dir, self.scaling_record(100.0, 50.0))
+        code, out = self.run_gate("--no-wall")
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED scaling gate", out)
+
+    def test_multi_core_baseline_still_gates(self):
+        base = self.scaling_record(100.0, 50.0)
+        base["hardware_concurrency"] = 8
+        self.write(self.baseline_dir, base)
+        self.write(self.current_dir, self.scaling_record(100.0, 20.0))
+        code, out = self.run_gate("--no-wall")
+        self.assertNotEqual(code, 0)
+        self.assertIn("parallel efficiency regressed", out)
+
 
 class BatchGateTest(GateHarness):
     def test_batch_below_speedup_floor_fails(self):
@@ -330,6 +351,79 @@ class BatchGateTest(GateHarness):
                                   "--batch-anchor-speedup", "1.2")
         self.assertEqual(code, 0, out)
         self.assertIn("in-run scalar anchor", out)
+
+
+class ServeGateTest(GateHarness):
+    def serve_record(self, el_conns=384.0, tpc_conns=32.0, el_p99=0.05,
+                     batch=900.0, stream=500.0, hardware=8):
+        rec = record(
+            "serve",
+            metrics={
+                "serve_conns_sustained_eventloop": el_conns,
+                "serve_conns_sustained_threadperconn": tpc_conns,
+                "serve_conn_p99_ms_eventloop": el_p99,
+                "serve_conn_p99_ms_threadperconn": 0.02,
+                "serve_households_per_core_batch": batch,
+                "serve_households_per_core_stream": stream,
+            },
+        )
+        rec["hardware_concurrency"] = hardware
+        return rec
+
+    def both(self, rec):
+        self.write(self.baseline_dir, rec)
+        self.write(self.current_dir, rec)
+
+    def test_healthy_serve_record_passes(self):
+        self.both(self.serve_record())
+        code, out = self.run_gate("--no-wall")
+        self.assertEqual(code, 0, out)
+        self.assertIn("12.0x thread-per-conn", out)
+
+    def test_conn_ratio_below_floor_fails(self):
+        self.both(self.serve_record(el_conns=128.0))
+        code, out = self.run_gate("--no-wall")
+        self.assertNotEqual(code, 0)
+        self.assertIn("serve capacity below floor", out)
+
+    def test_conn_p99_over_bound_fails(self):
+        # 12x the connections, but the latency claim behind the count no
+        # longer holds.
+        self.both(self.serve_record(el_p99=400.0))
+        code, out = self.run_gate("--no-wall")
+        self.assertNotEqual(code, 0)
+        self.assertIn("serve capacity p99 over bound", out)
+
+    def test_batch_speedup_below_floor_fails(self):
+        self.both(self.serve_record(batch=600.0, stream=500.0))
+        code, out = self.run_gate("--no-wall")
+        self.assertNotEqual(code, 0)
+        self.assertIn("serve batch speedup below floor", out)
+
+    def test_single_core_run_skips_batch_gate_but_not_conn_gate(self):
+        # One core serializes the reactor, the shard, and the client, so
+        # the lane-batching ratio is noise — but sustained connections are
+        # a capacity measure and must still gate.
+        self.both(self.serve_record(batch=500.0, stream=500.0, hardware=1))
+        code, out = self.run_gate("--no-wall")
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIPPED batch-close gate", out)
+        self.both(self.serve_record(el_conns=64.0, hardware=1))
+        code, out = self.run_gate("--no-wall")
+        self.assertNotEqual(code, 0)
+        self.assertIn("serve capacity below floor", out)
+
+    def test_custom_floors_apply(self):
+        rec = self.serve_record(el_conns=160.0, batch=600.0)
+        self.both(rec)
+        code, out = self.run_gate("--no-wall", "--serve-conn-ratio", "4",
+                                  "--serve-batch-speedup", "1.1")
+        self.assertEqual(code, 0, out)
+
+    def test_no_serve_skips_the_gate(self):
+        self.both(self.serve_record(el_conns=32.0, batch=100.0))
+        code, out = self.run_gate("--no-wall", "--no-serve")
+        self.assertEqual(code, 0, out)
 
 
 class MalformedInputTest(GateHarness):

@@ -17,6 +17,18 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
     throw DataError("checkpoint store: cannot create directory '" + dir_ +
                     "': " + ec.message());
   }
+  // Hygiene: a crash between serializing `<file>.tmp` and the rename leaves
+  // the tmp file orphaned forever (the next save writes a fresh one). Sweep
+  // them on open — the committed `.ckpt` files are the durable state and
+  // are never touched.
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      std::error_code remove_ec;
+      fs::remove(it->path(), remove_ec);
+    }
+  }
 }
 
 std::string CheckpointStore::path_for(std::uint64_t id) const {

@@ -9,9 +9,11 @@
 #include <thread>
 
 #include "meter/trace.h"
+#include "serve/backoff.h"
 #include "serve/client.h"
 #include "sim/scenario.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace rlblh::serve {
 
@@ -40,6 +42,7 @@ struct ThreadStats {
   std::size_t intervals_sent = 0;
   std::size_t frames_sent = 0;
   std::size_t reconnects = 0;
+  std::size_t draining_waits = 0;
   std::vector<double> rtt_us;
 };
 
@@ -48,10 +51,16 @@ void drive_household(ServeClient& client, const LoadGenConfig& config,
   const std::string spec_text = household_spec(config, h);
   const std::uint64_t id = config.seed_base + static_cast<std::uint64_t>(h);
   const ScenarioSpec spec = ScenarioSpec::parse(spec_text);
+  // Draining retries back off with decorrelated jitter, like reconnects: a
+  // fleet told "come back later" in unison must not return in unison.
+  DecorrelatedJitterBackoff draining_backoff(
+      std::chrono::milliseconds(10), std::chrono::milliseconds(500),
+      Rng(config.seed_base * 0x9e3779b97f4a7c15ULL + id));
 
   for (;;) {  // resume loop: one iteration per (re)connection epoch
     try {
       const HelloAckMsg hello = client.hello(id, spec_text);
+      draining_backoff.reset();
       std::size_t day = hello.days_completed;
       std::unique_ptr<TraceSource> source = make_scenario_source(spec);
       const std::size_t n_m = source->intervals();
@@ -97,7 +106,8 @@ void drive_household(ServeClient& client, const LoadGenConfig& config,
     } catch (const ServeRequestError& e) {
       if (e.code() == ErrorCode::kDraining) {
         // The daemon is shutting down; wait for its successor.
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        ++stats.draining_waits;
+        std::this_thread::sleep_for(draining_backoff.next());
         continue;
       }
       throw;  // out-of-order / bad-spec: a generator bug, surface it
@@ -149,6 +159,7 @@ LoadGenResult run_load(const LoadGenConfig& config) {
     result.intervals_sent += s.intervals_sent;
     result.frames_sent += s.frames_sent;
     result.reconnects += s.reconnects;
+    result.draining_waits += s.draining_waits;
     result.rtt_us.insert(result.rtt_us.end(), s.rtt_us.begin(),
                          s.rtt_us.end());
   }

@@ -39,6 +39,7 @@ struct LoadGenResult {
   std::size_t intervals_sent = 0;
   std::size_t frames_sent = 0;
   std::size_t reconnects = 0;
+  std::size_t draining_waits = 0;  ///< jittered sleeps on kDraining replies
   double wall_seconds = 0.0;
   std::vector<double> rtt_us;  ///< per-Readings-frame round-trip times
 

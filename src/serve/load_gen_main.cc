@@ -70,10 +70,10 @@ int main(int argc, char** argv) {
             ? static_cast<double>(result.intervals_sent) / result.wall_seconds
             : 0.0;
     std::printf("load_gen: %zu households, %zu days, %zu intervals, "
-                "%zu frames, %zu reconnects\n",
+                "%zu frames, %zu reconnects, %zu draining waits\n",
                 result.households, result.days_completed,
                 result.intervals_sent, result.frames_sent,
-                result.reconnects);
+                result.reconnects, result.draining_waits);
     std::printf("load_gen: %.2f s wall, %.0f intervals/s, "
                 "rtt p50 %.1f us, p99 %.1f us\n",
                 result.wall_seconds, steps_per_sec, p50, p99);
@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
           << "  \"intervals_sent\": " << result.intervals_sent << ",\n"
           << "  \"frames_sent\": " << result.frames_sent << ",\n"
           << "  \"reconnects\": " << result.reconnects << ",\n"
+          << "  \"draining_waits\": " << result.draining_waits << ",\n"
           << "  \"wall_seconds\": " << result.wall_seconds << ",\n"
           << "  \"intervals_per_sec\": " << steps_per_sec << ",\n"
           << "  \"rtt_p50_us\": " << p50 << ",\n"

@@ -1,7 +1,9 @@
 #include "serve/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -151,6 +153,24 @@ std::size_t recv_some(int fd, std::uint8_t* data, std::size_t size) {
 
 void close_quietly(int fd) {
   if (fd >= 0) ::close(fd);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("serve net: set O_NONBLOCK");
+  }
+}
+
+std::size_t raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) < 0) return 0;
+  if (lim.rlim_cur < lim.rlim_max) {
+    rlimit raised = lim;
+    raised.rlim_cur = lim.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return static_cast<std::size_t>(lim.rlim_cur);
 }
 
 void unlink_endpoint(const std::string& endpoint) {

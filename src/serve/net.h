@@ -37,6 +37,16 @@ std::size_t recv_some(int fd, std::uint8_t* data, std::size_t size);
 /// Closes an fd, ignoring errors (shutdown paths).
 void close_quietly(int fd);
 
+/// Puts the fd into non-blocking mode (event-loop sockets). Throws
+/// DataError on failure.
+void set_nonblocking(int fd);
+
+/// Raises the soft RLIMIT_NOFILE to the hard limit (best effort, never
+/// throws) and returns the resulting soft limit. The event-loop server and
+/// the connection-sweep bench hold thousands of sockets; the usual soft
+/// default of 1024 is the only thing in the way.
+std::size_t raise_fd_limit();
+
 /// Removes the socket file of a unix: endpoint (no-op for tcp:).
 void unlink_endpoint(const std::string& endpoint);
 

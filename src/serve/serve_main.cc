@@ -35,7 +35,9 @@ extern "C" void on_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --checkpoint-dir DIR [--listen unix:PATH|tcp:PORT]"
-               " [--checkpoint-period DAYS] [--obs]\n",
+               " [--checkpoint-period DAYS]"
+               " [--threading event-loop|thread-per-conn] [--shards N]"
+               " [--batch-width N] [--max-connections N] [--obs]\n",
                argv0);
   return 2;
 }
@@ -54,6 +56,24 @@ int main(int argc, char** argv) {
       config.checkpoint_dir = argv[++i];
     } else if (arg == "--checkpoint-period" && has_value) {
       config.checkpoint_period_days =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--threading" && has_value) {
+      const std::string mode = argv[++i];
+      if (mode == "event-loop") {
+        config.threading = rlblh::serve::ThreadingMode::kEventLoop;
+      } else if (mode == "thread-per-conn") {
+        config.threading = rlblh::serve::ThreadingMode::kThreadPerConn;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--shards" && has_value) {
+      config.shards =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--batch-width" && has_value) {
+      config.batch_width =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--max-connections" && has_value) {
+      config.max_connections =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--obs") {
       obs_on = true;

@@ -19,6 +19,13 @@ namespace rlblh::serve {
 namespace {
 /// Receive buffer per connection; frames are tiny, this batches syscalls.
 constexpr std::size_t kRecvChunk = 64 * 1024;
+
+/// Mode-default admission caps. Thread-per-connection without a cap is an
+/// operational hazard (a thread plus its stack per socket), so it gets a
+/// defensible ceiling; the reactor's per-connection cost is one fd plus a
+/// small struct, so its ceiling is an order-of-magnitude-larger backstop.
+constexpr std::size_t kDefaultMaxConnsThreadPerConn = 256;
+constexpr std::size_t kDefaultMaxConnsEventLoop = 65536;
 }  // namespace
 
 ServeServer::ServeServer(ServeConfig config)
@@ -29,13 +36,77 @@ ServeServer::ServeServer(ServeConfig config)
 
 ServeServer::~ServeServer() { stop(); }
 
+std::size_t ServeServer::effective_max_connections() const {
+  if (config_.max_connections != 0) return config_.max_connections;
+  return config_.threading == ThreadingMode::kEventLoop
+             ? kDefaultMaxConnsEventLoop
+             : kDefaultMaxConnsThreadPerConn;
+}
+
 void ServeServer::start() {
   RLBLH_REQUIRE(listen_fd_ < 0, "serve: start() called twice");
   if (::pipe(stop_pipe_) < 0) {
     throw DataError("serve: cannot create stop pipe");
   }
   listen_fd_ = listen_endpoint(config_.listen, &endpoint_);
+  if (config_.threading == ThreadingMode::kEventLoop) {
+    start_event_loop();
+    return;
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServeServer::start_event_loop() {
+  raise_fd_limit();
+  std::size_t nshards = config_.shards;
+  if (nshards == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    nshards = std::max<std::size_t>(1, std::min<std::size_t>(4, hw / 2));
+  }
+  Reactor::Config rc;
+  rc.listen_fd = listen_fd_;
+  rc.max_connections = effective_max_connections();
+  rc.deliver = [this](std::shared_ptr<Conn> conn,
+                      std::vector<std::uint8_t>&& payload) {
+    route_payload(std::move(conn), std::move(payload));
+  };
+  rc.connections_accepted = &connections_;
+  rc.connections_rejected = &rejected_;
+  rc.malformed_frames = &malformed_;
+  rc.draining = &draining_;
+  reactor_ = std::make_unique<Reactor>(rc);
+  for (std::size_t i = 0; i < nshards; ++i) {
+    Shard::Config sc;
+    sc.store = &store_;
+    sc.reactor = reactor_.get();
+    sc.checkpoint_period_days = config_.checkpoint_period_days;
+    sc.batch_width = config_.batch_width;
+    sc.draining = &draining_;
+    sc.malformed = &malformed_;
+    sc.days_completed = &days_completed_;
+    sc.checkpoints = &checkpoints_;
+    sc.batch_days = &batch_days_;
+    shards_.push_back(std::make_unique<Shard>(sc));
+  }
+  for (auto& shard : shards_) shard->start();
+  reactor_->start();
+}
+
+void ServeServer::route_payload(std::shared_ptr<Conn> conn,
+                                std::vector<std::uint8_t>&& payload) {
+  // Every server-bound message carries its u64 household id at payload
+  // offset 2 (after version + type), which is what lets the reactor route
+  // without decoding. Short payloads cannot be valid server-bound frames;
+  // they go to shard 0 whose decoder produces the same error reply the
+  // thread-per-conn path would.
+  std::uint64_t id = 0;
+  if (payload.size() >= 10) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      id |= static_cast<std::uint64_t>(payload[2 + i]) << (8 * i);
+    }
+  }
+  shards_[shard_for_household(id, shards_.size())]->post(std::move(conn),
+                                                         std::move(payload));
 }
 
 void ServeServer::accept_loop() {
@@ -51,10 +122,17 @@ void ServeServer::accept_loop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (live_conns_.load() >= effective_max_connections()) {
+      rejected_.fetch_add(1);
+      close_quietly(fd);
+      continue;
+    }
     connections_.fetch_add(1);
+    live_conns_.fetch_add(1);
     RLBLH_OBS_COUNT("serve.connections", 1);
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (draining_.load()) {
+      live_conns_.fetch_sub(1);
       close_quietly(fd);
       return;
     }
@@ -95,6 +173,7 @@ void ServeServer::connection_loop(int fd) {
     // Peer vanished mid-send/recv; nothing to clean up beyond the fd.
   }
   close_quietly(fd);
+  live_conns_.fetch_sub(1);
 }
 
 ServeServer::Entry* ServeServer::find_entry(std::uint64_t id) {
@@ -283,6 +362,11 @@ void ServeServer::handle_frame(const std::uint8_t* payload, std::size_t size,
 }
 
 std::size_t ServeServer::household_count() const {
+  if (config_.threading == ThreadingMode::kEventLoop) {
+    std::size_t count = 0;
+    for (const auto& shard : shards_) count += shard->session_count();
+    return count;
+  }
   std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_.size();
 }
@@ -319,6 +403,30 @@ void ServeServer::join_threads() {
 
 void ServeServer::stop() {
   if (stopped_.exchange(true)) return;
+  if (config_.threading == ThreadingMode::kEventLoop) {
+    draining_.store(true);
+    if (reactor_ != nullptr) {
+      // In-flight frames finish: the reactor drains its sockets and joins
+      // first, then each shard empties what was already queued.
+      reactor_->shutdown_conns();
+      reactor_->stop();
+    }
+    for (auto& shard : shards_) shard->stop(/*drain_queue=*/true);
+    for (auto& shard : shards_) shard->join();
+    join_threads();
+    for (auto& shard : shards_) {
+      shard->for_each_session(
+          [this](HouseholdSession& s, std::size_t& checkpointed_days) {
+            if (!s.day_open() && s.days_completed() > checkpointed_days) {
+              store_.save(s);
+              checkpointed_days = s.days_completed();
+              checkpoints_.fetch_add(1);
+              RLBLH_OBS_COUNT("serve.checkpoints", 1);
+            }
+          });
+    }
+    return;
+  }
   shutdown_sockets();
   join_threads();
   // Drain checkpoint: persist every household whose completed days are
@@ -339,6 +447,14 @@ void ServeServer::stop() {
 
 void ServeServer::abort_without_checkpoint() {
   if (stopped_.exchange(true)) return;
+  if (config_.threading == ThreadingMode::kEventLoop) {
+    draining_.store(true);
+    if (reactor_ != nullptr) reactor_->stop();
+    for (auto& shard : shards_) shard->stop(/*drain_queue=*/false);
+    for (auto& shard : shards_) shard->join();
+    join_threads();
+    return;
+  }
   shutdown_sockets();
   join_threads();
 }

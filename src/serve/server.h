@@ -2,11 +2,19 @@
 //
 // ServeServer accepts connections on one endpoint, speaks the
 // serve/protocol.h frame protocol, and drives one HouseholdSession per
-// household id. Threading model: one accept thread plus one thread per
-// connection — at metering cadence (an interval per simulated minute,
-// batched per frame) each connection is idle almost always, so
-// thread-per-connection is simpler and fast enough by orders of magnitude
-// (the bench measures ~100k+ intervals/s/core end to end).
+// household id. Two threading models share every byte of protocol and
+// session behavior:
+//
+//   kEventLoop (default): one epoll reactor thread owns all sockets
+//   (serve/reactor.h) and hands decoded frames to session-sharded workers
+//   (serve/shard.h) — households hash to a fixed shard, per-session state
+//   is single-writer, and day-complete co-resident same-blueprint
+//   households step through BatchEngine lanes. Scales to tens of
+//   thousands of connections.
+//
+//   kThreadPerConn: the PR 8 model — one blocking thread per connection,
+//   kept for one release so the smoke job can byte-compare the two modes'
+//   checkpoints and acks (they must be identical, and are).
 //
 // Durability: every completed day whose index hits the checkpoint period is
 // persisted through CheckpointStore before the ack for the closing frame is
@@ -32,14 +40,27 @@
 #include <vector>
 
 #include "serve/checkpoint.h"
+#include "serve/reactor.h"
 #include "serve/session.h"
+#include "serve/shard.h"
 
 namespace rlblh::serve {
+
+enum class ThreadingMode {
+  kEventLoop,      ///< epoll reactor + session shards (default)
+  kThreadPerConn,  ///< one blocking thread per connection (compat)
+};
 
 struct ServeConfig {
   std::string listen = "tcp:0";     ///< unix:PATH or tcp:PORT (0 = pick)
   std::string checkpoint_dir;       ///< required; created when missing
   std::size_t checkpoint_period_days = 1;  ///< persist every Nth day close
+  ThreadingMode threading = ThreadingMode::kEventLoop;
+  std::size_t shards = 0;       ///< session shards; 0 = auto (event loop)
+  std::size_t batch_width = 32; ///< max BatchEngine lanes per staged day;
+                                ///< < 2 disables server-side batch stepping
+  std::size_t max_connections = 0;  ///< 0 = mode default (event loop 65536,
+                                    ///< thread-per-conn 256)
 };
 
 class ServeServer {
@@ -50,8 +71,8 @@ class ServeServer {
   ServeServer(const ServeServer&) = delete;
   ServeServer& operator=(const ServeServer&) = delete;
 
-  /// Binds + listens and spawns the accept loop. Throws DataError when the
-  /// endpoint cannot be bound.
+  /// Binds + listens and spawns the serving threads. Throws DataError when
+  /// the endpoint cannot be bound.
   void start();
 
   /// Graceful drain (idempotent): see file comment.
@@ -70,9 +91,15 @@ class ServeServer {
 
   /// Counters for tests and the drain log line.
   std::size_t connections_accepted() const { return connections_.load(); }
+  std::size_t connections_rejected() const { return rejected_.load(); }
   std::size_t malformed_frames() const { return malformed_.load(); }
   std::size_t days_completed() const { return days_completed_.load(); }
   std::size_t checkpoints_written() const { return checkpoints_.load(); }
+  /// Day closes stepped as BatchEngine lanes (0 in thread-per-conn mode).
+  std::size_t batch_days_completed() const { return batch_days_.load(); }
+
+  /// The effective connection admission cap for this config.
+  std::size_t effective_max_connections() const;
 
  private:
   struct Entry {
@@ -89,6 +116,9 @@ class ServeServer {
   Entry* find_entry(std::uint64_t id);
   void shutdown_sockets();
   void join_threads();
+  void start_event_loop();
+  void route_payload(std::shared_ptr<Conn> conn,
+                     std::vector<std::uint8_t>&& payload);
 
   ServeConfig config_;
   CheckpointStore store_;
@@ -99,18 +129,26 @@ class ServeServer {
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};
 
+  // --- thread-per-conn state -------------------------------------------
   std::thread accept_thread_;
   mutable std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;
   std::vector<int> conn_fds_;
+  std::atomic<std::size_t> live_conns_{0};
 
   mutable std::mutex sessions_mu_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> sessions_;
 
+  // --- event-loop state -------------------------------------------------
+  std::unique_ptr<Reactor> reactor_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
   std::atomic<std::size_t> connections_{0};
+  std::atomic<std::size_t> rejected_{0};
   std::atomic<std::size_t> malformed_{0};
   std::atomic<std::size_t> days_completed_{0};
   std::atomic<std::size_t> checkpoints_{0};
+  std::atomic<std::size_t> batch_days_{0};
 };
 
 }  // namespace rlblh::serve

@@ -1,0 +1,145 @@
+// Session shard: the single-writer worker of the event-loop server.
+//
+// The reactor hashes every frame's household id to a fixed shard, so one
+// worker thread owns each session outright — per-session state needs no
+// lock, and each household's frames are processed in arrival order (the
+// same determinism argument as the fleet executor's chunk wall: one writer
+// per household, lanes never mix).
+//
+// Batch stepping: within one queue drain the shard defers day-closing
+// Readings frames to the end of the drain, groups the deferred sessions by
+// blueprint key (same spec modulo seeds), and steps groups of >= 2 through
+// BatchEngine lanes staged from the sessions' buffered usage — singletons
+// and sessions whose day was partially streamed (mid-day Stats) fall back
+// to the per-household StreamEngine. Every reply and checkpoint byte is
+// bit-identical to the thread-per-connection path: the lane kernels are
+// bitwise the stream kernels (DESIGN.md §14), a pulse policy commits each
+// block before the block's usage exists (so deferral changes no value it
+// reads), and per-connection reply order is preserved by slotting deferred
+// acks back into arrival order before the drain's replies flush.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "battery/battery.h"
+#include "serve/checkpoint.h"
+#include "serve/reactor.h"
+#include "serve/session.h"
+#include "sim/batch_engine.h"
+
+namespace rlblh::serve {
+
+class Shard {
+ public:
+  struct Config {
+    CheckpointStore* store = nullptr;
+    Reactor* reactor = nullptr;
+    std::size_t checkpoint_period_days = 1;
+    std::size_t batch_width = 32;  ///< max lanes per staged day; < 2 disables
+    std::atomic<bool>* draining = nullptr;
+    std::atomic<std::size_t>* malformed = nullptr;
+    std::atomic<std::size_t>* days_completed = nullptr;
+    std::atomic<std::size_t>* checkpoints = nullptr;
+    std::atomic<std::size_t>* batch_days = nullptr;  ///< lane-stepped closes
+  };
+
+  explicit Shard(Config config);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  void start();
+
+  /// Queues one decoded frame payload (reactor thread). Frames from one
+  /// connection arrive in order and stay in order.
+  void post(std::shared_ptr<Conn> conn, std::vector<std::uint8_t>&& payload);
+
+  /// Asks the worker to exit. With `drain_queue` the worker first processes
+  /// everything already queued (graceful stop); without, the queue is
+  /// discarded (crash simulation). Call join() afterwards.
+  void stop(bool drain_queue);
+  void join();
+
+  /// Number of sessions this shard owns (worker must be stopped or idle).
+  std::size_t session_count() const;
+
+  /// Iterates the owned sessions after join() (drain checkpoint pass).
+  void for_each_session(
+      const std::function<void(HouseholdSession&, std::size_t&)>& fn);
+
+ private:
+  struct Item {
+    std::shared_ptr<Conn> conn;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Entry {
+    std::unique_ptr<HouseholdSession> session;
+    std::size_t checkpointed_days = 0;
+  };
+
+  /// Reply sink for one connection within a drain: replies go straight to
+  /// the reactor until a deferred day-close opens a slot, after which this
+  /// conn's replies queue in arrival order behind it. A deque keeps
+  /// references stable as chunks append — PendingClose::slot points at an
+  /// element while later frames keep growing the queue.
+  struct ConnOut {
+    std::shared_ptr<Conn> conn;
+    std::deque<std::vector<std::uint8_t>> chunks;
+    bool blocked = false;
+  };
+
+  struct PendingClose {
+    std::uint64_t id = 0;
+    Entry* entry = nullptr;
+    std::vector<std::uint8_t>* slot = nullptr;  ///< reply bytes go here
+    bool done = false;
+  };
+
+  struct DrainState {
+    std::unordered_map<Conn*, ConnOut> outs;
+    std::vector<PendingClose> closes;
+    std::unordered_map<std::uint64_t, std::size_t> close_by_id;
+  };
+
+  void run();
+  void process_drain(std::vector<Item>& items);
+  void process_item(DrainState& state, Item& item);
+  void emit(DrainState& state, const std::shared_ptr<Conn>& conn,
+            std::vector<std::uint8_t>&& bytes);
+  /// Finalizes the session's pending close now (stream path) so a later
+  /// frame in the same drain sees post-close state.
+  void force_finalize(DrainState& state, std::uint64_t id);
+  void finalize_close(PendingClose& close);
+  void finalize_drain(DrainState& state);
+  void step_batch_group(std::vector<PendingClose*>& group);
+
+  Config config_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> sessions_;
+
+  BatchEngine batch_engine_;
+  BatteryLanes battery_lanes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Item> queue_;
+  bool stop_requested_ = false;
+  bool drain_on_stop_ = true;
+  std::thread thread_;
+};
+
+/// The household -> shard hash (splitmix64 finalizer): uncorrelated with
+/// sequential id assignment so fleets spread evenly.
+std::size_t shard_for_household(std::uint64_t id, std::size_t nshards);
+
+}  // namespace rlblh::serve

@@ -1,0 +1,180 @@
+// Re-chunking property for serve/protocol.h's FrameReader: TCP may deliver
+// a frame stream at ANY byte boundaries — one byte at a time, whole days at
+// once, or cuts straight through a length prefix — and reassembly must
+// produce exactly the same frame payloads (and the same oversized-length
+// error, at the same point in the stream) as a single contiguous append.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+#include "util/proptest.h"
+
+namespace rlblh::serve {
+namespace {
+
+/// A frame stream as bytes plus the chunk sizes it is re-fed under.
+struct ChunkPlan {
+  std::vector<std::uint8_t> bytes;
+  std::size_t frames = 0;        ///< valid frames encoded into `bytes`
+  bool oversized_tail = false;   ///< stream ends with an over-limit prefix
+  std::vector<std::size_t> cuts;  ///< chunk lengths, summing to bytes.size()
+};
+
+/// Encodes one randomly-chosen valid frame (any message type, random field
+/// values, Readings with a random value count).
+void encode_random_frame(Rng& rng, std::vector<std::uint8_t>& out) {
+  const std::uint64_t id = static_cast<std::uint64_t>(rng.uniform_int(0, 1000));
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+      encode_hello(out, HelloMsg{id, "policy=rlblh;seed=1"});
+      break;
+    case 1: {
+      ReadingsMsg msg;
+      msg.household_id = id;
+      msg.day = static_cast<std::uint32_t>(rng.uniform_int(0, 30));
+      msg.first_interval = static_cast<std::uint32_t>(rng.uniform_int(0, 1439));
+      msg.values.resize(static_cast<std::size_t>(rng.uniform_int(1, 64)));
+      for (double& v : msg.values) v = rng.uniform(0.0, 5.0);
+      encode_readings(out, msg);
+      break;
+    }
+    case 2:
+      encode_checkpoint(out, CheckpointMsg{id});
+      break;
+    case 3:
+      encode_stats(out, StatsMsg{id});
+      break;
+    default:
+      encode_bye(out, ByeMsg{id});
+      break;
+  }
+}
+
+proptest::Domain<ChunkPlan> chunk_plan_domain() {
+  proptest::Domain<ChunkPlan> domain;
+  domain.generate = [](Rng& rng) {
+    ChunkPlan plan;
+    plan.frames = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    for (std::size_t i = 0; i < plan.frames; ++i) {
+      encode_random_frame(rng, plan.bytes);
+    }
+    if (rng.uniform_int(0, 3) == 0) {
+      // End with an over-limit length prefix: both feeds must throw after
+      // exactly the same frames.
+      plan.oversized_tail = true;
+      const std::uint32_t huge =
+          kMaxFrameBytes + 1 +
+          static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+      for (int b = 0; b < 4; ++b) {
+        plan.bytes.push_back(static_cast<std::uint8_t>((huge >> (8 * b)) &
+                                                       0xff));
+      }
+    }
+    // Random cut points: mostly small chunks (1-byte feeds included), a few
+    // large ones that span several frames.
+    std::size_t left = plan.bytes.size();
+    while (left > 0) {
+      const std::size_t chunk =
+          rng.uniform_int(0, 4) == 0
+              ? std::min<std::size_t>(
+                    left, static_cast<std::size_t>(rng.uniform_int(1, 4096)))
+              : std::min<std::size_t>(
+                    left, static_cast<std::size_t>(rng.uniform_int(1, 7)));
+      plan.cuts.push_back(chunk);
+      left -= chunk;
+    }
+    return plan;
+  };
+  domain.shrink = [](const ChunkPlan& from) {
+    std::vector<ChunkPlan> out;
+    if (from.cuts.size() > 1) {
+      // One contiguous feed isolates content bugs from chunking bugs.
+      ChunkPlan c = from;
+      c.cuts.assign(1, c.bytes.size());
+      if (!c.bytes.empty()) out.push_back(std::move(c));
+    }
+    return out;
+  };
+  domain.describe = [](const ChunkPlan& plan) {
+    std::ostringstream out;
+    out << "ChunkPlan{" << plan.bytes.size() << " bytes, " << plan.frames
+        << " frames, oversized_tail=" << plan.oversized_tail << ", cuts=[";
+    for (std::size_t i = 0; i < plan.cuts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << plan.cuts[i];
+    }
+    out << "]}";
+    return out.str();
+  };
+  return domain;
+}
+
+/// Runs `bytes` through a FrameReader with the given chunking; returns the
+/// extracted payloads and whether/where an oversized-length error fired.
+struct FeedResult {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  bool threw = false;
+  std::string what;
+};
+
+FeedResult feed(const std::vector<std::uint8_t>& bytes,
+                const std::vector<std::size_t>& cuts) {
+  FeedResult result;
+  FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::size_t offset = 0;
+  try {
+    for (const std::size_t chunk : cuts) {
+      reader.append(bytes.data() + offset, chunk);
+      offset += chunk;
+      while (reader.take(payload)) {
+        result.payloads.push_back(payload);
+        payload.clear();
+      }
+    }
+  } catch (const DataError& e) {
+    result.threw = true;
+    result.what = e.what();
+  }
+  return result;
+}
+
+TEST(FrameReaderProptest, ReassemblyIsChunkingInvariant) {
+  proptest::PropertyOptions options;
+  options.iterations = 60;
+  options.base_seed = 0x57e4d1ff + 11;
+  const auto result = for_all(
+      "frame reassembly vs chunk boundaries", chunk_plan_domain(),
+      [](const ChunkPlan& plan, Rng&) {
+        const FeedResult whole = feed(plan.bytes, {plan.bytes.size()});
+        const FeedResult chunked = feed(plan.bytes, plan.cuts);
+
+        PROPTEST_CHECK(whole.payloads.size() == plan.frames,
+                       "contiguous feed lost or invented frames");
+        PROPTEST_CHECK(whole.threw == plan.oversized_tail,
+                       "contiguous feed disagreed about the oversized tail");
+        PROPTEST_CHECK(chunked.payloads.size() == whole.payloads.size(),
+                       "chunked feed extracted a different frame count");
+        for (std::size_t i = 0; i < whole.payloads.size(); ++i) {
+          if (chunked.payloads[i] != whole.payloads[i]) {
+            throw proptest::PropertyFailure(
+                "frame " + std::to_string(i) +
+                " differs between contiguous and chunked feeds");
+          }
+        }
+        PROPTEST_CHECK(chunked.threw == whole.threw,
+                       "feeds disagreed about throwing on the tail");
+        PROPTEST_CHECK(chunked.what == whole.what,
+                       "oversized-length error messages differ across feeds");
+      },
+      options);
+  ASSERT_TRUE(result.success) << result.message;
+}
+
+}  // namespace
+}  // namespace rlblh::serve

@@ -1,0 +1,199 @@
+// The serve-side batch bit-identity property, extended across days and
+// finalizer mixes: a fleet of same-blueprint HouseholdSessions whose
+// day-closes are stepped through BatchEngine lanes (exactly as
+// serve/shard.cc stages them) must end every day with checkpoint bytes
+// IDENTICAL to eager per-frame streaming — battery level, violation count,
+// cumulative wasted/grid-extra totals, money, and policy weights, all
+// bit-for-bit, for any width, any battery size, any frame chunking, and
+// any interleaving of batch-stepped and stream-finalized days.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "battery/battery.h"
+#include "core/policy.h"
+#include "meter/trace.h"
+#include "serve/session.h"
+#include "sim/batch_engine.h"
+#include "sim/scenario.h"
+#include "util/proptest.h"
+
+namespace rlblh::serve {
+namespace {
+
+struct FleetCase {
+  std::size_t width = 2;          ///< co-resident same-blueprint households
+  std::size_t days = 1;
+  std::uint64_t seed_base = 1;
+  double battery_kwh = 13.5;
+  std::size_t chunk = 240;        ///< readings per apply_readings call
+  std::vector<bool> batch_day;    ///< per day: batch lanes or stream
+};
+
+proptest::Domain<FleetCase> fleet_domain() {
+  proptest::Domain<FleetCase> domain;
+  domain.generate = [](Rng& rng) {
+    FleetCase c;
+    c.width = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    c.days = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    c.seed_base = static_cast<std::uint64_t>(rng.uniform_int(1, 100000));
+    // Keep above the rlblh guard-band floor (b_M >= 2 * x_M * n_D = 2.4),
+    // but hug it from above: small batteries make violations — and the
+    // wasted/grid-extra replay in absorb_batch_lane — actually exercise.
+    c.battery_kwh = rng.uniform(2.5, 20.0);
+    const std::size_t chunks[] = {1, 7, 240, 480, 1440};
+    c.chunk = chunks[rng.uniform_int(0, 4)];
+    c.batch_day.resize(c.days);
+    for (std::size_t d = 0; d < c.days; ++d) {
+      c.batch_day[d] = rng.uniform_int(0, 1) == 1;
+    }
+    return c;
+  };
+  domain.shrink = [](const FleetCase& from) {
+    std::vector<FleetCase> out;
+    if (from.width > 2) {
+      FleetCase c = from;
+      c.width = 2;
+      out.push_back(std::move(c));
+    }
+    if (from.days > 1) {
+      FleetCase c = from;
+      c.days = 1;
+      c.batch_day.assign(1, from.batch_day[0]);
+      out.push_back(std::move(c));
+    }
+    if (from.chunk != 1440) {
+      FleetCase c = from;
+      c.chunk = 1440;
+      out.push_back(std::move(c));
+    }
+    return out;
+  };
+  domain.describe = [](const FleetCase& c) {
+    std::ostringstream out;
+    out << "FleetCase{width=" << c.width << " days=" << c.days << " seed_base="
+        << c.seed_base << " battery=" << c.battery_kwh << " chunk=" << c.chunk
+        << " batch=[";
+    for (std::size_t d = 0; d < c.days; ++d) {
+      out << (c.batch_day[d] ? 'B' : 'S');
+    }
+    out << "]}";
+    return out.str();
+  };
+  return domain;
+}
+
+std::string spec_for(const FleetCase& c, std::size_t k) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "policy=rlblh;battery=" << c.battery_kwh << ";seed="
+      << (c.seed_base + k);
+  return out.str();
+}
+
+std::string checkpoint_bytes(const HouseholdSession& session) {
+  std::stringstream out;
+  session.save(out);
+  return out.str();
+}
+
+TEST(ServeBatchProptest, BatchSteppedDaysMatchEagerStreamingBitwise) {
+  proptest::PropertyOptions options;
+  options.iterations = 40;
+  options.base_seed = 0x57e4d1ff + 12;
+  const auto result = for_all(
+      "serve batch lanes vs eager streaming", fleet_domain(),
+      [](const FleetCase& c, Rng&) {
+        // Twin fleets over identical usage: `eager` streams every frame,
+        // `deferred` buffers whole days and closes them the way a shard
+        // does — batch lanes on batch days, stream finalize otherwise.
+        std::vector<std::unique_ptr<HouseholdSession>> eager, deferred;
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        for (std::size_t k = 0; k < c.width; ++k) {
+          const std::string spec_text = spec_for(c, k);
+          eager.push_back(std::make_unique<HouseholdSession>(k, spec_text));
+          deferred.push_back(std::make_unique<HouseholdSession>(k, spec_text));
+          deferred.back()->set_deferred(true);
+          sources.push_back(
+              make_scenario_source(ScenarioSpec::parse(spec_text)));
+          PROPTEST_CHECK(
+              deferred.back()->blueprint_key() == deferred[0]->blueprint_key(),
+              "fleet must share one blueprint key");
+        }
+        const std::size_t n_m = deferred[0]->intervals_per_day();
+        BatchEngine engine;
+        BatteryLanes lanes;
+
+        for (std::size_t d = 0; d < c.days; ++d) {
+          std::vector<DayTrace> traces;
+          for (std::size_t k = 0; k < c.width; ++k) {
+            traces.emplace_back(n_m);
+            sources[k]->next_day_into(traces.back());
+          }
+          // Feed both fleets the day in identical frames.
+          for (std::size_t k = 0; k < c.width; ++k) {
+            const std::vector<double>& values = traces[k].values();
+            for (std::size_t n0 = 0; n0 < n_m; n0 += c.chunk) {
+              const std::size_t width = std::min(c.chunk, n_m - n0);
+              const std::span<const double> frame(values.data() + n0, width);
+              eager[k]->apply_readings(static_cast<std::uint32_t>(d),
+                                       static_cast<std::uint32_t>(n0), frame);
+              deferred[k]->apply_readings(static_cast<std::uint32_t>(d),
+                                          static_cast<std::uint32_t>(n0),
+                                          frame);
+            }
+          }
+          if (c.batch_day[d]) {
+            // Stage exactly as Shard::step_batch_group does.
+            double* usage = engine.stage_usage(c.width, n_m);
+            std::vector<BlhPolicy*> policies(c.width);
+            for (std::size_t k = 0; k < c.width; ++k) {
+              const std::span<const double> pending =
+                  deferred[k]->pending_usage();
+              for (std::size_t n = 0; n < n_m; ++n) {
+                usage[n * c.width + k] = pending[n];
+              }
+              policies[k] = &deferred[k]->policy_mut();
+            }
+            const Battery& model = deferred[0]->battery();
+            lanes.reset(c.width, model.capacity(), model.capacity() / 2.0,
+                        model.charge_efficiency(),
+                        model.discharge_efficiency());
+            double* levels = lanes.levels();
+            for (std::size_t k = 0; k < c.width; ++k) {
+              levels[k] = deferred[k]->battery().level();
+            }
+            const BatchDay& day = engine.run_staged_day(
+                deferred[0]->prices(), lanes,
+                std::span<BlhPolicy* const>(policies.data(), c.width));
+            for (std::size_t k = 0; k < c.width; ++k) {
+              deferred[k]->absorb_batch_lane(day, lanes, k);
+            }
+          } else {
+            for (std::size_t k = 0; k < c.width; ++k) {
+              deferred[k]->finalize_day_stream();
+            }
+          }
+          // Every day boundary must agree byte-for-byte — including the
+          // cumulative wasted/grid-extra battery totals in the checkpoint.
+          for (std::size_t k = 0; k < c.width; ++k) {
+            if (checkpoint_bytes(*deferred[k]) != checkpoint_bytes(*eager[k])) {
+              throw proptest::PropertyFailure(
+                  "household " + std::to_string(k) + " diverged after day " +
+                  std::to_string(d) +
+                  (c.batch_day[d] ? " (batch-stepped)" : " (stream-closed)"));
+            }
+          }
+        }
+      },
+      options);
+  ASSERT_TRUE(result.success) << result.message;
+}
+
+}  // namespace
+}  // namespace rlblh::serve

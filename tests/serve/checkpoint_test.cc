@@ -218,6 +218,38 @@ TEST(CheckpointStoreTest, SaveIsAtomicOverwrite) {
   EXPECT_EQ(files, 1u);
 }
 
+TEST(CheckpointStoreTest, OpeningStoreSweepsOrphanedTmpFiles) {
+  const std::string dir = unique_dir("store_tmp_gc");
+  std::string committed;
+  {
+    CheckpointStore store(dir);
+    const ScenarioSpec spec = ScenarioSpec::parse(kSpec);
+    HouseholdSession session(5, kSpec);
+    std::unique_ptr<TraceSource> source = make_scenario_source(spec);
+    feed_day(session, 0, source->next_day());
+    store.save(session);
+    committed = store.path_for(5);
+    // Simulate a crash between serialize and rename: an orphaned tmp next
+    // to the committed file.
+    std::ofstream orphan(committed + ".tmp");
+    orphan << "torn half-written checkpoint\n";
+  }
+  const std::string before = [&] {
+    std::ifstream in(committed, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }();
+
+  CheckpointStore reopened(dir);  // the restart path sweeps
+  EXPECT_FALSE(std::filesystem::exists(committed + ".tmp"));
+  EXPECT_TRUE(reopened.exists(5));
+  std::ifstream in(committed, std::ios::binary);
+  std::stringstream after;
+  after << in.rdbuf();
+  EXPECT_EQ(after.str(), before) << "sweep must not touch committed files";
+}
+
 TEST(CheckpointStoreTest, LoadMissingOrMalformedThrows) {
   CheckpointStore store(unique_dir("store_malformed"));
   EXPECT_THROW(store.load(99), DataError);

@@ -3,6 +3,12 @@
 // end to end, and the headline differential — a daemon that is crashed
 // (no drain checkpoint) mid-day and restarted finishes with byte-identical
 // household checkpoints to an uninterrupted direct run.
+//
+// Every protocol-visible behavior runs under BOTH threading models
+// (ServeModeTest is parameterized over ThreadingMode), and the cross-mode
+// tests pin the contract directly: the epoll/shard server and the
+// thread-per-connection server produce bitwise-identical checkpoint files
+// and acks, with or without server-side BatchEngine stepping.
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -44,11 +50,13 @@ std::string unique_dir(const std::string& tag) {
 /// A started server on a unix socket under its own scratch directory.
 struct TestDaemon {
   explicit TestDaemon(const std::string& tag,
+                      ThreadingMode threading = ThreadingMode::kEventLoop,
                       std::size_t checkpoint_period = 1) {
     dir = unique_dir(tag);
     config.listen = "unix:" + dir + "/sock";
     config.checkpoint_dir = dir + "/ckpt";
     config.checkpoint_period_days = checkpoint_period;
+    config.threading = threading;
     server = std::make_unique<ServeServer>(config);
     server->start();
   }
@@ -88,6 +96,27 @@ void send_day(ServeClient& client, std::uint64_t id, std::uint32_t day,
   }
 }
 
+std::string mode_tag(ThreadingMode mode) {
+  return mode == ThreadingMode::kEventLoop ? "el" : "tpc";
+}
+
+/// Both threading models must show every protocol behavior identically.
+class ServeModeTest : public testing::TestWithParam<ThreadingMode> {
+ protected:
+  std::string tag(const std::string& base) const {
+    return base + "_" + mode_tag(GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Modes, ServeModeTest,
+                         testing::Values(ThreadingMode::kEventLoop,
+                                         ThreadingMode::kThreadPerConn),
+                         [](const testing::TestParamInfo<ThreadingMode>& i) {
+                           return i.param == ThreadingMode::kEventLoop
+                                      ? "EventLoop"
+                                      : "ThreadPerConn";
+                         });
+
 TEST(ServeServerTest, ResolvesEphemeralTcpEndpoint) {
   ServeConfig config;
   config.listen = "tcp:0";
@@ -99,8 +128,8 @@ TEST(ServeServerTest, ResolvesEphemeralTcpEndpoint) {
   server.stop();
 }
 
-TEST(ServeServerTest, HelloReadingsStatsByeRoundTrip) {
-  TestDaemon daemon("roundtrip");
+TEST_P(ServeModeTest, HelloReadingsStatsByeRoundTrip) {
+  TestDaemon daemon(tag("roundtrip"), GetParam());
   ServeClient client(daemon.server->endpoint(), 1);
   client.connect();
 
@@ -129,8 +158,8 @@ TEST(ServeServerTest, HelloReadingsStatsByeRoundTrip) {
   daemon.server->stop();
 }
 
-TEST(ServeServerTest, RejectsBadSpecAndUnknownHousehold) {
-  TestDaemon daemon("rejects");
+TEST_P(ServeModeTest, RejectsBadSpecAndUnknownHousehold) {
+  TestDaemon daemon(tag("rejects"), GetParam());
   ServeClient client(daemon.server->endpoint(), 2);
   client.connect();
 
@@ -154,8 +183,8 @@ TEST(ServeServerTest, RejectsBadSpecAndUnknownHousehold) {
   daemon.server->stop();
 }
 
-TEST(ServeServerTest, OutOfOrderReadingsRejectedWithoutStateDamage) {
-  TestDaemon daemon("out_of_order");
+TEST_P(ServeModeTest, OutOfOrderReadingsRejectedWithoutStateDamage) {
+  TestDaemon daemon(tag("out_of_order"), GetParam());
   ServeClient client(daemon.server->endpoint(), 3);
   client.connect();
   client.hello(4, kSpec);
@@ -174,8 +203,8 @@ TEST(ServeServerTest, OutOfOrderReadingsRejectedWithoutStateDamage) {
   daemon.server->stop();
 }
 
-TEST(ServeServerTest, MalformedFrameGetsErrorAndConnectionSurvives) {
-  TestDaemon daemon("malformed");
+TEST_P(ServeModeTest, MalformedFrameGetsErrorAndConnectionSurvives) {
+  TestDaemon daemon(tag("malformed"), GetParam());
   const int fd = connect_endpoint(daemon.server->endpoint());
 
   // A well-framed payload with a bogus version byte.
@@ -213,8 +242,8 @@ TEST(ServeServerTest, MalformedFrameGetsErrorAndConnectionSurvives) {
   daemon.server->stop();
 }
 
-TEST(ServeServerTest, OversizedLengthPrefixDropsConnection) {
-  TestDaemon daemon("oversized");
+TEST_P(ServeModeTest, OversizedLengthPrefixDropsConnection) {
+  TestDaemon daemon(tag("oversized"), GetParam());
   const int fd = connect_endpoint(daemon.server->endpoint());
 
   const std::uint32_t huge = kMaxFrameBytes + 1;
@@ -241,6 +270,51 @@ TEST(ServeServerTest, OversizedLengthPrefixDropsConnection) {
   daemon.server->stop();
 }
 
+TEST_P(ServeModeTest, ConnectionCapRejectsTheExcessConnection) {
+  TestDaemon daemon(tag("conn_cap"), GetParam());
+  daemon.server->stop();
+  daemon.config.max_connections = 2;
+  daemon.restart();
+  EXPECT_EQ(daemon.server->effective_max_connections(), 2u);
+
+  const int a = connect_endpoint(daemon.server->endpoint());
+  const int b = connect_endpoint(daemon.server->endpoint());
+  // Both admitted connections must speak the protocol before the third
+  // connects, so the accept side has registered them.
+  for (const int fd : {a, b}) {
+    std::vector<std::uint8_t> frame;
+    encode_bye(frame, ByeMsg{9});
+    send_all(fd, frame.data(), frame.size());
+    FrameReader reader;
+    std::vector<std::uint8_t> payload;
+    std::uint8_t buffer[256];
+    while (!reader.take(payload)) {
+      const std::size_t got = recv_some(fd, buffer, sizeof(buffer));
+      ASSERT_GT(got, 0u);
+      reader.append(buffer, got);
+    }
+    EXPECT_EQ(decode_payload(payload.data(), payload.size()).type,
+              MessageType::kByeAck);
+  }
+
+  // The over-cap connection is closed without a reply.
+  const int c = connect_endpoint(daemon.server->endpoint());
+  std::uint8_t buffer[64];
+  std::size_t got = 1;
+  try {
+    got = recv_some(c, buffer, sizeof(buffer));
+  } catch (const DataError&) {
+    got = 0;  // reset counts as closed
+  }
+  EXPECT_EQ(got, 0u);
+  EXPECT_GE(daemon.server->connections_rejected(), 1u);
+
+  close_quietly(a);
+  close_quietly(b);
+  close_quietly(c);
+  daemon.server->stop();
+}
+
 TEST(ServeServerTest, ConnectRetriesCountFailures) {
   // Nothing listens here; connect must back off and eventually throw.
   const std::string dead = "unix:" + unique_dir("dead") + "/sock";
@@ -251,8 +325,8 @@ TEST(ServeServerTest, ConnectRetriesCountFailures) {
   EXPECT_FALSE(client.connected());
 }
 
-TEST(ServeServerTest, MidDayReconnectResumesFromLiveCursor) {
-  TestDaemon daemon("mid_day_cursor");
+TEST_P(ServeModeTest, MidDayReconnectResumesFromLiveCursor) {
+  TestDaemon daemon(tag("mid_day_cursor"), GetParam());
   const ScenarioSpec spec = ScenarioSpec::parse(kSpec);
   std::unique_ptr<TraceSource> source = make_scenario_source(spec);
   const DayTrace day0 = source->next_day();
@@ -287,8 +361,8 @@ TEST(ServeServerTest, MidDayReconnectResumesFromLiveCursor) {
   daemon.server->stop();
 }
 
-TEST(ServeServerTest, LoadGenDrivesFleetEndToEnd) {
-  TestDaemon daemon("load_gen");
+TEST_P(ServeModeTest, LoadGenDrivesFleetEndToEnd) {
+  TestDaemon daemon(tag("load_gen"), GetParam());
   LoadGenConfig config;
   config.endpoint = daemon.server->endpoint();
   config.households = 3;
@@ -313,10 +387,141 @@ TEST(ServeServerTest, LoadGenDrivesFleetEndToEnd) {
   }
 }
 
+// The cross-mode contract, stated directly: the same fleet driven against
+// an event-loop daemon and a thread-per-connection daemon leaves bitwise
+// identical checkpoint files for every household.
+TEST(ServeServerTest, EventLoopAndThreadPerConnCheckpointsBitwiseIdentical) {
+  LoadGenConfig load;
+  load.households = 4;
+  load.days = 2;
+  load.seed_base = 300;
+  load.threads = 2;
+
+  TestDaemon event_loop("xmode_el", ThreadingMode::kEventLoop);
+  load.endpoint = event_loop.server->endpoint();
+  run_load(load);
+  event_loop.server->stop();
+
+  TestDaemon per_conn("xmode_tpc", ThreadingMode::kThreadPerConn);
+  load.endpoint = per_conn.server->endpoint();
+  run_load(load);
+  per_conn.server->stop();
+
+  const CheckpointStore el_store(event_loop.config.checkpoint_dir);
+  const CheckpointStore tpc_store(per_conn.config.checkpoint_dir);
+  for (std::uint64_t id = 300; id < 304; ++id) {
+    EXPECT_EQ(read_file(el_store.path_for(id)),
+              read_file(tpc_store.path_for(id)))
+        << "household " << id;
+  }
+}
+
+/// Pipelines `days` whole-day Readings frames for households
+/// [base, base+n) over ONE connection, all of a day's closes written
+/// back-to-back before any ack is read — so the shard sees co-resident
+/// same-blueprint day closes inside single queue drains and can step them
+/// as BatchEngine lanes. Returns every ack payload in arrival order.
+std::vector<std::vector<std::uint8_t>> drive_pipelined_fleet(
+    const std::string& endpoint, std::uint64_t base, std::size_t n,
+    std::size_t days, std::uint64_t seed_base) {
+  const int fd = connect_endpoint(endpoint);
+  std::vector<std::unique_ptr<TraceSource>> sources;
+  std::vector<std::uint8_t> blob;
+  for (std::size_t h = 0; h < n; ++h) {
+    const std::string spec =
+        "policy=rlblh;seed=" + std::to_string(seed_base + h);
+    sources.push_back(make_scenario_source(ScenarioSpec::parse(spec)));
+    encode_hello(blob, HelloMsg{base + h, spec});
+  }
+  send_all(fd, blob.data(), blob.size());
+
+  std::size_t expected = n;  // hello acks
+  for (std::size_t d = 0; d < days; ++d) {
+    blob.clear();
+    for (std::size_t h = 0; h < n; ++h) {
+      const DayTrace trace = sources[h]->next_day();
+      encode_readings(blob, ReadingsMsg{base + h, static_cast<std::uint32_t>(d),
+                                        0, trace.values()});
+    }
+    send_all(fd, blob.data(), blob.size());
+    expected += n;
+  }
+
+  std::vector<std::vector<std::uint8_t>> acks;
+  FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::uint8_t buffer[65536];
+  while (acks.size() < expected) {
+    while (reader.take(payload)) {
+      acks.push_back(payload);
+      payload.clear();
+    }
+    if (acks.size() >= expected) break;
+    const std::size_t got = recv_some(fd, buffer, sizeof(buffer));
+    if (got == 0) break;
+    reader.append(buffer, got);
+  }
+  close_quietly(fd);
+  EXPECT_EQ(acks.size(), expected);
+  return acks;
+}
+
+// Server-side batch stepping: a pipelined fleet of same-blueprint
+// households closes days inside shared shard drains, so the event-loop
+// daemon steps them through BatchEngine lanes — and every checkpoint file
+// and every ack byte still equals the thread-per-connection daemon's.
+TEST(ServeServerTest, BatchSteppedFleetMatchesThreadPerConnByteForByte) {
+  constexpr std::uint64_t kBase = 500;
+  constexpr std::size_t kHouseholds = 8;
+  constexpr std::size_t kDays = 2;
+
+  // Reference: the same pipelined traffic against a thread-per-conn daemon
+  // (which never batches).
+  TestDaemon reference("batch_ref", ThreadingMode::kThreadPerConn);
+  const std::vector<std::vector<std::uint8_t>> expected_acks =
+      drive_pipelined_fleet(reference.server->endpoint(), kBase, kHouseholds,
+                            kDays, kBase);
+  reference.server->stop();
+  EXPECT_EQ(reference.server->batch_days_completed(), 0u);
+
+  // Candidate: one shard so every household is co-resident. Batch
+  // engagement needs >= 2 day closes inside one queue drain; the pipelined
+  // writes make that overwhelmingly likely, but a pathological scheduler
+  // could still drain frame-by-frame, so retry a few times rather than
+  // flake. Byte equality is asserted on EVERY attempt.
+  std::size_t batch_days = 0;
+  for (int attempt = 0; attempt < 5 && batch_days == 0; ++attempt) {
+    TestDaemon daemon("batch_el_" + std::to_string(attempt),
+                      ThreadingMode::kEventLoop);
+    daemon.server->stop();
+    daemon.config.shards = 1;
+    daemon.config.batch_width = 32;
+    daemon.restart();
+    const std::vector<std::vector<std::uint8_t>> acks = drive_pipelined_fleet(
+        daemon.server->endpoint(), kBase, kHouseholds, kDays, kBase);
+    daemon.server->stop();
+    batch_days = daemon.server->batch_days_completed();
+
+    ASSERT_EQ(acks.size(), expected_acks.size());
+    for (std::size_t i = 0; i < acks.size(); ++i) {
+      EXPECT_EQ(acks[i], expected_acks[i]) << "ack " << i;
+    }
+    const CheckpointStore el_store(daemon.config.checkpoint_dir);
+    const CheckpointStore ref_store(reference.config.checkpoint_dir);
+    for (std::uint64_t id = kBase; id < kBase + kHouseholds; ++id) {
+      EXPECT_EQ(read_file(el_store.path_for(id)),
+                read_file(ref_store.path_for(id)))
+          << "household " << id;
+    }
+  }
+  EXPECT_GT(batch_days, 0u)
+      << "batch stepping never engaged across 5 pipelined attempts";
+}
+
 // The headline guarantee: SIGKILL mid-day + restart + client replay ends in
 // EXACTLY the state an uninterrupted run reaches — proven at the byte level
 // against a direct (no daemon) HouseholdSession over the same days.
-TEST(ServeServerTest, CrashMidDayRestartMatchesUninterruptedByteForByte) {
+TEST_P(ServeModeTest, CrashMidDayRestartMatchesUninterruptedByteForByte) {
   const ScenarioSpec spec = ScenarioSpec::parse(kSpec);
   std::unique_ptr<TraceSource> source = make_scenario_source(spec);
   std::vector<DayTrace> days;
@@ -338,7 +543,7 @@ TEST(ServeServerTest, CrashMidDayRestartMatchesUninterruptedByteForByte) {
 
   // Interrupted run: day 0 acked, day 1 half-sent, then the daemon dies
   // without any drain checkpoint.
-  TestDaemon daemon("crash_restart");
+  TestDaemon daemon(tag("crash_restart"), GetParam());
   {
     ServeClient client(daemon.server->endpoint(), 7);
     client.connect();
@@ -371,20 +576,20 @@ TEST(ServeServerTest, CrashMidDayRestartMatchesUninterruptedByteForByte) {
 // Same crash/restart story driven entirely through run_load, comparing the
 // final checkpoint files of an interrupted daemon against an uninterrupted
 // daemon for every household.
-TEST(ServeServerTest, LoadGenKillRestartMatchesUninterruptedCheckpoints) {
+TEST_P(ServeModeTest, LoadGenKillRestartMatchesUninterruptedCheckpoints) {
   LoadGenConfig load;
   load.households = 2;
   load.days = 3;
   load.seed_base = 40;
 
   // Uninterrupted daemon.
-  TestDaemon baseline("kill_baseline");
+  TestDaemon baseline(tag("kill_baseline"), GetParam());
   load.endpoint = baseline.server->endpoint();
   run_load(load);
   baseline.server->stop();
 
   // Interrupted daemon: one day, crash, restart, finish the full target.
-  TestDaemon victim("kill_victim");
+  TestDaemon victim(tag("kill_victim"), GetParam());
   LoadGenConfig first_leg = load;
   first_leg.endpoint = victim.server->endpoint();
   first_leg.days = 1;
